@@ -1,0 +1,144 @@
+package csar
+
+import (
+	"errors"
+
+	"csar/internal/client"
+	"csar/internal/cluster"
+	"csar/internal/recovery"
+)
+
+// ErrDegradedWrite is returned when writing a Raid0 file while a server is
+// marked down; the redundant schemes accept degraded writes, carrying the
+// failed server's share in the mirror, parity, or overflow mirror until
+// Rebuild.
+var ErrDegradedWrite = client.ErrDegradedWrite
+
+// ErrNoRedundancy is returned when recovering or degraded-reading a Raid0
+// file: stock striping stores nothing to recover from.
+var ErrNoRedundancy = client.ErrNoRedundancy
+
+// Client is one mount of a CSAR file system: a connection to the manager
+// plus direct connections to every I/O server.
+type Client struct {
+	inner *client.Client
+}
+
+// Create makes a new file.
+func (c *Client) Create(name string, opts FileOptions) (*File, error) {
+	if opts.Servers == 0 {
+		opts.Servers = c.inner.NumServers()
+	}
+	if opts.StripeUnit == 0 {
+		opts.StripeUnit = DefaultStripeUnit
+	}
+	f, err := c.inner.Create(name, opts.Servers, opts.StripeUnit, opts.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	return &File{inner: f}, nil
+}
+
+// Open opens an existing file by name.
+func (c *Client) Open(name string) (*File, error) {
+	f, err := c.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &File{inner: f}, nil
+}
+
+// Remove deletes a file and all its server-side stores.
+func (c *Client) Remove(name string) error { return c.inner.Remove(name) }
+
+// List returns the names of all files.
+func (c *Client) List() ([]string, error) { return c.inner.List() }
+
+// MarkDown tells the client server i has failed; subsequent reads use the
+// file's redundancy (degraded mode).
+func (c *Client) MarkDown(i int) { c.inner.MarkDown(i) }
+
+// MarkUp clears the failure flag for server i (after rebuild).
+func (c *Client) MarkUp(i int) { c.inner.MarkUp(i) }
+
+// Rebuild reconstructs failed server dead's stores for the file from the
+// survivors, after the cluster has replaced it with a blank server.
+func (c *Client) Rebuild(f *File, dead int) error {
+	return recovery.Rebuild(c.inner, f.inner, dead)
+}
+
+// Verify checks the file's redundancy invariants (mirror equality, parity
+// correctness, overflow-mirror agreement) and returns a description of
+// each violation. An empty result means the file is consistent.
+func (c *Client) Verify(f *File) ([]string, error) {
+	return recovery.Verify(c.inner, f.inner)
+}
+
+// DropServerCaches empties every server's page cache.
+func (c *Client) DropServerCaches() error { return c.inner.DropServerCaches() }
+
+// StorageTotals reports each server's total stored bytes (du-style, across
+// all files) — what `csar df` prints.
+func (c *Client) StorageTotals() ([]int64, error) { return c.inner.StorageTotals() }
+
+// Metrics is a snapshot of a client's operation counters: how its I/O was
+// translated by the redundancy engine (full-stripe vs read-modify-write vs
+// overflow portions), bytes moved, and degraded-mode activity.
+type Metrics = client.Metrics
+
+// Metrics returns the client's operation counters.
+func (c *Client) Metrics() Metrics { return c.inner.Metrics() }
+
+// File is an open CSAR file. Reads and writes may be issued concurrently;
+// as in PVFS, concurrent writers to non-overlapping regions are consistent
+// while overlapping concurrent writes carry no guarantees.
+type File struct {
+	inner *client.File
+}
+
+// WriteAt writes len(p) bytes at offset off, maintaining the file's
+// redundancy. It implements io.WriterAt.
+func (f *File) WriteAt(p []byte, off int64) (int, error) { return f.inner.WriteAt(p, off) }
+
+// ReadAt reads len(p) bytes at offset off; bytes never written read as
+// zero. It implements io.ReaderAt and serves degraded reads when a server
+// is marked down.
+func (f *File) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
+
+// Size returns the file's logical size as known to this client.
+func (f *File) Size() int64 { return f.inner.Size() }
+
+// Scheme returns the file's redundancy scheme.
+func (f *File) Scheme() Scheme { return f.inner.Scheme() }
+
+// Sync flushes the file's server-side stores and publishes its size to the
+// manager.
+func (f *File) Sync() error { return f.inner.Sync() }
+
+// Compact migrates a Hybrid file's overflow-resident data back to RAID5
+// and reclaims the overflow storage (the paper's Section 6.7 background
+// recovery process). With it, "the long-term storage of the Hybrid scheme
+// would be the same as the RAID5 scheme". No-op for other schemes.
+func (f *File) Compact() error { return f.inner.Compact() }
+
+// StorageBytes reports the bytes this file occupies across all servers:
+// the total and the breakdown by store (data, mirror, parity, overflow,
+// overflow mirror) — the measurement behind Table 2 of the paper.
+func (f *File) StorageBytes() (total int64, byStore [5]int64, err error) {
+	return f.inner.StorageBytes()
+}
+
+// Internal returns the underlying client file; the workload and benchmark
+// harnesses in this repository use it, applications should not.
+func (f *File) Internal() *client.File { return f.inner }
+
+// InternalClient returns the underlying client; harness use only.
+func (c *Client) InternalClient() *client.Client { return c.inner }
+
+// ErrServerDown is the error calls to a stopped server return.
+var ErrServerDown = cluster.ErrServerDown
+
+// IsServerDown reports whether err indicates a stopped server.
+func IsServerDown(err error) bool {
+	return errors.Is(err, cluster.ErrServerDown)
+}

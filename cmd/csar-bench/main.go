@@ -1,0 +1,54 @@
+// Command csar-bench regenerates the figures and tables of the paper's
+// evaluation (Section 6) on the modeled cluster.
+//
+// Usage:
+//
+//	csar-bench -list
+//	csar-bench -exp fig4a
+//	csar-bench -exp all -div 16 -scale 2s
+//
+// -div divides the paper's data sizes (and scales the server cache with
+// them); -scale sets the wall-clock length of one simulated second —
+// larger is slower but less noisy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"csar/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		list  = flag.Bool("list", false, "list available experiments")
+		div   = flag.Int64("div", 16, "divide paper-scale data sizes by this factor")
+		scale = flag.Duration("scale", 2*time.Second, "wall-clock duration of one simulated second")
+		iods  = flag.Int("servers", 8, "maximum number of I/O servers")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-9s %s\n", e.Name, e.Title)
+		}
+		fmt.Println("  all       run everything above in order")
+		if *exp == "" {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := bench.Config{Scale: *scale, SizeDiv: *div, MaxServers: *iods}
+	start := time.Now()
+	if err := bench.Run(*exp, cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "csar-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n(%s in %.1fs wall; sizes 1/%d of paper scale, 1 sim-s = %v wall)\n",
+		*exp, time.Since(start).Seconds(), *div, *scale)
+}

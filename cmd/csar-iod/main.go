@@ -1,0 +1,65 @@
+// Command csar-iod runs one CSAR I/O daemon: the per-node storage server
+// holding a file's data, mirror, parity and overflow stores, the parity
+// lock table, and the Section 5.2 write buffering.
+//
+// With -store the daemon keeps its stores as sparse files in a host
+// directory (the role the iods' local ext2 file systems play in the
+// paper), surviving restarts; without it, contents live in memory and the
+// redundancy on the other servers is what protects them.
+// See csar-mgr for deployment wiring.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"csar/internal/rpc"
+	"csar/internal/server"
+	"csar/internal/simdisk"
+	"csar/internal/storage"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7101", "address to listen on")
+		index    = flag.Int("index", -1, "this server's position in the stripe layout (0-based)")
+		pageSize = flag.Int("pagesize", 4096, "local block size in bytes")
+		writeBuf = flag.Bool("writebuf", true, "enable Section 5.2 write buffering")
+		storeDir = flag.String("store", "", "directory for durable storage (default: in-memory)")
+	)
+	flag.Parse()
+
+	if *index < 0 {
+		log.Fatal("csar-iod: -index is required")
+	}
+	var backend storage.Backend
+	if *storeDir != "" {
+		dir, err := storage.NewDir(*storeDir)
+		if err != nil {
+			log.Fatalf("csar-iod: %v", err)
+		}
+		backend = dir
+		fmt.Printf("csar-iod: durable storage in %s\n", dir.Root())
+	} else {
+		backend = simdisk.New(nil, simdisk.Params{PageSize: *pageSize})
+	}
+	opts := server.DefaultOptions()
+	opts.WriteBuffering = *writeBuf
+	opts.PageSize = *pageSize
+	srv := server.New(*index, backend, opts)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("csar-iod: %v", err)
+	}
+	fmt.Printf("csar-iod: server %d listening on %s\n", *index, ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("csar-iod: accept: %v", err)
+		}
+		go rpc.ServeConn(conn, srv.Handle, nil, nil) //nolint:errcheck
+	}
+}

@@ -1,0 +1,68 @@
+// Command csar-mgr runs the CSAR metadata manager: the process that owns
+// file names, layouts and sizes, and tells clients where the I/O servers
+// are. It is never on the data path.
+//
+// A three-server deployment on one machine:
+//
+//	csar-iod -listen :7101 -index 0 &
+//	csar-iod -listen :7102 -index 1 &
+//	csar-iod -listen :7103 -index 2 &
+//	csar-mgr -listen :7100 -iods localhost:7101,localhost:7102,localhost:7103
+//
+// Clients reach it with csar.Dial("localhost:7100") or the csar CLI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"csar/internal/meta"
+	"csar/internal/rpc"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":7100", "address to listen on")
+		iods   = flag.String("iods", "", "comma-separated I/O server addresses, in index order")
+		metaDB = flag.String("meta", "", "metadata snapshot file for durable metadata (default: in-memory)")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*iods, ",")
+	if *iods == "" || len(addrs) == 0 {
+		log.Fatal("csar-mgr: -iods is required (comma-separated addresses, index order)")
+	}
+	for i, a := range addrs {
+		addrs[i] = strings.TrimSpace(a)
+		if addrs[i] == "" {
+			log.Fatalf("csar-mgr: empty address at position %d", i)
+		}
+	}
+
+	var m *meta.Manager
+	var err error
+	if *metaDB != "" {
+		m, err = meta.NewPersistent(len(addrs), addrs, *metaDB)
+		if err != nil {
+			log.Fatalf("csar-mgr: %v", err)
+		}
+		fmt.Printf("csar-mgr: durable metadata in %s\n", *metaDB)
+	} else {
+		m = meta.New(len(addrs), addrs)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("csar-mgr: %v", err)
+	}
+	fmt.Printf("csar-mgr: serving metadata on %s for %d I/O servers\n", ln.Addr(), len(addrs))
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("csar-mgr: accept: %v", err)
+		}
+		go rpc.ServeConn(conn, m.Handle, nil, nil) //nolint:errcheck
+	}
+}

@@ -1,0 +1,186 @@
+// Command csar is the CLI client for a running CSAR deployment.
+//
+// Usage:
+//
+//	csar -mgr localhost:7100 <command> [args]
+//
+// Commands:
+//
+//	ls                         list files
+//	create <name>              create a file (-scheme, -servers, -su)
+//	put <local> <name>         copy a local file in (creates it)
+//	get <name> <local>         copy a file out
+//	cat <name>                 write a file's contents to stdout
+//	rm <name>                  remove a file
+//	df                         per-server and total storage in use
+//	stat <name>                show size, scheme and per-store storage
+//	verify <name>              check redundancy invariants (fsck)
+//	rebuild <name> <server>    rebuild a replaced server's stores
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"csar"
+)
+
+func main() {
+	var (
+		mgr     = flag.String("mgr", "localhost:7100", "manager address")
+		scheme  = flag.String("scheme", "hybrid", "redundancy scheme for create/put")
+		servers = flag.Int("servers", 0, "servers to stripe over (0 = all)")
+		su      = flag.Int64("su", csar.DefaultStripeUnit, "stripe unit in bytes")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cl, err := csar.Dial(*mgr)
+	if err != nil {
+		fail(err)
+	}
+
+	sch, err := csar.ParseScheme(*scheme)
+	if err != nil {
+		fail(err)
+	}
+	opts := csar.FileOptions{Servers: *servers, StripeUnit: *su, Scheme: sch}
+
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "ls":
+		names, err := cl.List()
+		if err != nil {
+			fail(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "create":
+		need(rest, 1, "create <name>")
+		if _, err := cl.Create(rest[0], opts); err != nil {
+			fail(err)
+		}
+	case "put":
+		need(rest, 2, "put <local> <name>")
+		data, err := os.ReadFile(rest[0])
+		if err != nil {
+			fail(err)
+		}
+		f, err := cl.Create(rest[1], opts)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := f.WriteAt(data, 0); err != nil {
+			fail(err)
+		}
+		if err := f.Sync(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d bytes to %s (%v)\n", len(data), rest[1], sch)
+	case "get", "cat":
+		need(rest, map[string]int{"get": 2, "cat": 1}[cmd], cmd+" <name> [local]")
+		f, err := cl.Open(rest[0])
+		if err != nil {
+			fail(err)
+		}
+		buf := make([]byte, f.Size())
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			fail(err)
+		}
+		var out io.Writer = os.Stdout
+		if cmd == "get" {
+			fh, err := os.Create(rest[1])
+			if err != nil {
+				fail(err)
+			}
+			defer fh.Close()
+			out = fh
+		}
+		if _, err := out.Write(buf); err != nil {
+			fail(err)
+		}
+	case "rm":
+		need(rest, 1, "rm <name>")
+		if err := cl.Remove(rest[0]); err != nil {
+			fail(err)
+		}
+	case "df":
+		totals, err := cl.StorageTotals()
+		if err != nil {
+			fail(err)
+		}
+		var sum int64
+		for i, n := range totals {
+			fmt.Printf("iod %-3d %12d bytes\n", i, n)
+			sum += n
+		}
+		fmt.Printf("total   %12d bytes\n", sum)
+	case "stat":
+		need(rest, 1, "stat <name>")
+		f, err := cl.Open(rest[0])
+		if err != nil {
+			fail(err)
+		}
+		total, by, err := f.StorageBytes()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("name:    %s\nsize:    %d bytes\nscheme:  %v\n", rest[0], f.Size(), f.Scheme())
+		fmt.Printf("storage: %d bytes total (data %d, mirror %d, parity %d, overflow %d, ov-mirror %d)\n",
+			total, by[0], by[1], by[2], by[3], by[4])
+	case "verify":
+		need(rest, 1, "verify <name>")
+		f, err := cl.Open(rest[0])
+		if err != nil {
+			fail(err)
+		}
+		problems, err := cl.Verify(f)
+		if err != nil {
+			fail(err)
+		}
+		if len(problems) == 0 {
+			fmt.Println("consistent")
+			return
+		}
+		for _, p := range problems {
+			fmt.Println("PROBLEM:", p)
+		}
+		os.Exit(1)
+	case "rebuild":
+		need(rest, 2, "rebuild <name> <server-index>")
+		f, err := cl.Open(rest[0])
+		if err != nil {
+			fail(err)
+		}
+		idx, err := strconv.Atoi(rest[1])
+		if err != nil {
+			fail(err)
+		}
+		if err := cl.Rebuild(f, idx); err != nil {
+			fail(err)
+		}
+		fmt.Printf("rebuilt server %d for %s\n", idx, rest[0])
+	default:
+		fmt.Fprintf(os.Stderr, "csar: unknown command %q\n", cmd)
+		os.Exit(2)
+	}
+}
+
+func need(args []string, n int, usage string) {
+	if len(args) < n {
+		fmt.Fprintf(os.Stderr, "usage: csar %s\n", usage)
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "csar:", err)
+	os.Exit(1)
+}

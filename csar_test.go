@@ -1,0 +1,292 @@
+package csar_test
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"csar"
+	"csar/internal/meta"
+	"csar/internal/rpc"
+	"csar/internal/server"
+	"csar/internal/simdisk"
+)
+
+func newTestCluster(t *testing.T, n int) *csar.Cluster {
+	t.Helper()
+	c, err := csar.NewCluster(csar.ClusterOptions{Servers: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestFacadeLifecycle(t *testing.T) {
+	c := newTestCluster(t, 5)
+	cl := c.NewClient()
+
+	f, err := cl.Create("f", csar.FileOptions{Scheme: csar.Hybrid, StripeUnit: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Scheme() != csar.Hybrid {
+		t.Fatalf("scheme = %v", f.Scheme())
+	}
+	data := bytes.Repeat([]byte("csar!"), 10000)
+	if _, err := f.WriteAt(data, 123); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 123); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip failed")
+	}
+	if f.Size() != int64(123+len(data)) {
+		t.Fatalf("size = %d", f.Size())
+	}
+
+	names, err := cl.List()
+	if err != nil || len(names) != 1 || names[0] != "f" {
+		t.Fatalf("list = %v, %v", names, err)
+	}
+	total, _, err := f.StorageBytes()
+	if err != nil || total == 0 {
+		t.Fatalf("storage = %d, %v", total, err)
+	}
+	problems, err := cl.Verify(f)
+	if err != nil || len(problems) > 0 {
+		t.Fatalf("verify = %v, %v", problems, err)
+	}
+	if err := cl.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalStorage() != 0 {
+		t.Fatal("storage remains after remove")
+	}
+}
+
+func TestFacadeDefaults(t *testing.T) {
+	c := newTestCluster(t, 4)
+	cl := c.NewClient()
+	f, err := cl.Create("d", csar.FileOptions{}) // all defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Scheme() != csar.Raid0 {
+		t.Fatalf("default scheme = %v", f.Scheme())
+	}
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeFailureWorkflow(t *testing.T) {
+	c := newTestCluster(t, 4)
+	cl := c.NewClient()
+	f, err := cl.Create("f", csar.FileOptions{Scheme: csar.Raid5, StripeUnit: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{9}, 100_000)
+	f.WriteAt(data, 0)
+
+	c.StopServer(1)
+	cl.MarkDown(1)
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read wrong")
+	}
+	// Degraded writes land via the redundancy (extension beyond the paper).
+	patch := []byte("degraded!")
+	if _, err := f.WriteAt(patch, 500); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	copy(data[500:], patch)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded write not visible to degraded read")
+	}
+	c.ReplaceServer(1)
+	if err := cl.Rebuild(f, 1); err != nil {
+		t.Fatal(err)
+	}
+	cl.MarkUp(1)
+	problems, err := cl.Verify(f)
+	if err != nil || len(problems) > 0 {
+		t.Fatalf("after rebuild: %v, %v", problems, err)
+	}
+}
+
+func TestIsServerDown(t *testing.T) {
+	c := newTestCluster(t, 3)
+	cl := c.NewClient()
+	f, err := cl.Create("f", csar.FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt(make([]byte, 1<<20), 0)
+	c.StopServer(0)
+	_, err = f.ReadAt(make([]byte, 1<<20), 0)
+	if !csar.IsServerDown(err) {
+		t.Fatalf("IsServerDown(%v) = false", err)
+	}
+}
+
+func TestTimedClusterReportsSimTime(t *testing.T) {
+	c, err := csar.NewCluster(csar.ClusterOptions{
+		Servers: 3,
+		Model:   csar.DefaultModel(50 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Timed() {
+		t.Fatal("modeled cluster not timed")
+	}
+	cl := c.NewClient()
+	f, err := cl.Create("f", csar.FileOptions{Scheme: csar.Raid1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := f.WriteAt(make([]byte, 4<<20), 0); err != nil {
+		t.Fatal(err)
+	}
+	if sim := c.SimElapsed(start); sim <= 0 {
+		t.Fatalf("SimElapsed = %v", sim)
+	}
+	if c.ServerDiskStats(0).CacheMisses < 0 {
+		t.Fatal("stats accessor broken")
+	}
+	if c.ServerRequests(0) == 0 {
+		t.Fatal("no requests recorded")
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	s, err := csar.ParseScheme("hybrid")
+	if err != nil || s != csar.Hybrid {
+		t.Fatalf("ParseScheme = %v, %v", s, err)
+	}
+	if _, err := csar.ParseScheme("raid9"); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}
+
+func TestRunParallelCollectives(t *testing.T) {
+	c := newTestCluster(t, 4)
+	setup := c.NewClient()
+	if _, err := setup.Create("p", csar.FileOptions{Scheme: csar.Hybrid}); err != nil {
+		t.Fatal(err)
+	}
+	err := csar.RunParallel(4, func(r *csar.Rank) error {
+		cl := c.NewClient()
+		f, err := cl.Open("p")
+		if err != nil {
+			return err
+		}
+		data := bytes.Repeat([]byte{byte(r.ID() + 1)}, 10_000)
+		if err := r.CollectiveWrite(f, []csar.Req{{Off: int64(r.ID()) * 10_000, Data: data}}); err != nil {
+			return err
+		}
+		r.Barrier()
+		buf := make([]byte, 10_000)
+		if err := r.CollectiveRead(f, []csar.Req{{Off: int64(r.ID()) * 10_000, Data: buf}}); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, data) {
+			return errors.New("collective read mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDialOverTCP brings up a real manager and iods on loopback TCP and
+// exercises the deployment path the csar/csar-mgr/csar-iod commands use.
+func TestDialOverTCP(t *testing.T) {
+	const servers = 3
+	addrs := make([]string, servers)
+	for i := 0; i < servers; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		addrs[i] = ln.Addr().String()
+		srv := server.New(i, simdisk.New(nil, simdisk.Params{PageSize: 4096}), server.DefaultOptions())
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go rpc.ServeConn(conn, srv.Handle, nil, nil) //nolint:errcheck
+			}
+		}()
+	}
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mln.Close()
+	mgr := meta.New(servers, addrs)
+	go func() {
+		for {
+			conn, err := mln.Accept()
+			if err != nil {
+				return
+			}
+			go rpc.ServeConn(conn, mgr.Handle, nil, nil) //nolint:errcheck
+		}
+	}()
+
+	cl, err := csar.Dial(mln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cl.Create("tcp-file", csar.FileOptions{Scheme: csar.Raid5, StripeUnit: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("over tcp "), 50_000)
+	if _, err := f.WriteAt(data, 777); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 777); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("TCP round trip failed")
+	}
+	problems, err := cl.Verify(f)
+	if err != nil || len(problems) > 0 {
+		t.Fatalf("verify over TCP: %v, %v", problems, err)
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := csar.Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

@@ -1,0 +1,3 @@
+module csar
+
+go 1.22

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 12 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	// Sorted and unique names; every paper figure/table present.
+	seen := map[string]bool{}
+	for i, e := range exps {
+		if seen[e.Name] {
+			t.Fatalf("duplicate experiment %q", e.Name)
+		}
+		seen[e.Name] = true
+		if i > 0 && exps[i-1].Name >= e.Name {
+			t.Fatalf("experiments not sorted: %q before %q", exps[i-1].Name, e.Name)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", e.Name)
+		}
+	}
+	for _, want := range []string{
+		"fig1", "fig3", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8",
+		"tab2", "writebuf", "ablate-su", "ablate-compact", "ablate-lock",
+	} {
+		if !seen[want] {
+			t.Fatalf("experiment %q missing", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := Run("nope", Config{}, &sb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale <= 0 || c.SizeDiv <= 0 || c.MaxServers <= 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if got := c.scaled(3200, 10); got != 3200/c.SizeDiv {
+		t.Fatalf("scaled=%d", got)
+	}
+	if got := c.scaled(1, 10); got != 10 {
+		t.Fatalf("scaled floor=%d", got)
+	}
+	m := c.model()
+	if m.ServerCacheBytes != paperCacheBytes/c.SizeDiv {
+		t.Fatalf("cache not scaled: %d", m.ServerCacheBytes)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Header: []string{"x", "a", "bb"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow("1", "2.0", "3.00")
+	tab.AddRow("10", "20.0", "30.00")
+	var sb strings.Builder
+	if _, err := tab.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== T ==", "30.00", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Value columns are right-aligned under their headers.
+	lines := strings.Split(out, "\n")
+	var header, row string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "x") {
+			header = l
+			row = lines[i+2]
+			break
+		}
+	}
+	if strings.Index(header, "bb")+2 != strings.Index(row, "3.00")+4 {
+		t.Fatalf("misaligned columns:\n%q\n%q", header, row)
+	}
+}
+
+func TestFig1RunsInstantly(t *testing.T) {
+	var sb strings.Builder
+	if err := Run("fig1", Config{}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fill-time") {
+		t.Fatal("fig1 output missing columns")
+	}
+}
+
+func TestTimedExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed experiment")
+	}
+	// A tiny, fast configuration: validates the whole harness path (cluster
+	// construction, workload, measurement, table) without paper-scale cost.
+	cfg := Config{Scale: 20 * time.Millisecond, SizeDiv: 512, MaxServers: 4}
+	var sb strings.Builder
+	if err := Run("fig4b", cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "raid5") {
+		t.Fatalf("fig4b output incomplete:\n%s", sb.String())
+	}
+}
+
+func TestStorageExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full workloads")
+	}
+	cfg := Config{Scale: time.Millisecond, SizeDiv: 1024, MaxServers: 4}
+	var sb strings.Builder
+	if err := Run("ablate-compact", cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "after Compact") {
+		t.Fatalf("compaction output incomplete:\n%s", sb.String())
+	}
+}

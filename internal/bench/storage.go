@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"csar/internal/workload"
+)
+
+func init() {
+	register(Experiment{"tab2", "Table 2: storage requirement per scheme", tab2})
+}
+
+// tab2 reproduces the storage-requirement table: run each application
+// workload under each scheme and sum the file sizes at the I/O servers.
+// Storage accounting is timing-independent, so these runs use untimed
+// clusters. The paper's qualitative results: RAID1 = 2x RAID0, RAID5 =
+// n/(n-1) x RAID0 for large-write workloads, and Hybrid between RAID5 and
+// RAID1 except for small-write workloads with large stripe units (FLASH
+// at 64 KB), where overflow-slot fragmentation pushes it above RAID1.
+func tab2(cfg Config, w io.Writer) error {
+	servers := cfg.MaxServers
+
+	type row struct {
+		name  string
+		su    int64
+		ranks int
+		run   func(e workload.Env) (int64, error)
+	}
+	rows := []row{
+		{"btio-a", 64 << 10, 4, func(e workload.Env) (int64, error) {
+			return workload.BTIO(e, "f", 4, workload.BTIOClassA.Scaled(cfg.SizeDiv))
+		}},
+		{"btio-b", 64 << 10, 4, func(e workload.Env) (int64, error) {
+			return workload.BTIO(e, "f", 4, workload.BTIOClassB.Scaled(cfg.SizeDiv))
+		}},
+		{"btio-c", 64 << 10, 4, func(e workload.Env) (int64, error) {
+			return workload.BTIO(e, "f", 4, workload.BTIOClassC.Scaled(cfg.SizeDiv))
+		}},
+		{"flash 4p, 16K su", 16 << 10, 4, func(e workload.Env) (int64, error) {
+			return workload.FlashIO(e, "f", 4, cfg.scaled(45<<20, 2<<20))
+		}},
+		{"flash 4p, 64K su", 64 << 10, 4, func(e workload.Env) (int64, error) {
+			return workload.FlashIO(e, "f", 4, cfg.scaled(45<<20, 2<<20))
+		}},
+		{"flash 24p, 16K su", 16 << 10, 24, func(e workload.Env) (int64, error) {
+			return workload.FlashIO(e, "f", 24, cfg.scaled(235<<20, 8<<20))
+		}},
+		{"flash 24p, 64K su", 64 << 10, 24, func(e workload.Env) (int64, error) {
+			return workload.FlashIO(e, "f", 24, cfg.scaled(235<<20, 8<<20))
+		}},
+		{"hartree-fock", 64 << 10, 1, func(e workload.Env) (int64, error) {
+			return workload.HartreeFock(e, "f", cfg.scaled(149<<20, 2<<20), 0)
+		}},
+		{"cactus", 64 << 10, 8, func(e workload.Env) (int64, error) {
+			return workload.Cactus(e, "f", 8, cfg.scaled(400<<20, 4<<20))
+		}},
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("Table 2: storage requirement (MB, sizes scaled by 1/%d)", cfg.SizeDiv),
+		Header: []string{"benchmark"},
+	}
+	for _, s := range appSchemes {
+		t.Header = append(t.Header, s.String())
+	}
+	for _, r := range rows {
+		cells := []string{r.name}
+		for _, scheme := range appSchemes {
+			cl, err := cfg.newUntimedCluster(servers)
+			if err != nil {
+				return err
+			}
+			if _, err := r.run(env(cl, scheme, r.su)); err != nil {
+				cl.Close()
+				return fmt.Errorf("%s/%v: %w", r.name, scheme, err)
+			}
+			total := cl.TotalStorage()
+			cl.Close()
+			cells = append(cells, fmt.Sprintf("%.1f", float64(total)/1e6))
+		}
+		t.AddRow(cells...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: Hybrid exceeds RAID1 only for FLASH with 64K stripe unit (overflow fragmentation)")
+	_, err := t.WriteTo(w)
+	return err
+}

@@ -1,0 +1,248 @@
+// Package client implements the CSAR client library: PVFS-style striped
+// access to the I/O servers, extended with the RAID1, RAID5 and Hybrid
+// redundancy engines of the paper.
+//
+// As in PVFS, a client obtains a file's layout from the manager once and
+// then moves data directly between itself and the I/O servers; the manager
+// is never on the data path. All redundancy work — mirroring, parity
+// computation, the partial-stripe read-modify-write with its lock ordering,
+// and the Hybrid scheme's overflow writes — happens in this package, which
+// is why the paper can describe CSAR as "implemented by adding new routines"
+// around an unchanged data layout.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"csar/internal/raid"
+	"csar/internal/simtime"
+	"csar/internal/wire"
+)
+
+// Caller issues one request and returns its response; rpc.Client implements
+// it over a connection, and test harnesses implement it in-process.
+type Caller interface {
+	Call(m wire.Msg) (wire.Msg, error)
+}
+
+// ErrDegradedWrite is returned when writing a Raid0 (or instrumented RAID5
+// variant) file while one of its servers is marked down: those schemes have
+// no redundancy to carry the failed server's share of the write. Raid1,
+// Raid5 and Hybrid files accept degraded writes.
+var ErrDegradedWrite = errors.New("client: scheme cannot write while a server is down")
+
+// ErrNoRedundancy is returned when a degraded read is attempted on a RAID0
+// file.
+var ErrNoRedundancy = errors.New("client: raid0 stores no redundancy; data on a failed server is lost")
+
+// Client is one mount of a CSAR file system.
+type Client struct {
+	mgr Caller
+	srv []Caller
+
+	clock   *simtime.Clock
+	xorBW   float64          // client XOR throughput, bytes per simulated second
+	callCPU time.Duration    // per-request client-side processing cost
+	cpu     *simtime.Limiter // the client's serial CPU
+
+	metrics metrics
+
+	mu   sync.Mutex
+	down map[int]bool
+}
+
+// New creates a client talking to the manager and the I/O servers.
+func New(mgr Caller, servers []Caller) *Client {
+	return &Client{mgr: mgr, srv: servers, down: make(map[int]bool)}
+}
+
+// SetModel enables the performance model on this client: parity XOR
+// computation is charged at xorBW bytes per simulated second, and every
+// I/O-server request costs callCPU of serial client CPU (the PVFS library,
+// kernel and TCP path of the paper's 1 GHz nodes). The paper measures the
+// XOR cost at about 8% of the RAID5 full-stripe write time (the RAID5-npc
+// curve of Figure 4a).
+func (c *Client) SetModel(clock *simtime.Clock, xorBW float64, callCPU time.Duration) {
+	c.clock = clock
+	c.xorBW = xorBW
+	c.callCPU = callCPU
+	c.cpu = simtime.NewLimiter(clock, 1) // durations only
+}
+
+// chargeXOR models the client CPU time of XORing n bytes.
+func (c *Client) chargeXOR(n int64) {
+	if c.clock.Timed() && c.xorBW > 0 && n > 0 {
+		c.clock.Sleep(time.Duration(float64(n) / c.xorBW * float64(time.Second)))
+	}
+}
+
+// callSrv issues one request to server idx, charging the modeled client
+// CPU first.
+func (c *Client) callSrv(idx int, m wire.Msg) (wire.Msg, error) {
+	if c.clock.Timed() && c.callCPU > 0 {
+		c.cpu.AcquireDur(c.callCPU)
+	}
+	return c.srv[idx].Call(m)
+}
+
+// NumServers returns the number of I/O servers.
+func (c *Client) NumServers() int { return len(c.srv) }
+
+// MarkDown flags a server as failed; reads switch to degraded mode.
+func (c *Client) MarkDown(idx int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down[idx] = true
+}
+
+// MarkUp clears a server's failed flag (after rebuild).
+func (c *Client) MarkUp(idx int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.down, idx)
+}
+
+// Down reports whether a server is marked failed.
+func (c *Client) Down(idx int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[idx]
+}
+
+func (c *Client) anyDown(ref wire.FileRef) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < int(ref.Servers); i++ {
+		if c.down[i] {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// server returns the caller for server idx.
+func (c *Client) server(idx int) Caller { return c.srv[idx] }
+
+// ServerCaller exposes the raw caller for server idx; the recovery package
+// uses it to issue raw reads and rebuild writes outside the normal file API.
+func (c *Client) ServerCaller(idx int) Caller { return c.srv[idx] }
+
+// Create makes a new file striped over `servers` I/O servers with the given
+// stripe unit and redundancy scheme.
+func (c *Client) Create(name string, servers int, stripeUnit int64, scheme wire.Scheme) (*File, error) {
+	resp, err := c.mgr.Call(&wire.Create{
+		Name:       name,
+		Servers:    uint16(servers),
+		StripeUnit: uint32(stripeUnit),
+		Scheme:     scheme,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cr, ok := resp.(*wire.CreateResp)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected create response %T", resp)
+	}
+	return c.fileFor(cr.Ref, 0)
+}
+
+// Open looks up an existing file by name.
+func (c *Client) Open(name string) (*File, error) {
+	resp, err := c.mgr.Call(&wire.Open{Name: name})
+	if err != nil {
+		return nil, err
+	}
+	or, ok := resp.(*wire.OpenResp)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected open response %T", resp)
+	}
+	return c.fileFor(or.Ref, or.Size)
+}
+
+func (c *Client) fileFor(ref wire.FileRef, size int64) (*File, error) {
+	g := raid.Geometry{Servers: int(ref.Servers), StripeUnit: int64(ref.StripeUnit)}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.Servers > len(c.srv) {
+		return nil, fmt.Errorf("client: file spans %d servers, cluster has %d", g.Servers, len(c.srv))
+	}
+	f := &File{c: c, ref: ref, geom: g}
+	f.size.Store(size)
+	return f, nil
+}
+
+// Remove deletes a file: its manager metadata and every server-side store.
+func (c *Client) Remove(name string) error {
+	resp, err := c.mgr.Call(&wire.Open{Name: name})
+	if err != nil {
+		return err
+	}
+	or, ok := resp.(*wire.OpenResp)
+	if !ok {
+		return fmt.Errorf("client: unexpected open response %T", resp)
+	}
+	if _, err := c.mgr.Call(&wire.Remove{Name: name}); err != nil {
+		return err
+	}
+	return c.eachServer(int(or.Ref.Servers), func(i int) error {
+		_, err := c.callSrv(i, &wire.RemoveFile{File: or.Ref})
+		return err
+	})
+}
+
+// List returns the names of all files.
+func (c *Client) List() ([]string, error) {
+	resp, err := c.mgr.Call(&wire.List{})
+	if err != nil {
+		return nil, err
+	}
+	lr, ok := resp.(*wire.ListResp)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected list response %T", resp)
+	}
+	return lr.Names, nil
+}
+
+// StorageTotals reports each server's total materialized bytes (du-style),
+// across all files.
+func (c *Client) StorageTotals() ([]int64, error) {
+	totals := make([]int64, len(c.srv))
+	err := c.eachServer(len(c.srv), func(i int) error {
+		resp, err := c.callSrv(i, &wire.StorageStat{})
+		if err != nil {
+			return err
+		}
+		totals[i] = resp.(*wire.StorageStatResp).Total
+		return nil
+	})
+	return totals, err
+}
+
+// DropServerCaches empties every server's page cache; the paper does this
+// between the initial-write and overwrite phases of its experiments.
+func (c *Client) DropServerCaches() error {
+	return c.eachServer(len(c.srv), func(i int) error {
+		_, err := c.callSrv(i, &wire.DropCaches{})
+		return err
+	})
+}
+
+// eachServer runs fn for servers [0,n) concurrently and returns the first
+// error.
+func (c *Client) eachServer(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

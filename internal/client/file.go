@@ -1,0 +1,573 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"csar/internal/core"
+	"csar/internal/raid"
+	"csar/internal/wire"
+)
+
+// File is an open CSAR file. Methods are safe for concurrent use; as in
+// PVFS, concurrent writers to non-overlapping regions are consistent
+// (RAID5 parity protected by the Section 5.1 lock), while overlapping
+// concurrent writes carry no guarantees.
+type File struct {
+	c    *Client
+	ref  wire.FileRef
+	geom raid.Geometry
+	size atomic.Int64
+}
+
+// Ref returns the file's wire reference.
+func (f *File) Ref() wire.FileRef { return f.ref }
+
+// Geometry returns the file's stripe geometry.
+func (f *File) Geometry() raid.Geometry { return f.geom }
+
+// Scheme returns the file's redundancy scheme.
+func (f *File) Scheme() wire.Scheme { return f.ref.Scheme }
+
+// Size returns the file's logical size as known to this client.
+func (f *File) Size() int64 { return f.size.Load() }
+
+// WriteAt writes len(p) bytes at offset off, maintaining the file's
+// redundancy per its scheme.
+//
+// With one server marked down, Raid1, Raid5 and Hybrid files accept
+// degraded writes (an extension beyond the paper's prototype): data
+// destined for the failed server is carried by its redundancy — the mirror
+// copy, the stripe parity, or the mirrored overflow region — and restored
+// by the next Rebuild. Raid0 and the instrumented RAID5 variants return
+// ErrDegradedWrite.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("client: negative offset %d", off)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	dead := -1
+	if d, down := f.c.anyDown(f.ref); down {
+		switch f.ref.Scheme {
+		case wire.Raid1, wire.Raid5, wire.Hybrid:
+			dead = d
+		default:
+			return 0, ErrDegradedWrite
+		}
+	}
+	plan := core.PlanWrite(f.geom, f.ref.Scheme, off, int64(len(p)))
+	if err := f.execute(plan, off, p, dead); err != nil {
+		return 0, err
+	}
+	f.c.metrics.writes.Add(1)
+	f.c.metrics.writeBytes.Add(int64(len(p)))
+	if dead >= 0 {
+		f.c.metrics.degradedWrites.Add(1)
+	}
+	for {
+		old := f.size.Load()
+		if off+int64(len(p)) <= old || f.size.CompareAndSwap(old, off+int64(len(p))) {
+			break
+		}
+	}
+	return len(p), nil
+}
+
+// execute runs the portions of a write plan. The RAID5 deadlock-avoidance
+// rule (Section 5.1) requires only that the lower-numbered partial stripe's
+// parity READ completes before the higher-numbered one is issued: a leading
+// read-modify-write portion therefore starts first, and the remaining
+// portions launch as soon as its parity read has returned, overlapping its
+// write phase.
+func (f *File) execute(plan core.Plan, off int64, p []byte, dead int) error {
+	data := func(s raid.Span) []byte { return p[s.Off-off : s.End()-off] }
+
+	var headErr error
+	headDone := make(chan struct{})
+	rest := plan.Portions
+	if len(rest) > 1 && rest[0].Mode == core.ModeRMW {
+		head := rest[0]
+		rest = rest[1:]
+		f.c.metrics.rmws.Add(1)
+		lockHeld := make(chan struct{})
+		go func() {
+			defer close(headDone)
+			headErr = f.writeRMW(head.Span, data(head.Span), func() { close(lockHeld) }, dead)
+		}()
+		<-lockHeld // head's parity read has completed (or failed)
+	} else {
+		close(headDone)
+	}
+
+	errs := make([]error, len(rest))
+	var wg sync.WaitGroup
+	for i, pt := range rest {
+		wg.Add(1)
+		go func(i int, pt core.Portion) {
+			defer wg.Done()
+			switch pt.Mode {
+			case core.ModePlain:
+				errs[i] = f.writePlain(pt.Span, data(pt.Span))
+			case core.ModeMirrored:
+				f.c.metrics.mirrors.Add(1)
+				errs[i] = f.writeMirrored(pt.Span, data(pt.Span), dead)
+			case core.ModeFullStripe:
+				f.c.metrics.fullStripes.Add(1)
+				errs[i] = f.writeFullStripes(pt.Span, data(pt.Span), dead)
+			case core.ModeRMW:
+				f.c.metrics.rmws.Add(1)
+				errs[i] = f.writeRMW(pt.Span, data(pt.Span), nil, dead)
+			case core.ModeOverflow:
+				f.c.metrics.overflowWrites.Add(1)
+				errs[i] = f.writeOverflow(pt.Span, data(pt.Span), dead)
+			default:
+				errs[i] = fmt.Errorf("client: unknown portion mode %v", pt.Mode)
+			}
+		}(i, pt)
+	}
+	wg.Wait()
+	<-headDone
+	if headErr != nil {
+		return headErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendWriteData ships per-server payloads of span to the data files,
+// skipping the dead server (whose contents the redundancy carries) when
+// dead >= 0.
+func (f *File) sendWriteData(span raid.Span, payloads [][]byte, dead int) error {
+	return f.c.eachServer(f.geom.Servers, func(i int) error {
+		if len(payloads[i]) == 0 || i == dead {
+			return nil
+		}
+		_, err := f.c.callSrv(i, &wire.WriteData{
+			File:  f.ref,
+			Spans: []wire.Span{{Off: span.Off, Len: span.Len}},
+			Data:  payloads[i],
+		})
+		return err
+	})
+}
+
+func (f *File) writePlain(span raid.Span, p []byte) error {
+	return f.sendWriteData(span, splitByServer(f.geom, span.Off, p), -1)
+}
+
+func (f *File) writeMirrored(span raid.Span, p []byte, dead int) error {
+	dataPayloads := splitByServer(f.geom, span.Off, p)
+	mirrorPayloads := splitByMirror(f.geom, span.Off, p)
+	var wg sync.WaitGroup
+	var dErr, mErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		dErr = f.sendWriteData(span, dataPayloads, dead)
+	}()
+	go func() {
+		defer wg.Done()
+		mErr = f.c.eachServer(f.geom.Servers, func(i int) error {
+			if len(mirrorPayloads[i]) == 0 || i == dead {
+				return nil
+			}
+			_, err := f.c.callSrv(i, &wire.WriteMirror{
+				File:  f.ref,
+				Spans: []wire.Span{{Off: span.Off, Len: span.Len}},
+				Data:  mirrorPayloads[i],
+			})
+			return err
+		})
+	}()
+	wg.Wait()
+	if dErr != nil {
+		return dErr
+	}
+	return mErr
+}
+
+// writeFullStripes writes whole stripes: data in place plus freshly
+// computed parity, with no locks and no reads (the RAID5 best case). Under
+// the Hybrid scheme it additionally invalidates any overflow extents the
+// stripes previously had, migrating that data back to RAID5 (Section 4).
+func (f *File) writeFullStripes(span raid.Span, p []byte, dead int) error {
+	g := f.geom
+	ss := g.StripeSize()
+	su := g.StripeUnit
+	if span.Off%ss != 0 || span.Len%ss != 0 {
+		return fmt.Errorf("client: full-stripe span [%d,%d) not stripe-aligned", span.Off, span.End())
+	}
+
+	// Compute parity per stripe and group by parity server.
+	stripes := make([][]int64, g.Servers)
+	parity := make([][]byte, g.Servers)
+	if f.ref.Scheme != wire.Raid5NPC {
+		f.c.chargeXOR(span.Len)
+		for s := span.Off / ss; s < span.End()/ss; s++ {
+			buf := make([]byte, su)
+			base := g.StripeStart(s) - span.Off
+			core.StripeParity(g, p[base:base+ss], buf)
+			ps := g.ParityServerOf(s)
+			stripes[ps] = append(stripes[ps], s)
+			parity[ps] = append(parity[ps], buf...)
+		}
+	} else {
+		// RAID5-npc: ship the same parity bytes without computing them.
+		for s := span.Off / ss; s < span.End()/ss; s++ {
+			ps := g.ParityServerOf(s)
+			stripes[ps] = append(stripes[ps], s)
+			parity[ps] = append(parity[ps], make([]byte, su)...)
+		}
+	}
+
+	payloads := splitByServer(g, span.Off, p)
+	var wg sync.WaitGroup
+	var dErr, pErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		dErr = f.sendWriteData(span, payloads, dead)
+	}()
+	go func() {
+		defer wg.Done()
+		pErr = f.c.eachServer(g.Servers, func(i int) error {
+			if len(stripes[i]) == 0 || i == dead {
+				return nil
+			}
+			_, err := f.c.callSrv(i, &wire.WriteParity{
+				File:    f.ref,
+				Stripes: stripes[i],
+				Data:    parity[i],
+			})
+			return err
+		})
+	}()
+	wg.Wait()
+	if dErr != nil {
+		return dErr
+	}
+	// Overflow invalidation for the written stripes happens implicitly at
+	// each server when it applies the in-place data write (Section 4's
+	// migration back to RAID5); no extra messages are needed.
+	return pErr
+}
+
+// writeRMW performs a partial-stripe RAID5 update: read the old parity
+// (acquiring the stripe's lock) and the old data concurrently, fold the
+// delta into the parity, write the new data, then write the parity
+// (releasing the lock). The two reads overlap — "the client reads the data
+// in the partial stripes and also the corresponding parity region" — which
+// keeps the lock-hold window to the write phase; this is why the paper
+// keeps the lock-hold window modest (Figure 3). onParityRead, if non-nil,
+// is called exactly once, when the parity read has completed — the caller
+// uses it to release the next partial stripe's parity read per the
+// Section 5.1 ordering rule.
+//
+// Degraded mode (dead >= 0):
+//   - If the dead server holds this stripe's parity, there is no parity to
+//     maintain until rebuild: the new data is simply written to the (all
+//     live) data servers.
+//   - If the dead server holds data units in the range, their old contents
+//     are reconstructed from the survivors and the parity before the delta
+//     is applied, so the updated parity encodes the new bytes and the next
+//     rebuild materializes them.
+func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int) error {
+	g := f.geom
+	stripe := g.StripeOf(span.Off)
+	lock := f.ref.Scheme.UsesLocking()
+	ps := g.ParityServerOf(stripe)
+
+	if dead == ps {
+		// Degraded with the parity server down: the stripe's data units are
+		// all on live servers; parity is recomputed at rebuild.
+		if onParityRead != nil {
+			onParityRead()
+		}
+		return f.sendWriteData(span, splitByServer(g, span.Off, p), dead)
+	}
+
+	// 1. Old-parity read (lock acquisition) and old-data read, in parallel.
+	var parity []byte
+	var pErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if onParityRead != nil {
+			defer onParityRead()
+		}
+		presp, err := f.c.callSrv(ps, &wire.ReadParity{
+			File: f.ref, Stripes: []int64{stripe}, Lock: lock,
+		})
+		if err != nil {
+			pErr = err
+			return
+		}
+		parity = presp.(*wire.ReadResp).Data
+		if int64(len(parity)) != g.StripeUnit {
+			pErr = fmt.Errorf("client: parity read returned %d bytes, want %d",
+				len(parity), g.StripeUnit)
+		}
+	}()
+	old := make([]byte, span.Len)
+	var dErr error
+	if dead < 0 {
+		dErr = f.readRaw(span, old)
+	} else {
+		// Live pieces read normally; the dead server's pieces are
+		// reconstructed below, once the parity is in hand.
+		dErr = f.readRawLive(span, old, dead)
+	}
+	<-done
+	if pErr != nil {
+		return pErr // lock not held (or unusable); nothing to release
+	}
+	if dErr == nil && dead >= 0 {
+		dErr = f.reconstructOldPieces(span, old, dead)
+	}
+
+	unlockOnError := func(cause error) error {
+		if lock {
+			// Release the lock with an unchanged parity write so a failure
+			// here cannot wedge other clients.
+			f.c.callSrv(ps, &wire.WriteParity{ //nolint:errcheck
+				File: f.ref, Stripes: []int64{stripe}, Data: parity, Unlock: true,
+			})
+		}
+		return cause
+	}
+	if dErr != nil {
+		return unlockOnError(dErr)
+	}
+
+	// 3. New parity = old parity ^ old data ^ new data.
+	if f.ref.Scheme != wire.Raid5NPC {
+		f.c.chargeXOR(2 * span.Len)
+		core.ApplyParityDelta(g, span.Off, old, p, parity)
+	}
+
+	// 4. Write the new data and the new parity concurrently; the parity
+	// write releases the lock. No ordering between them is needed for the
+	// protocol's guarantee (consistency under concurrent writes to
+	// non-overlapping regions): another client's delta never involves this
+	// range's data, and the parity block itself is serialized by the lock.
+	// Keeping the data write out of the lock-hold window is what makes the
+	// measured locking overhead modest (Figure 3).
+	var wErr error
+	wdone := make(chan struct{})
+	go func() {
+		defer close(wdone)
+		wErr = f.sendWriteData(span, splitByServer(g, span.Off, p), dead)
+	}()
+	_, pwErr := f.c.callSrv(ps, &wire.WriteParity{
+		File: f.ref, Stripes: []int64{stripe}, Data: parity, Unlock: lock,
+	})
+	<-wdone
+	if pwErr != nil {
+		return pwErr
+	}
+	return wErr
+}
+
+// writeOverflow stores a partial-stripe portion the Hybrid way: the new
+// bytes go to the overflow region of each piece's home server, and a mirror
+// copy goes to the overflow-mirror region of the unit's mirror server. No
+// locks, no reads — the in-place data and parity stay untouched so the
+// stripe remains reconstructable.
+func (f *File) writeOverflow(span raid.Span, p []byte, dead int) error {
+	g := f.geom
+	prim := serverPieces(g, span.Off, span.Len)
+	mirr := mirrorPieces(g, span.Off, span.Len)
+	primPayload := splitByServer(g, span.Off, p)
+	mirrPayload := splitByMirror(g, span.Off, p)
+
+	var wg sync.WaitGroup
+	var pErr, mErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		pErr = f.c.eachServer(g.Servers, func(i int) error {
+			if len(prim[i]) == 0 || i == dead {
+				return nil
+			}
+			_, err := f.c.callSrv(i, &wire.WriteOverflow{
+				File: f.ref, Extents: prim[i], Data: primPayload[i],
+			})
+			return err
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		mErr = f.c.eachServer(g.Servers, func(i int) error {
+			if len(mirr[i]) == 0 || i == dead {
+				return nil
+			}
+			_, err := f.c.callSrv(i, &wire.WriteOverflow{
+				File: f.ref, Extents: mirr[i], Data: mirrPayload[i], Mirror: true,
+			})
+			return err
+		})
+	}()
+	wg.Wait()
+	if pErr != nil {
+		return pErr
+	}
+	return mErr
+}
+
+// ReadAt reads len(p) bytes at offset off. Bytes beyond what has been
+// written read as zero. With a failed server it falls back to the scheme's
+// degraded path.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("client: negative offset %d", off)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if idx, down := f.c.anyDown(f.ref); down {
+		f.c.metrics.degradedReads.Add(1)
+		n, err := f.readDegraded(p, off, idx)
+		if err == nil {
+			f.c.metrics.reads.Add(1)
+			f.c.metrics.readBytes.Add(int64(n))
+		}
+		return n, err
+	}
+	span := raid.Span{Off: off, Len: int64(len(p))}
+	perServer, err := f.fetchSpans(span, false)
+	if err != nil {
+		return 0, err
+	}
+	mergeFromServers(f.geom, off, p, perServer)
+	f.c.metrics.reads.Add(1)
+	f.c.metrics.readBytes.Add(int64(len(p)))
+	return len(p), nil
+}
+
+// fetchSpans reads one span from all servers and returns the per-server
+// piece payloads. raw skips server-side overflow patching.
+func (f *File) fetchSpans(span raid.Span, raw bool) ([][]byte, error) {
+	g := f.geom
+	pieces := serverPieces(g, span.Off, span.Len)
+	perServer := make([][]byte, g.Servers)
+	err := f.c.eachServer(g.Servers, func(i int) error {
+		want := bytesFor(pieces[i])
+		if want == 0 {
+			return nil
+		}
+		resp, err := f.c.callSrv(i, &wire.Read{
+			File:  f.ref,
+			Spans: []wire.Span{{Off: span.Off, Len: span.Len}},
+			Raw:   raw,
+		})
+		if err != nil {
+			return err
+		}
+		data := resp.(*wire.ReadResp).Data
+		if int64(len(data)) != want {
+			return fmt.Errorf("client: server %d returned %d bytes, want %d", i, len(data), want)
+		}
+		perServer[i] = data
+		return nil
+	})
+	return perServer, err
+}
+
+// readRaw fills dst with the in-place (data file) contents of span,
+// bypassing overflow patching; the RMW path uses it because parity is
+// defined over the in-place data.
+func (f *File) readRaw(span raid.Span, dst []byte) error {
+	perServer, err := f.fetchSpans(span, true)
+	if err != nil {
+		return err
+	}
+	mergeFromServers(f.geom, span.Off, dst, perServer)
+	return nil
+}
+
+// Compact migrates a Hybrid file's overflow-resident data back to RAID5
+// and reclaims the overflow regions' storage — the background recovery
+// process the paper sketches in Section 6.7: "a simple process that reads
+// files in their entirety and writes them in a large chunk". After Compact,
+// the file's long-term storage matches the RAID5 scheme's (plus at most one
+// trailing partial stripe still mirrored in overflow). It is a no-op for
+// other schemes. The caller should run it when the file is quiescent.
+func (f *File) Compact() error {
+	if f.ref.Scheme != wire.Hybrid {
+		return nil
+	}
+	if _, down := f.c.anyDown(f.ref); down {
+		return ErrDegradedWrite
+	}
+	size := f.size.Load()
+	ss := f.geom.StripeSize()
+	chunk := ss * 64
+	buf := make([]byte, chunk)
+	for off := int64(0); off < size; off += chunk {
+		n := chunk
+		if off+n > size {
+			n = size - off
+		}
+		if _, err := f.ReadAt(buf[:n], off); err != nil {
+			return err
+		}
+		// Rewriting in place sends whole stripes down the RAID5 path and
+		// implicitly invalidates the overflow extents they cover.
+		if _, err := f.WriteAt(buf[:n], off); err != nil {
+			return err
+		}
+	}
+	f.c.metrics.compactions.Add(1)
+	// Reclaim the dead slots.
+	return f.c.eachServer(f.geom.Servers, func(i int) error {
+		if _, err := f.c.callSrv(i, &wire.CompactOverflow{File: f.ref}); err != nil {
+			return err
+		}
+		_, err := f.c.callSrv(i, &wire.CompactOverflow{File: f.ref, Mirror: true})
+		return err
+	})
+}
+
+// Sync flushes every server's stores for this file and publishes the
+// file's size to the manager.
+func (f *File) Sync() error {
+	if err := f.c.eachServer(f.geom.Servers, func(i int) error {
+		_, err := f.c.callSrv(i, &wire.Sync{File: f.ref})
+		return err
+	}); err != nil {
+		return err
+	}
+	_, err := f.c.mgr.Call(&wire.SetSize{ID: f.ref.ID, Size: f.size.Load()})
+	return err
+}
+
+// StorageBytes sums this file's storage across all servers: the total and
+// the per-store breakdown (data, mirror, parity, overflow, overflow-mirror)
+// — the measurement behind Table 2 of the paper.
+func (f *File) StorageBytes() (int64, [5]int64, error) {
+	var mu sync.Mutex
+	var total int64
+	var byStore [5]int64
+	err := f.c.eachServer(f.geom.Servers, func(i int) error {
+		resp, err := f.c.callSrv(i, &wire.StorageStat{FileID: f.ref.ID})
+		if err != nil {
+			return err
+		}
+		st := resp.(*wire.StorageStatResp)
+		mu.Lock()
+		defer mu.Unlock()
+		total += st.Total
+		for k := range byStore {
+			byStore[k] += st.ByStore[k]
+		}
+		return nil
+	})
+	return total, byStore, err
+}

@@ -1,0 +1,48 @@
+package client
+
+import "sync/atomic"
+
+// Metrics counts a client's file-system operations, letting users and the
+// benchmark harness see how the redundancy engine translated their I/O:
+// how many writes took the full-stripe path vs the read-modify-write or
+// overflow paths, how much redundancy traffic was generated, and how much
+// work ran degraded.
+type Metrics struct {
+	Reads          int64 // ReadAt calls
+	ReadBytes      int64
+	Writes         int64 // WriteAt calls
+	WriteBytes     int64
+	FullStripes    int64 // portions written via the RAID5 full-stripe path
+	RMWs           int64 // portions written via locked read-modify-write
+	OverflowWrites int64 // portions written to the mirrored overflow region
+	MirrorWrites   int64 // portions written via RAID1 whole mirroring
+	DegradedReads  int64 // reads served with a server marked down
+	DegradedWrites int64 // writes applied with a server marked down
+	Compactions    int64
+}
+
+// metrics is the internal atomic representation.
+type metrics struct {
+	reads, readBytes, writes, writeBytes       atomic.Int64
+	fullStripes, rmws, overflowWrites, mirrors atomic.Int64
+	degradedReads, degradedWrites, compactions atomic.Int64
+}
+
+func (m *metrics) snapshot() Metrics {
+	return Metrics{
+		Reads:          m.reads.Load(),
+		ReadBytes:      m.readBytes.Load(),
+		Writes:         m.writes.Load(),
+		WriteBytes:     m.writeBytes.Load(),
+		FullStripes:    m.fullStripes.Load(),
+		RMWs:           m.rmws.Load(),
+		OverflowWrites: m.overflowWrites.Load(),
+		MirrorWrites:   m.mirrors.Load(),
+		DegradedReads:  m.degradedReads.Load(),
+		DegradedWrites: m.degradedWrites.Load(),
+		Compactions:    m.compactions.Load(),
+	}
+}
+
+// Metrics returns a snapshot of the client's operation counters.
+func (c *Client) Metrics() Metrics { return c.metrics.snapshot() }

@@ -1,0 +1,120 @@
+package client
+
+import (
+	"csar/internal/raid"
+	"csar/internal/wire"
+)
+
+// splitByServer partitions the bytes of a logical write [off, off+len(p))
+// into per-server payloads, in the iteration order the servers themselves
+// use (raid.Geometry.ToLocal), so a server receiving the whole span plus its
+// payload can consume it sequentially.
+func splitByServer(g raid.Geometry, off int64, p []byte) [][]byte {
+	out := make([][]byte, g.Servers)
+	end := off + int64(len(p))
+	for cur := off; cur < end; {
+		b := g.UnitOf(cur)
+		pieceEnd := g.UnitStart(b + 1)
+		if pieceEnd > end {
+			pieceEnd = end
+		}
+		s := g.ServerOf(b)
+		out[s] = append(out[s], p[cur-off:pieceEnd-off]...)
+		cur = pieceEnd
+	}
+	return out
+}
+
+// splitByMirror partitions the bytes of a logical write into per-server
+// payloads addressed to each unit's RAID1 mirror server.
+func splitByMirror(g raid.Geometry, off int64, p []byte) [][]byte {
+	out := make([][]byte, g.Servers)
+	end := off + int64(len(p))
+	for cur := off; cur < end; {
+		b := g.UnitOf(cur)
+		pieceEnd := g.UnitStart(b + 1)
+		if pieceEnd > end {
+			pieceEnd = end
+		}
+		s := g.MirrorServerOf(b)
+		out[s] = append(out[s], p[cur-off:pieceEnd-off]...)
+		cur = pieceEnd
+	}
+	return out
+}
+
+// mergeFromServers reassembles per-server Read responses (each the
+// concatenation of that server's pieces, in order) into dst, which holds
+// the logical range [off, off+len(dst)).
+func mergeFromServers(g raid.Geometry, off int64, dst []byte, perServer [][]byte) {
+	cursors := make([]int64, g.Servers)
+	end := off + int64(len(dst))
+	for cur := off; cur < end; {
+		b := g.UnitOf(cur)
+		pieceEnd := g.UnitStart(b + 1)
+		if pieceEnd > end {
+			pieceEnd = end
+		}
+		s := g.ServerOf(b)
+		n := pieceEnd - cur
+		copy(dst[cur-off:pieceEnd-off], perServer[s][cursors[s]:cursors[s]+n])
+		cursors[s] += n
+		cur = pieceEnd
+	}
+}
+
+// serverPieces returns, for each server, the logical extents of its pieces
+// of [off, off+length), in order. Used where the server must be told the
+// extents explicitly (overflow writes).
+func serverPieces(g raid.Geometry, off, length int64) [][]wire.Span {
+	out := make([][]wire.Span, g.Servers)
+	g0 := g
+	end := off + length
+	for cur := off; cur < end; {
+		b := g0.UnitOf(cur)
+		pieceEnd := g0.UnitStart(b + 1)
+		if pieceEnd > end {
+			pieceEnd = end
+		}
+		s := g0.ServerOf(b)
+		out[s] = appendSpan(out[s], cur, pieceEnd-cur)
+		cur = pieceEnd
+	}
+	return out
+}
+
+// mirrorPieces is serverPieces keyed by each unit's mirror server.
+func mirrorPieces(g raid.Geometry, off, length int64) [][]wire.Span {
+	out := make([][]wire.Span, g.Servers)
+	end := off + length
+	for cur := off; cur < end; {
+		b := g.UnitOf(cur)
+		pieceEnd := g.UnitStart(b + 1)
+		if pieceEnd > end {
+			pieceEnd = end
+		}
+		s := g.MirrorServerOf(b)
+		out[s] = appendSpan(out[s], cur, pieceEnd-cur)
+		cur = pieceEnd
+	}
+	return out
+}
+
+// appendSpan appends [off, off+n), merging with the previous span when
+// contiguous.
+func appendSpan(spans []wire.Span, off, n int64) []wire.Span {
+	if k := len(spans); k > 0 && spans[k-1].Off+spans[k-1].Len == off {
+		spans[k-1].Len += n
+		return spans
+	}
+	return append(spans, wire.Span{Off: off, Len: n})
+}
+
+// bytesFor sums the payload bytes a server receives for pieces of a span.
+func bytesFor(spans []wire.Span) int64 {
+	var n int64
+	for _, s := range spans {
+		n += s.Len
+	}
+	return n
+}

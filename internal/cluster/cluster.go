@@ -1,0 +1,235 @@
+// Package cluster assembles an in-process CSAR deployment: one manager, N
+// I/O servers each with its own simulated disk, and any number of clients,
+// connected either by direct function calls (fast, untimed — for
+// correctness tests) or by the real RPC stack over in-memory pipes with
+// simulated NICs (for the performance experiments). It also provides the
+// failure controls the recovery experiments need: stopping a server,
+// restarting it, and replacing it with a blank one.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csar/internal/client"
+	"csar/internal/meta"
+	"csar/internal/rpc"
+	"csar/internal/server"
+	"csar/internal/simdisk"
+	"csar/internal/simnet"
+	"csar/internal/simtime"
+	"csar/internal/wire"
+)
+
+// Transport selects how clients reach the servers.
+type Transport int
+
+const (
+	// Direct calls server handlers in-process with no marshaling and no
+	// modeled network. Use for correctness tests.
+	Direct Transport = iota
+	// Pipe runs the full RPC stack over in-memory connections, charging
+	// the simulated NICs of client and server nodes. Use for experiments.
+	Pipe
+)
+
+// ErrServerDown is returned by calls to a stopped server.
+var ErrServerDown = errors.New("cluster: server down")
+
+// Config describes a cluster.
+type Config struct {
+	// Servers is the number of I/O servers.
+	Servers int
+	// Transport selects Direct or Pipe.
+	Transport Transport
+	// Clock is the shared time base; nil runs untimed.
+	Clock *simtime.Clock
+	// Net configures the modeled interconnect (Pipe transport only).
+	Net simnet.Params
+	// Disk configures each server's storage model.
+	Disk simdisk.Params
+	// ServerOpts tunes the I/O daemons.
+	ServerOpts server.Options
+	// XORBandwidth is the clients' modeled parity-XOR throughput in bytes
+	// per simulated second; zero disables the charge.
+	XORBandwidth float64
+	// ClientRequestCPU is the modeled client-side cost of issuing one
+	// I/O-server request (library + kernel + TCP path); zero disables it.
+	ClientRequestCPU time.Duration
+}
+
+// DefaultConfig returns an untimed direct-transport cluster of n servers.
+func DefaultConfig(n int) Config {
+	return Config{
+		Servers:    n,
+		Transport:  Direct,
+		Net:        simnet.DefaultParams(),
+		Disk:       simdisk.Params{PageSize: 4096},
+		ServerOpts: server.DefaultOptions(),
+	}
+}
+
+// ioServer is one server slot: the current server instance (replaceable on
+// rebuild) and its down flag.
+type ioServer struct {
+	srv  atomic.Pointer[server.Server]
+	disk atomic.Pointer[simdisk.Disk]
+	down atomic.Bool
+	node *simnet.Node
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cfg     Config
+	network *simnet.Network
+	mgr     *meta.Manager
+	servers []*ioServer
+
+	mu      sync.Mutex
+	clients []*rpc.Client
+	nodes   int
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 server, got %d", cfg.Servers)
+	}
+	if cfg.Disk.PageSize == 0 {
+		cfg.Disk.PageSize = 4096
+	}
+	cfg.ServerOpts.Clock = cfg.Clock
+	c := &Cluster{
+		cfg:     cfg,
+		network: simnet.New(cfg.Clock, cfg.Net),
+		mgr:     meta.New(cfg.Servers, nil),
+	}
+	cfg.ServerOpts.PageSize = cfg.Disk.PageSize
+	for i := 0; i < cfg.Servers; i++ {
+		slot := &ioServer{node: c.network.NewNode(fmt.Sprintf("iod%d", i))}
+		disk := simdisk.New(cfg.Clock, cfg.Disk)
+		slot.disk.Store(disk)
+		slot.srv.Store(server.New(i, disk, cfg.ServerOpts))
+		c.servers = append(c.servers, slot)
+	}
+	return c, nil
+}
+
+// Clock returns the cluster's time base (nil when untimed).
+func (c *Cluster) Clock() *simtime.Clock { return c.cfg.Clock }
+
+// Servers returns the number of I/O servers.
+func (c *Cluster) Servers() int { return len(c.servers) }
+
+// Server returns I/O server i's current instance (for stats inspection).
+func (c *Cluster) Server(i int) *server.Server { return c.servers[i].srv.Load() }
+
+// Manager returns the metadata manager.
+func (c *Cluster) Manager() *meta.Manager { return c.mgr }
+
+// ServerDisk returns I/O server i's modeled disk (for stats inspection).
+func (c *Cluster) ServerDisk(i int) *simdisk.Disk { return c.servers[i].disk.Load() }
+
+// handler returns the gated rpc.Handler for server slot i.
+func (c *Cluster) handler(i int) rpc.Handler {
+	slot := c.servers[i]
+	return func(m wire.Msg) (wire.Msg, error) {
+		if slot.down.Load() {
+			return nil, ErrServerDown
+		}
+		return slot.srv.Load().Handle(m)
+	}
+}
+
+// directCaller adapts an rpc.Handler to the client.Caller interface.
+type directCaller struct{ h rpc.Handler }
+
+func (d directCaller) Call(m wire.Msg) (wire.Msg, error) { return d.h(m) }
+
+// NewClient attaches a new client to the cluster. Under the Pipe transport
+// the client gets its own simulated NIC and real RPC connections to every
+// server; the manager is always reached directly (metadata traffic is not
+// part of any modeled experiment).
+func (c *Cluster) NewClient() *client.Client {
+	callers := make([]client.Caller, len(c.servers))
+	switch c.cfg.Transport {
+	case Direct:
+		for i := range c.servers {
+			callers[i] = directCaller{c.handler(i)}
+		}
+	case Pipe:
+		c.mu.Lock()
+		c.nodes++
+		name := fmt.Sprintf("client%d", c.nodes)
+		c.mu.Unlock()
+		clientNode := c.network.NewNode(name)
+		for i := range c.servers {
+			cEnd, sEnd := net.Pipe()
+			go rpc.ServeConn(sEnd, c.handler(i), c.servers[i].node, clientNode) //nolint:errcheck
+			rc := rpc.NewClient(cEnd, clientNode, c.servers[i].node)
+			c.mu.Lock()
+			c.clients = append(c.clients, rc)
+			c.mu.Unlock()
+			callers[i] = rc
+		}
+	}
+	cl := client.New(directCaller{c.mgr.Handle}, callers)
+	if c.cfg.Clock.Timed() {
+		cl.SetModel(c.cfg.Clock, c.cfg.XORBandwidth, c.cfg.ClientRequestCPU)
+	}
+	return cl
+}
+
+// StopServer marks server i failed: all subsequent calls to it error.
+func (c *Cluster) StopServer(i int) { c.servers[i].down.Store(true) }
+
+// RestartServer brings server i back with its storage intact (a process
+// restart, not a disk loss).
+func (c *Cluster) RestartServer(i int) { c.servers[i].down.Store(false) }
+
+// ReplaceServer brings server i back with a blank disk, modeling a disk
+// replacement after a crash. The recovery machinery then rebuilds it.
+func (c *Cluster) ReplaceServer(i int) {
+	disk := simdisk.New(c.cfg.Clock, c.cfg.Disk)
+	c.servers[i].disk.Store(disk)
+	c.servers[i].srv.Store(server.New(i, disk, c.cfg.ServerOpts))
+	c.servers[i].down.Store(false)
+}
+
+// TotalStorage sums all live servers' materialized bytes, du-style
+// (Table 2's measurement: "the sum of the file sizes at the I/O servers").
+func (c *Cluster) TotalStorage() int64 {
+	var n int64
+	for _, s := range c.servers {
+		n += s.srv.Load().Disk().AllocatedBytes()
+	}
+	return n
+}
+
+// DropAllCaches empties every server's page cache.
+func (c *Cluster) DropAllCaches() {
+	for _, s := range c.servers {
+		s.srv.Load().Disk().DropCaches()
+	}
+}
+
+// SyncAll flushes every server's dirty pages.
+func (c *Cluster) SyncAll() {
+	for _, s := range c.servers {
+		s.srv.Load().Disk().SyncAll()
+	}
+}
+
+// Close tears down all RPC connections created by NewClient.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, rc := range c.clients {
+		rc.Close() //nolint:errcheck
+	}
+	c.clients = nil
+}

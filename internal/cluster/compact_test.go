@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"csar/internal/recovery"
+	"csar/internal/wire"
+)
+
+// TestCompactReclaimsOverflow verifies the Section 6.7 extension: after a
+// small-write-heavy phase, Compact brings a Hybrid file's storage down to
+// (nearly) the RAID5 level, preserving contents and consistency.
+func TestCompactReclaimsOverflow(t *testing.T) {
+	c := newCluster(t, 4) // stripe = 3 * 4096
+	cl := c.NewClient()
+	f, err := cl.Create("cmp", 4, 4096, wire.Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the file with many small writes: everything lands in overflow.
+	ref := make([]byte, 120_000)
+	for off := 0; off < len(ref); off += 1000 {
+		data := pattern(1000, byte(off/1000))
+		if _, err := f.WriteAt(data, int64(off)); err != nil {
+			t.Fatal(err)
+		}
+		copy(ref[off:], data)
+	}
+	before, byBefore, err := f.StorageBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byBefore[3] == 0 {
+		t.Fatal("small writes produced no overflow")
+	}
+
+	if err := f.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	after, byAfter, err := f.StorageBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("compact did not reclaim: %d -> %d", before, after)
+	}
+	// At most one trailing partial stripe may remain in overflow.
+	ss := f.Geometry().StripeSize()
+	if byAfter[3] > 2*ss {
+		t.Fatalf("overflow still holds %d bytes after compact", byAfter[3])
+	}
+	// Long-term storage approaches RAID5's ratio (n/(n-1) = 1.33x) plus
+	// the small residual tail.
+	if ratio := float64(after) / 120_000; ratio > 1.6 {
+		t.Fatalf("post-compact storage ratio %.2f, want near 1.33", ratio)
+	}
+
+	// Contents intact and redundancy consistent.
+	got := make([]byte, len(ref))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("compact corrupted contents")
+	}
+	problems, err := recovery.Verify(cl, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) > 0 {
+		t.Fatalf("inconsistent after compact: %v", problems)
+	}
+
+	// Compact is idempotent.
+	if err := f.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := f.StorageBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again > after {
+		t.Fatalf("second compact grew storage: %d -> %d", after, again)
+	}
+}
+
+func TestCompactNoOpForOtherSchemes(t *testing.T) {
+	c := newCluster(t, 4)
+	cl := c.NewClient()
+	f, err := cl.Create("r5", 4, 4096, wire.Raid5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt(pattern(50_000, 1), 0)
+	before, _, _ := f.StorageBytes()
+	if err := f.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _, _ := f.StorageBytes()
+	if before != after {
+		t.Fatalf("compact changed a raid5 file: %d -> %d", before, after)
+	}
+}
+
+func TestCompactSurvivesRebuild(t *testing.T) {
+	// Compact, then lose a server, then rebuild: the reclaimed state must
+	// still be recoverable.
+	c := newCluster(t, 4)
+	cl := c.NewClient()
+	f, err := cl.Create("cr", 4, 4096, wire.Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := pattern(100_000, 3)
+	f.WriteAt(ref, 0)
+	f.WriteAt(pattern(500, 9), 1234) // overflow extent
+	copy(ref[1234:], pattern(500, 9))
+	if err := f.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	c.StopServer(2)
+	c.ReplaceServer(2)
+	if err := recovery.Rebuild(cl, f, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(ref))
+	f.ReadAt(got, 0)
+	if !bytes.Equal(got, ref) {
+		t.Fatal("data lost after compact + rebuild")
+	}
+}

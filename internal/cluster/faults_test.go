@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"csar/internal/recovery"
+	"csar/internal/wire"
+)
+
+// TestFaultInjectionLifecycle interleaves random reads and writes with
+// server failures, degraded operation, and rebuilds — the whole lifecycle
+// the redundancy exists for — and checks the file against a flat reference
+// array at every step, plus full consistency after every rebuild.
+func TestFaultInjectionLifecycle(t *testing.T) {
+	for _, scheme := range redundantSchemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 4; seed++ {
+				r := rand.New(rand.NewSource(seed + 100))
+				servers := 4 + int(seed%2)
+				c := newCluster(t, servers)
+				cl := c.NewClient()
+				su := int64(32 + r.Intn(64))
+				f, err := cl.Create(fmt.Sprintf("fi%d", seed), servers, su, scheme)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				const space = 1 << 13
+				ref := make([]byte, space)
+				dead := -1
+
+				for op := 0; op < 80; op++ {
+					switch {
+					case op%20 == 10 && dead < 0:
+						// Fail a random server.
+						dead = r.Intn(servers)
+						c.StopServer(dead)
+						cl.MarkDown(dead)
+					case op%20 == 19 && dead >= 0:
+						// Replace and rebuild it.
+						c.ReplaceServer(dead)
+						if err := recovery.Rebuild(cl, f, dead); err != nil {
+							t.Fatalf("seed %d op %d rebuild(%d): %v", seed, op, dead, err)
+						}
+						cl.MarkUp(dead)
+						problems, err := recovery.Verify(cl, f)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(problems) > 0 {
+							t.Fatalf("seed %d op %d: inconsistent after rebuild: %v",
+								seed, op, problems[:1])
+						}
+						dead = -1
+					case r.Intn(3) == 0:
+						off := int64(r.Intn(space / 2))
+						n := r.Intn(space/4) + 1
+						got := make([]byte, n)
+						if _, err := f.ReadAt(got, off); err != nil {
+							t.Fatalf("seed %d op %d read (dead=%d): %v", seed, op, dead, err)
+						}
+						if !bytes.Equal(got, ref[off:off+int64(n)]) {
+							t.Fatalf("seed %d op %d: read mismatch (dead=%d)", seed, op, dead)
+						}
+					default:
+						off := int64(r.Intn(space / 2))
+						n := r.Intn(space/4) + 1
+						data := make([]byte, n)
+						r.Read(data)
+						if _, err := f.WriteAt(data, off); err != nil {
+							t.Fatalf("seed %d op %d write (dead=%d): %v", seed, op, dead, err)
+						}
+						copy(ref[off:], data)
+					}
+				}
+
+				// Settle: if still degraded, rebuild before the final check.
+				if dead >= 0 {
+					c.ReplaceServer(dead)
+					if err := recovery.Rebuild(cl, f, dead); err != nil {
+						t.Fatal(err)
+					}
+					cl.MarkUp(dead)
+				}
+				got := make([]byte, space)
+				if _, err := f.ReadAt(got, 0); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, ref) {
+					t.Fatalf("seed %d: final contents diverged", seed)
+				}
+				problems, err := recovery.Verify(cl, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(problems) > 0 {
+					t.Fatalf("seed %d: final inconsistency: %v", seed, problems[:1])
+				}
+			}
+		})
+	}
+}
+
+// TestMultipleFilesIsolated checks that files do not interfere: interleaved
+// writes to several files under different schemes stay isolated, and
+// removing one leaves the others intact.
+func TestMultipleFilesIsolated(t *testing.T) {
+	c := newCluster(t, 5)
+	cl := c.NewClient()
+	schemes := []wire.Scheme{wire.Raid0, wire.Raid1, wire.Raid5, wire.Hybrid}
+	refs := make([][]byte, len(schemes))
+	files := make([]interface {
+		WriteAt([]byte, int64) (int, error)
+		ReadAt([]byte, int64) (int, error)
+	}, len(schemes))
+
+	for i, s := range schemes {
+		f, err := cl.Create(fmt.Sprintf("multi-%d", i), 5, 64, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[i] = f
+		refs[i] = make([]byte, 4096)
+	}
+	r := rand.New(rand.NewSource(7))
+	for op := 0; op < 200; op++ {
+		i := r.Intn(len(files))
+		off := int64(r.Intn(2048))
+		data := make([]byte, r.Intn(1024)+1)
+		r.Read(data)
+		if _, err := files[i].WriteAt(data, off); err != nil {
+			t.Fatal(err)
+		}
+		copy(refs[i][off:], data)
+	}
+	if err := cl.Remove("multi-0"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(files); i++ {
+		got := make([]byte, 4096)
+		if _, err := files[i].ReadAt(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, refs[i]) {
+			t.Fatalf("file %d corrupted by activity on other files", i)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package extent implements an ordered, non-overlapping byte-range map.
+//
+// It is the core data structure of the Hybrid scheme's overflow table: each
+// extent records that logical file bytes [Off, Off+Len) are currently stored
+// in the overflow region at offset Src (rather than in the data file).
+// Inserting an extent overrides any previously inserted overlapping ranges
+// (newest write wins); invalidating a range removes it, which is how a
+// full-stripe RAID5 write migrates data back out of the overflow region.
+package extent
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Extent maps the logical byte range [Off, Off+Len) to bytes stored at
+// offset Src in some backing region (the overflow file).
+type Extent struct {
+	Off int64 // logical file offset
+	Len int64 // length in bytes
+	Src int64 // offset within the backing region
+}
+
+// End returns the exclusive logical end offset.
+func (e Extent) End() int64 { return e.Off + e.Len }
+
+func (e Extent) String() string {
+	return fmt.Sprintf("[%d,%d)@%d", e.Off, e.End(), e.Src)
+}
+
+// Map is an ordered set of non-overlapping extents. The zero value is an
+// empty map ready for use. Map is not safe for concurrent use; callers
+// synchronize externally.
+type Map struct {
+	ext []Extent // sorted by Off, pairwise disjoint
+}
+
+// Len returns the number of extents in the map.
+func (m *Map) Len() int { return len(m.ext) }
+
+// Bytes returns the total number of logical bytes covered by the map.
+func (m *Map) Bytes() int64 {
+	var n int64
+	for _, e := range m.ext {
+		n += e.Len
+	}
+	return n
+}
+
+// search returns the index of the first extent with End() > off, i.e. the
+// first extent that could overlap a range starting at off.
+func (m *Map) search(off int64) int {
+	return sort.Search(len(m.ext), func(i int) bool { return m.ext[i].End() > off })
+}
+
+// Insert records that logical range [off, off+length) now lives at src in
+// the backing region. Overlapping parts of existing extents are overridden;
+// extents straddling the boundary are split, preserving their own Src
+// arithmetic so their surviving parts still point at the right bytes.
+func (m *Map) Insert(off, length, src int64) {
+	if length <= 0 {
+		return
+	}
+	m.Invalidate(off, length)
+	i := m.search(off)
+	m.ext = append(m.ext, Extent{})
+	copy(m.ext[i+1:], m.ext[i:])
+	m.ext[i] = Extent{Off: off, Len: length, Src: src}
+	m.coalesceAround(i)
+}
+
+// coalesceAround merges extent i with adjacent extents when both the logical
+// ranges and backing offsets are contiguous.
+func (m *Map) coalesceAround(i int) {
+	if i+1 < len(m.ext) {
+		a, b := m.ext[i], m.ext[i+1]
+		if a.End() == b.Off && a.Src+a.Len == b.Src {
+			m.ext[i].Len += b.Len
+			m.ext = append(m.ext[:i+1], m.ext[i+2:]...)
+		}
+	}
+	if i > 0 {
+		a, b := m.ext[i-1], m.ext[i]
+		if a.End() == b.Off && a.Src+a.Len == b.Src {
+			m.ext[i-1].Len += b.Len
+			m.ext = append(m.ext[:i], m.ext[i+1:]...)
+		}
+	}
+}
+
+// Invalidate removes coverage of the logical range [off, off+length).
+// Extents partially inside the range are trimmed or split.
+func (m *Map) Invalidate(off, length int64) {
+	if length <= 0 {
+		return
+	}
+	end := off + length
+	i := m.search(off)
+	for i < len(m.ext) && m.ext[i].Off < end {
+		e := m.ext[i]
+		switch {
+		case e.Off >= off && e.End() <= end:
+			// Fully covered: drop.
+			m.ext = append(m.ext[:i], m.ext[i+1:]...)
+		case e.Off < off && e.End() > end:
+			// Covers the hole on both sides: split into two.
+			left := Extent{Off: e.Off, Len: off - e.Off, Src: e.Src}
+			right := Extent{Off: end, Len: e.End() - end, Src: e.Src + (end - e.Off)}
+			m.ext[i] = left
+			m.ext = append(m.ext, Extent{})
+			copy(m.ext[i+2:], m.ext[i+1:])
+			m.ext[i+1] = right
+			return
+		case e.Off < off:
+			// Overlaps on the left: trim the tail.
+			m.ext[i].Len = off - e.Off
+			i++
+		default:
+			// Overlaps on the right: trim the head.
+			delta := end - e.Off
+			m.ext[i].Off = end
+			m.ext[i].Src += delta
+			m.ext[i].Len -= delta
+			return
+		}
+	}
+}
+
+// Lookup walks the logical range [off, off+length) in order, calling hit for
+// every piece covered by an extent (with the logical offset, backing source
+// offset and piece length) and miss for every uncovered gap.
+// Either callback may be nil.
+func (m *Map) Lookup(off, length int64, hit func(logical, src, n int64), miss func(logical, n int64)) {
+	end := off + length
+	cur := off
+	for i := m.search(off); i < len(m.ext) && cur < end; i++ {
+		e := m.ext[i]
+		if e.Off > cur {
+			gapEnd := e.Off
+			if gapEnd > end {
+				gapEnd = end
+			}
+			if miss != nil {
+				miss(cur, gapEnd-cur)
+			}
+			cur = gapEnd
+			if cur >= end {
+				break
+			}
+		}
+		pieceEnd := e.End()
+		if pieceEnd > end {
+			pieceEnd = end
+		}
+		if pieceEnd > cur {
+			if hit != nil {
+				hit(cur, e.Src+(cur-e.Off), pieceEnd-cur)
+			}
+			cur = pieceEnd
+		}
+	}
+	if cur < end && miss != nil {
+		miss(cur, end-cur)
+	}
+}
+
+// Covered reports how many bytes of [off, off+length) are covered.
+func (m *Map) Covered(off, length int64) int64 {
+	var n int64
+	m.Lookup(off, length, func(_, _, pn int64) { n += pn }, nil)
+	return n
+}
+
+// Extents returns a copy of the extents in ascending logical order.
+func (m *Map) Extents() []Extent {
+	return append([]Extent(nil), m.ext...)
+}
+
+// Clear removes all extents.
+func (m *Map) Clear() { m.ext = m.ext[:0] }
+
+// Clone returns a deep copy of the map.
+func (m *Map) Clone() *Map {
+	return &Map{ext: append([]Extent(nil), m.ext...)}
+}
+
+// Validate checks the internal invariants (ordering, disjointness, positive
+// lengths) and returns a descriptive error on violation. Used by tests.
+func (m *Map) Validate() error {
+	for i, e := range m.ext {
+		if e.Len <= 0 {
+			return fmt.Errorf("extent %d has non-positive length: %v", i, e)
+		}
+		if i > 0 && m.ext[i-1].End() > e.Off {
+			return fmt.Errorf("extents %d and %d overlap or are unordered: %v, %v",
+				i-1, i, m.ext[i-1], e)
+		}
+	}
+	return nil
+}
+
+func (m *Map) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range m.ext {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,230 @@
+package extent
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func collect(m *Map, off, length int64) (hits []Extent, misses []Extent) {
+	m.Lookup(off, length,
+		func(logical, src, n int64) { hits = append(hits, Extent{logical, n, src}) },
+		func(logical, n int64) { misses = append(misses, Extent{Off: logical, Len: n}) })
+	return
+}
+
+func TestInsertLookupBasic(t *testing.T) {
+	var m Map
+	m.Insert(100, 50, 0)
+	if m.Bytes() != 50 || m.Len() != 1 {
+		t.Fatalf("after one insert: bytes=%d len=%d", m.Bytes(), m.Len())
+	}
+	hits, misses := collect(&m, 90, 80)
+	if len(hits) != 1 || hits[0] != (Extent{100, 50, 0}) {
+		t.Fatalf("hits=%v", hits)
+	}
+	if len(misses) != 2 || misses[0] != (Extent{Off: 90, Len: 10}) || misses[1] != (Extent{Off: 150, Len: 20}) {
+		t.Fatalf("misses=%v", misses)
+	}
+}
+
+func TestInsertOverridesOverlap(t *testing.T) {
+	var m Map
+	m.Insert(0, 100, 0)
+	m.Insert(40, 20, 1000) // newer write wins in the middle
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := collect(&m, 0, 100)
+	if len(misses) != 0 {
+		t.Fatalf("unexpected misses %v", misses)
+	}
+	want := []Extent{{0, 40, 0}, {40, 20, 1000}, {60, 40, 60}}
+	if len(hits) != 3 {
+		t.Fatalf("hits=%v", hits)
+	}
+	for i, h := range hits {
+		if h != want[i] {
+			t.Fatalf("hit %d = %v, want %v", i, h, want[i])
+		}
+	}
+}
+
+func TestInvalidateSplits(t *testing.T) {
+	var m Map
+	m.Insert(0, 100, 500)
+	m.Invalidate(30, 40)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := collect(&m, 0, 100)
+	want := []Extent{{0, 30, 500}, {70, 30, 570}}
+	if len(hits) != 2 || hits[0] != want[0] || hits[1] != want[1] {
+		t.Fatalf("hits=%v want %v", hits, want)
+	}
+	if m.Bytes() != 60 {
+		t.Fatalf("bytes=%d", m.Bytes())
+	}
+}
+
+func TestInvalidateEdges(t *testing.T) {
+	var m Map
+	m.Insert(10, 10, 0)
+	m.Insert(30, 10, 100)
+	m.Invalidate(15, 20) // trims tail of first, head of second
+	hits, _ := collect(&m, 0, 50)
+	want := []Extent{{10, 5, 0}, {35, 5, 105}}
+	if len(hits) != 2 || hits[0] != want[0] || hits[1] != want[1] {
+		t.Fatalf("hits=%v want %v", hits, want)
+	}
+	m.Invalidate(0, 100)
+	if m.Len() != 0 {
+		t.Fatalf("map not empty after full invalidate: %v", &m)
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	var m Map
+	m.Insert(0, 10, 0)
+	m.Insert(10, 10, 10) // contiguous logically and in the backing region
+	if m.Len() != 1 {
+		t.Fatalf("adjacent compatible extents not coalesced: %v", &m)
+	}
+	m.Insert(20, 10, 500) // contiguous logically but not in backing region
+	if m.Len() != 2 {
+		t.Fatalf("incompatible extents wrongly coalesced: %v", &m)
+	}
+}
+
+func TestLookupZeroLength(t *testing.T) {
+	var m Map
+	m.Insert(0, 10, 0)
+	hits, misses := collect(&m, 5, 0)
+	if len(hits) != 0 || len(misses) != 0 {
+		t.Fatalf("zero-length lookup produced %v / %v", hits, misses)
+	}
+	m.Insert(5, 0, 0) // no-op
+	if m.Bytes() != 10 {
+		t.Fatal("zero-length insert changed the map")
+	}
+}
+
+func TestCovered(t *testing.T) {
+	var m Map
+	m.Insert(10, 10, 0)
+	m.Insert(40, 10, 0)
+	if got := m.Covered(0, 100); got != 20 {
+		t.Fatalf("Covered=%d want 20", got)
+	}
+	if got := m.Covered(15, 30); got != 10 {
+		t.Fatalf("Covered(15,30)=%d want 10", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	var m Map
+	m.Insert(0, 10, 0)
+	c := m.Clone()
+	c.Insert(100, 10, 0)
+	if m.Len() != 1 || c.Len() != 2 {
+		t.Fatal("clone not independent")
+	}
+}
+
+// refModel is a trivially correct byte-level reference: for every logical
+// byte it records the backing source byte, or -1 for uncovered.
+type refModel map[int64]int64
+
+func (r refModel) insert(off, length, src int64) {
+	for i := int64(0); i < length; i++ {
+		r[off+i] = src + i
+	}
+}
+
+func (r refModel) invalidate(off, length int64) {
+	for i := int64(0); i < length; i++ {
+		delete(r, off+i)
+	}
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	const space = 400
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var m Map
+		ref := refModel{}
+		for op := 0; op < 120; op++ {
+			off := int64(r.Intn(space))
+			length := int64(r.Intn(space/4) + 1)
+			if r.Intn(3) == 0 {
+				m.Invalidate(off, length)
+				ref.invalidate(off, length)
+			} else {
+				src := int64(r.Intn(10000))
+				m.Insert(off, length, src)
+				ref.insert(off, length, src)
+			}
+			if err := m.Validate(); err != nil {
+				t.Logf("invariant violated after op %d: %v", op, err)
+				return false
+			}
+		}
+		// Compare byte-for-byte over the whole space.
+		got := map[int64]int64{}
+		m.Lookup(0, space*2, func(logical, src, n int64) {
+			for i := int64(0); i < n; i++ {
+				got[logical+i] = src + i
+			}
+		}, nil)
+		if len(got) != len(ref) {
+			t.Logf("coverage mismatch: got %d bytes, ref %d", len(got), len(ref))
+			return false
+		}
+		for k, v := range ref {
+			if got[k] != v {
+				t.Logf("byte %d: got src %d, ref %d", k, got[k], v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupPartitionProperty(t *testing.T) {
+	// Lookup must partition any queried range exactly into hits and misses,
+	// in order, with no overlap.
+	f := func(seed int64, offSeed, lenSeed uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		var m Map
+		for i := 0; i < 30; i++ {
+			m.Insert(int64(r.Intn(500)), int64(r.Intn(60)+1), int64(r.Intn(5000)))
+		}
+		off := int64(offSeed % 600)
+		length := int64(lenSeed % 300)
+		cur := off
+		var total int64
+		ok := true
+		m.Lookup(off, length,
+			func(logical, _, n int64) {
+				if logical != cur || n <= 0 {
+					ok = false
+				}
+				cur = logical + n
+				total += n
+			},
+			func(logical, n int64) {
+				if logical != cur || n <= 0 {
+					ok = false
+				}
+				cur = logical + n
+				total += n
+			})
+		return ok && total == length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

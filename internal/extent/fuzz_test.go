@@ -1,0 +1,57 @@
+package extent
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzMapOps drives the overflow table with an arbitrary operation tape and
+// checks the structural invariants after every step. Each operation is
+// seven bytes: opcode, two little-endian uint16 for offset/length, and two
+// bytes of source-offset entropy.
+func FuzzMapOps(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 16, 0, 1, 0})
+	f.Add([]byte{
+		0, 0, 0, 32, 0, 0, 0, // insert [0,32)
+		1, 8, 0, 8, 0, 0, 0, // invalidate [8,16)
+		0, 4, 0, 40, 0, 2, 0, // insert [4,44)
+	})
+
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		var m Map
+		for i := 0; i+7 <= len(tape); i += 7 {
+			op := tape[i]
+			off := int64(binary.LittleEndian.Uint16(tape[i+1:]))
+			length := int64(binary.LittleEndian.Uint16(tape[i+3:]))
+			src := int64(binary.LittleEndian.Uint16(tape[i+5:]))
+			switch op % 3 {
+			case 0:
+				m.Insert(off, length, src)
+			case 1:
+				m.Invalidate(off, length)
+			case 2:
+				// Lookup over an arbitrary range must partition it exactly.
+				var covered int64
+				cur := off
+				m.Lookup(off, length, func(logical, _, n int64) {
+					if logical != cur || n <= 0 {
+						t.Fatal("hit out of order")
+					}
+					cur = logical + n
+					covered += n
+				}, func(logical, n int64) {
+					if logical != cur || n <= 0 {
+						t.Fatal("miss out of order")
+					}
+					cur = logical + n
+				})
+				if covered != m.Covered(off, length) {
+					t.Fatal("Covered disagrees with Lookup")
+				}
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("invariant violated: %v", err)
+			}
+		}
+	})
+}

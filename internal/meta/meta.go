@@ -1,0 +1,165 @@
+// Package meta implements the CSAR manager: the PVFS "mgr" process that
+// owns file metadata — names, stripe layouts, redundancy schemes and
+// logical sizes — and hands clients the layout they need to talk to the
+// I/O servers directly. The manager is never on the data path.
+package meta
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"csar/internal/raid"
+	"csar/internal/wire"
+)
+
+// Manager is the metadata server. Drive it through Handle (an rpc.Handler).
+type Manager struct {
+	serverCount int
+	serverAddrs []string
+	persistPath string // optional metadata snapshot file
+
+	mu     sync.Mutex
+	nextID uint64
+	byName map[string]*fileMeta
+	byID   map[uint64]*fileMeta
+}
+
+type fileMeta struct {
+	name string
+	ref  wire.FileRef
+	size int64
+}
+
+// New creates a manager for a cluster of serverCount I/O servers.
+// serverAddrs optionally carries the servers' dialable addresses (TCP
+// deployments); it may be nil for in-process clusters.
+func New(serverCount int, serverAddrs []string) *Manager {
+	return &Manager{
+		serverCount: serverCount,
+		serverAddrs: serverAddrs,
+		nextID:      1,
+		byName:      make(map[string]*fileMeta),
+		byID:        make(map[uint64]*fileMeta),
+	}
+}
+
+// Handle dispatches one request. It satisfies rpc.Handler.
+func (m *Manager) Handle(req wire.Msg) (wire.Msg, error) {
+	switch r := req.(type) {
+	case *wire.Ping:
+		return &wire.OK{}, nil
+	case *wire.Create:
+		return m.create(r)
+	case *wire.Open:
+		return m.open(r.Name)
+	case *wire.SetSize:
+		return m.setSize(r)
+	case *wire.Remove:
+		return m.remove(r.Name)
+	case *wire.List:
+		return m.list()
+	case *wire.ServerList:
+		return &wire.ServerListResp{Addrs: append([]string(nil), m.serverAddrs...)}, nil
+	default:
+		return nil, fmt.Errorf("meta: unsupported request %T", req)
+	}
+}
+
+func (m *Manager) create(r *wire.Create) (wire.Msg, error) {
+	g := raid.Geometry{Servers: int(r.Servers), StripeUnit: int64(r.StripeUnit)}
+	if r.Scheme.UsesParity() {
+		if err := g.ValidateParity(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if r.Scheme == wire.Raid1 && g.Servers < 2 {
+		return nil, fmt.Errorf("meta: raid1 needs at least 2 servers, got %d", g.Servers)
+	}
+	if g.Servers > m.serverCount {
+		return nil, fmt.Errorf("meta: layout wants %d servers, cluster has %d", g.Servers, m.serverCount)
+	}
+	if r.Name == "" {
+		return nil, fmt.Errorf("meta: empty file name")
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.byName[r.Name]; exists {
+		return nil, fmt.Errorf("meta: file %q already exists", r.Name)
+	}
+	fm := &fileMeta{
+		name: r.Name,
+		ref: wire.FileRef{
+			ID:         m.nextID,
+			Servers:    r.Servers,
+			StripeUnit: r.StripeUnit,
+			Scheme:     r.Scheme,
+		},
+	}
+	m.nextID++
+	m.byName[r.Name] = fm
+	m.byID[fm.ref.ID] = fm
+	if err := m.save(); err != nil {
+		delete(m.byName, r.Name)
+		delete(m.byID, fm.ref.ID)
+		return nil, fmt.Errorf("meta: persisting create: %w", err)
+	}
+	return &wire.CreateResp{Ref: fm.ref}, nil
+}
+
+func (m *Manager) open(name string) (wire.Msg, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fm := m.byName[name]
+	if fm == nil {
+		return nil, fmt.Errorf("meta: no such file %q", name)
+	}
+	return &wire.OpenResp{Ref: fm.ref, Size: fm.size}, nil
+}
+
+func (m *Manager) setSize(r *wire.SetSize) (wire.Msg, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fm := m.byID[r.ID]
+	if fm == nil {
+		return nil, fmt.Errorf("meta: no such file id %d", r.ID)
+	}
+	if r.Size > fm.size {
+		fm.size = r.Size
+		if err := m.save(); err != nil {
+			return nil, fmt.Errorf("meta: persisting size: %w", err)
+		}
+	}
+	return &wire.OK{}, nil
+}
+
+func (m *Manager) remove(name string) (wire.Msg, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fm := m.byName[name]
+	if fm == nil {
+		return nil, fmt.Errorf("meta: no such file %q", name)
+	}
+	delete(m.byName, name)
+	delete(m.byID, fm.ref.ID)
+	if err := m.save(); err != nil {
+		return nil, fmt.Errorf("meta: persisting remove: %w", err)
+	}
+	return &wire.OK{}, nil
+}
+
+func (m *Manager) list() (wire.Msg, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.byName))
+	for n := range m.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return &wire.ListResp{Names: names}, nil
+}

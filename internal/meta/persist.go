@@ -1,0 +1,99 @@
+package meta
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"csar/internal/wire"
+)
+
+// snapshot is the on-disk metadata format (JSON for inspectability).
+type snapshot struct {
+	NextID uint64         `json:"next_id"`
+	Files  []snapshotFile `json:"files"`
+}
+
+type snapshotFile struct {
+	Name       string `json:"name"`
+	ID         uint64 `json:"id"`
+	Servers    uint16 `json:"servers"`
+	StripeUnit uint32 `json:"stripe_unit"`
+	Scheme     uint8  `json:"scheme"`
+	Size       int64  `json:"size"`
+}
+
+// NewPersistent creates a manager whose metadata survives restarts: state
+// is loaded from path if it exists and re-written (atomically, via a temp
+// file and rename) after every metadata mutation. PVFS's mgr keeps its
+// metadata in files the same way.
+func NewPersistent(serverCount int, serverAddrs []string, path string) (*Manager, error) {
+	m := New(serverCount, serverAddrs)
+	m.persistPath = path
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return m, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("meta: reading snapshot: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("meta: corrupt snapshot %s: %w", path, err)
+	}
+	m.nextID = snap.NextID
+	if m.nextID == 0 {
+		m.nextID = 1
+	}
+	for _, sf := range snap.Files {
+		fm := &fileMeta{
+			name: sf.Name,
+			ref: wire.FileRef{
+				ID:         sf.ID,
+				Servers:    sf.Servers,
+				StripeUnit: sf.StripeUnit,
+				Scheme:     wire.Scheme(sf.Scheme),
+			},
+			size: sf.Size,
+		}
+		m.byName[fm.name] = fm
+		m.byID[fm.ref.ID] = fm
+	}
+	return m, nil
+}
+
+// save writes the snapshot atomically. Caller holds m.mu.
+func (m *Manager) save() error {
+	if m.persistPath == "" {
+		return nil
+	}
+	snap := snapshot{NextID: m.nextID}
+	for _, fm := range m.byName {
+		snap.Files = append(snap.Files, snapshotFile{
+			Name:       fm.name,
+			ID:         fm.ref.ID,
+			Servers:    fm.ref.Servers,
+			StripeUnit: fm.ref.StripeUnit,
+			Scheme:     uint8(fm.ref.Scheme),
+			Size:       fm.size,
+		})
+	}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := m.persistPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, m.persistPath); err != nil {
+		return err
+	}
+	// Durability of the rename itself.
+	if dir, err := os.Open(filepath.Dir(m.persistPath)); err == nil {
+		dir.Sync() //nolint:errcheck
+		dir.Close()
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+// Package mpio is a miniature MPI-IO: SPMD ranks running as goroutines,
+// barriers, and ROMIO-style collective buffered I/O.
+//
+// The paper's application benchmarks (BTIO, FLASH I/O, Cactus BenchIO)
+// reach PVFS through ROMIO, whose two-phase collective buffering merges
+// each rank's small, non-contiguous accesses into a few large contiguous
+// requests — "as a result, for the BTIO benchmark, the PVFS layer sees
+// large writes, most of which are about 4 MB in size" (Section 6.5). This
+// package reproduces that transformation so the workload generators can
+// emit the *application's* access pattern and the file system still sees
+// the request stream the paper measured.
+package mpio
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"csar/internal/client"
+)
+
+// DefaultCBBuffer is ROMIO's default collective-buffer size (4 MiB), which
+// is also the dominant request size the paper reports at the PVFS layer.
+const DefaultCBBuffer = 4 << 20
+
+// Comm is a communicator of Size ranks.
+type Comm struct {
+	size     int
+	cbBuffer int64
+
+	barrier *barrier
+
+	mu    sync.Mutex
+	slots [][]Req // per-rank contributed requests
+	plan  []chunk // merged plan, computed once per collective
+	errs  []error // per-rank collective errors
+}
+
+// Req is one rank's I/O request: Data is written at Off (collective write)
+// or filled from Off (collective read).
+type Req struct {
+	Off  int64
+	Data []byte
+}
+
+// Rank is one process of the SPMD program.
+type Rank struct {
+	comm *Comm
+	id   int
+}
+
+// Run executes fn on size ranks concurrently and returns the joined errors.
+func Run(size int, fn func(r *Rank) error) error {
+	c, err := NewComm(size)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for i := 0; i < size; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(&Rank{comm: c, id: i})
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// NewComm creates a communicator for explicit rank management.
+func NewComm(size int) (*Comm, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpio: communicator size %d", size)
+	}
+	return &Comm{
+		size:     size,
+		cbBuffer: DefaultCBBuffer,
+		barrier:  newBarrier(size),
+		slots:    make([][]Req, size),
+		errs:     make([]error, size),
+	}, nil
+}
+
+// SetCollectiveBuffer overrides the collective buffer (chunk) size; call
+// before any collective operation.
+func (c *Comm) SetCollectiveBuffer(n int64) {
+	if n > 0 {
+		c.cbBuffer = n
+	}
+}
+
+// Rank returns rank i of the communicator (for use outside Run).
+func (c *Comm) Rank(i int) *Rank { return &Rank{comm: c, id: i} }
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.comm.size }
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier() { r.comm.barrier.await() }
+
+// chunk is one aggregated contiguous request, owned by one aggregator rank.
+type chunk struct {
+	off        int64
+	length     int64
+	aggregator int
+	copies     []copyOp
+}
+
+// copyOp moves bytes between a rank's request buffer and a chunk buffer.
+type copyOp struct {
+	rank, req int   // source/destination request
+	reqOff    int64 // offset within the request's Data
+	chunkOff  int64 // offset within the chunk
+	n         int64
+}
+
+// CollectiveWrite performs a two-phase collective write: all ranks'
+// requests are merged into contiguous chunks of at most the collective
+// buffer size, each chunk is assembled by one aggregator rank and written
+// with that rank's file handle. Every rank must call it (with possibly
+// empty reqs); it returns each rank's view of the collective's error.
+func (r *Rank) CollectiveWrite(f *client.File, reqs []Req) error {
+	c := r.comm
+	c.mu.Lock()
+	c.slots[r.id] = reqs
+	c.mu.Unlock()
+	r.Barrier()
+
+	if r.id == 0 {
+		c.plan = c.buildPlan()
+		for i := range c.errs {
+			c.errs[i] = nil
+		}
+	}
+	r.Barrier()
+
+	// Phase 2: each aggregator assembles and writes its chunks.
+	var myErr error
+	for _, ch := range c.plan {
+		if ch.aggregator != r.id {
+			continue
+		}
+		buf := make([]byte, ch.length)
+		for _, cp := range ch.copies {
+			src := c.slots[cp.rank][cp.req].Data
+			copy(buf[cp.chunkOff:cp.chunkOff+cp.n], src[cp.reqOff:cp.reqOff+cp.n])
+		}
+		if _, err := f.WriteAt(buf, ch.off); err != nil {
+			myErr = err
+			break
+		}
+	}
+	c.mu.Lock()
+	c.errs[r.id] = myErr
+	c.mu.Unlock()
+	r.Barrier()
+
+	err := errors.Join(c.errs...)
+	r.Barrier() // everyone has read errs before the next collective reuses them
+	return err
+}
+
+// CollectiveRead is the reverse: aggregators read merged chunks and scatter
+// the bytes into every rank's request buffers.
+func (r *Rank) CollectiveRead(f *client.File, reqs []Req) error {
+	c := r.comm
+	c.mu.Lock()
+	c.slots[r.id] = reqs
+	c.mu.Unlock()
+	r.Barrier()
+
+	if r.id == 0 {
+		c.plan = c.buildPlan()
+		for i := range c.errs {
+			c.errs[i] = nil
+		}
+	}
+	r.Barrier()
+
+	var myErr error
+	for _, ch := range c.plan {
+		if ch.aggregator != r.id {
+			continue
+		}
+		buf := make([]byte, ch.length)
+		if _, err := f.ReadAt(buf, ch.off); err != nil {
+			myErr = err
+			break
+		}
+		c.mu.Lock()
+		for _, cp := range ch.copies {
+			dst := c.slots[cp.rank][cp.req].Data
+			copy(dst[cp.reqOff:cp.reqOff+cp.n], buf[cp.chunkOff:cp.chunkOff+cp.n])
+		}
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	c.errs[r.id] = myErr
+	c.mu.Unlock()
+	r.Barrier()
+
+	err := errors.Join(c.errs...)
+	r.Barrier()
+	return err
+}
+
+// buildPlan merges all contributed requests into contiguous extents, splits
+// them into collective-buffer-sized chunks, and assigns aggregators
+// round-robin. Called by rank 0 between barriers; c.slots is stable.
+func (c *Comm) buildPlan() []chunk {
+	type piece struct {
+		off, n    int64
+		rank, req int
+		reqOff    int64
+	}
+	var pieces []piece
+	for rank, reqs := range c.slots {
+		for ri, rq := range reqs {
+			if len(rq.Data) > 0 {
+				pieces = append(pieces, piece{rq.Off, int64(len(rq.Data)), rank, ri, 0})
+			}
+		}
+	}
+	if len(pieces) == 0 {
+		return nil
+	}
+	sort.Slice(pieces, func(i, j int) bool {
+		if pieces[i].off != pieces[j].off {
+			return pieces[i].off < pieces[j].off
+		}
+		return pieces[i].rank < pieces[j].rank
+	})
+
+	// Group pieces into contiguous extents (no gaps inside an extent).
+	var chunks []chunk
+	agg := 0
+	flush := func(start, end int64, group []piece) {
+		// ROMIO divides each contiguous extent into per-aggregator file
+		// domains of extent/naggs bytes, then each aggregator streams its
+		// domain in collective-buffer-sized pieces. With many ranks the
+		// effective request size shrinks accordingly — which is why the
+		// paper sees more (and more contended) partial-stripe writes as
+		// the BTIO process count grows.
+		step := (end - start + int64(c.size) - 1) / int64(c.size)
+		if step > c.cbBuffer {
+			step = c.cbBuffer
+		}
+		if floor := min64(64<<10, c.cbBuffer); step < floor {
+			step = floor
+		}
+		for cur := start; cur < end; cur += step {
+			cEnd := cur + step
+			if cEnd > end {
+				cEnd = end
+			}
+			ch := chunk{off: cur, length: cEnd - cur, aggregator: agg % c.size}
+			agg++
+			for _, p := range group {
+				lo, hi := p.off, p.off+p.n
+				if lo < cur {
+					lo = cur
+				}
+				if hi > cEnd {
+					hi = cEnd
+				}
+				if lo >= hi {
+					continue
+				}
+				ch.copies = append(ch.copies, copyOp{
+					rank:     p.rank,
+					req:      p.req,
+					reqOff:   lo - p.off,
+					chunkOff: lo - cur,
+					n:        hi - lo,
+				})
+			}
+			chunks = append(chunks, ch)
+		}
+	}
+
+	start := pieces[0].off
+	end := pieces[0].off + pieces[0].n
+	group := []piece{pieces[0]}
+	for _, p := range pieces[1:] {
+		if p.off <= end { // contiguous or overlapping: extend the extent
+			group = append(group, p)
+			if p.off+p.n > end {
+				end = p.off + p.n
+			}
+			continue
+		}
+		flush(start, end, group)
+		start, end = p.off, p.off+p.n
+		group = []piece{p}
+	}
+	flush(start, end, group)
+	return chunks
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   int
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}

@@ -1,0 +1,283 @@
+package mpio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"csar/internal/cluster"
+	"csar/internal/wire"
+)
+
+func testCluster(t *testing.T, n int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.DefaultConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestRunAndBarrier(t *testing.T) {
+	var entered, after atomic.Int32
+	err := Run(8, func(r *Rank) error {
+		entered.Add(1)
+		r.Barrier()
+		// After the barrier every rank must have entered.
+		if entered.Load() != 8 {
+			return errors.New("barrier let a rank through early")
+		}
+		after.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Load() != 8 {
+		t.Fatalf("after=%d", after.Load())
+	}
+}
+
+func TestRunJoinsErrors(t *testing.T) {
+	err := Run(4, func(r *Rank) error {
+		if r.ID() == 2 {
+			return errors.New("rank two failed")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "rank two failed" {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestReusableBarrier(t *testing.T) {
+	var phase atomic.Int32
+	err := Run(5, func(r *Rank) error {
+		for i := 0; i < 20; i++ {
+			r.Barrier()
+			if r.ID() == 0 {
+				phase.Add(1)
+			}
+			r.Barrier()
+			if got := phase.Load(); got != int32(i+1) {
+				return fmt.Errorf("iteration %d saw phase %d", i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveWritePerfPattern(t *testing.T) {
+	// The ROMIO perf pattern: rank i writes 64 KiB at i*64Ki.
+	c := testCluster(t, 4)
+	setup := c.NewClient()
+	if _, err := setup.Create("perf", 4, 4096, wire.Hybrid); err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 64 << 10
+	err := Run(5, func(r *Rank) error {
+		cl := c.NewClient()
+		f, err := cl.Open("perf")
+		if err != nil {
+			return err
+		}
+		data := make([]byte, chunk)
+		for i := range data {
+			data[i] = byte(r.ID() + 1)
+		}
+		return r.CollectiveWrite(f, []Req{{Off: int64(r.ID()) * chunk, Data: data}})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := setup.Open("perf")
+	got := make([]byte, 5*chunk)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 5; rank++ {
+		for i := 0; i < chunk; i++ {
+			if got[rank*chunk+i] != byte(rank+1) {
+				t.Fatalf("rank %d byte %d = %d", rank, i, got[rank*chunk+i])
+			}
+		}
+	}
+}
+
+func TestCollectiveWriteMergesSmallPieces(t *testing.T) {
+	// Each rank writes many small interleaved pieces; collective buffering
+	// must merge them into a handful of large chunks, and the data must be
+	// exactly right.
+	c := testCluster(t, 4)
+	setup := c.NewClient()
+	if _, err := setup.Create("bt", 4, 1024, wire.Raid5); err != nil {
+		t.Fatal(err)
+	}
+	const ranks = 4
+	const pieces = 32
+	const pieceLen = 512
+	total := ranks * pieces * pieceLen
+	ref := make([]byte, total)
+
+	err := Run(ranks, func(r *Rank) error {
+		cl := c.NewClient()
+		f, err := cl.Open("bt")
+		if err != nil {
+			return err
+		}
+		var reqs []Req
+		for p := 0; p < pieces; p++ {
+			// Round-robin interleaving: piece p of rank r at (p*ranks+r).
+			off := int64((p*ranks + r.ID()) * pieceLen)
+			data := make([]byte, pieceLen)
+			for i := range data {
+				data[i] = byte(int(off) + i)
+			}
+			copy(ref[off:], data)
+			reqs = append(reqs, Req{Off: off, Data: data})
+		}
+		return r.CollectiveWrite(f, reqs)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := setup.Open("bt")
+	got := make([]byte, total)
+	f.ReadAt(got, 0)
+	if !bytes.Equal(got, ref) {
+		t.Fatal("collective write produced wrong contents")
+	}
+}
+
+func TestCollectiveRead(t *testing.T) {
+	c := testCluster(t, 4)
+	setup := c.NewClient()
+	f, err := setup.Create("rd", 4, 1024, wire.Raid1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 1 << 16
+	ref := make([]byte, total)
+	rand.New(rand.NewSource(1)).Read(ref)
+	f.WriteAt(ref, 0)
+
+	const ranks = 4
+	per := total / ranks
+	err = Run(ranks, func(r *Rank) error {
+		cl := c.NewClient()
+		fr, err := cl.Open("rd")
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, per)
+		if err := r.CollectiveRead(fr, []Req{{Off: int64(r.ID() * per), Data: buf}}); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, ref[r.ID()*per:(r.ID()+1)*per]) {
+			return fmt.Errorf("rank %d read wrong data", r.ID())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveWriteEmptyRanks(t *testing.T) {
+	// Ranks with no data still participate in the collective.
+	c := testCluster(t, 3)
+	setup := c.NewClient()
+	if _, err := setup.Create("e", 3, 64, wire.Raid0); err != nil {
+		t.Fatal(err)
+	}
+	err := Run(4, func(r *Rank) error {
+		cl := c.NewClient()
+		f, err := cl.Open("e")
+		if err != nil {
+			return err
+		}
+		var reqs []Req
+		if r.ID() == 2 {
+			reqs = []Req{{Off: 0, Data: []byte("hello")}}
+		}
+		return r.CollectiveWrite(f, reqs)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := setup.Open("e")
+	got := make([]byte, 5)
+	f.ReadAt(got, 0)
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCollectiveWriteErrorPropagatesToAllRanks(t *testing.T) {
+	c := testCluster(t, 3)
+	setup := c.NewClient()
+	if _, err := setup.Create("err", 3, 64, wire.Raid0); err != nil {
+		t.Fatal(err)
+	}
+	c.StopServer(1) // every write will fail server-side
+	var sawErr atomic.Int32
+	Run(3, func(r *Rank) error { //nolint:errcheck
+		cl := c.NewClient()
+		f, err := cl.Open("err")
+		if err != nil {
+			return err
+		}
+		data := make([]byte, 4096)
+		if err := r.CollectiveWrite(f, []Req{{Off: int64(r.ID()) * 4096, Data: data}}); err != nil {
+			sawErr.Add(1)
+		}
+		return nil
+	})
+	if sawErr.Load() != 3 {
+		t.Fatalf("only %d ranks saw the collective error", sawErr.Load())
+	}
+}
+
+func TestChunkingRespectsBufferSize(t *testing.T) {
+	comm, err := NewComm(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm.SetCollectiveBuffer(1000)
+	comm.slots[0] = []Req{{Off: 0, Data: make([]byte, 2500)}}
+	comm.slots[1] = []Req{{Off: 2500, Data: make([]byte, 500)}}
+	comm.slots[2] = []Req{{Off: 5000, Data: make([]byte, 100)}} // gap before it
+	plan := comm.buildPlan()
+	if len(plan) != 4 { // 3000 bytes -> 3 chunks, plus the separate 100
+		t.Fatalf("plan has %d chunks: %+v", len(plan), plan)
+	}
+	var covered int64
+	aggs := map[int]bool{}
+	for _, ch := range plan {
+		if ch.length > 1000 {
+			t.Fatalf("chunk longer than buffer: %d", ch.length)
+		}
+		covered += ch.length
+		aggs[ch.aggregator] = true
+		var copyTotal int64
+		for _, cp := range ch.copies {
+			copyTotal += cp.n
+		}
+		if copyTotal != ch.length {
+			t.Fatalf("chunk at %d not fully covered by copies", ch.off)
+		}
+	}
+	if covered != 3100 {
+		t.Fatalf("plan covers %d bytes", covered)
+	}
+	if len(aggs) < 2 {
+		t.Fatalf("aggregators not distributed: %v", aggs)
+	}
+}

@@ -1,0 +1,189 @@
+// Package raid implements the stripe geometry and parity arithmetic shared
+// by every CSAR redundancy scheme.
+//
+// The data layout is identical to the PVFS layout for all schemes: a file is
+// split into stripe units of StripeUnit bytes; unit b lives on I/O server
+// b mod N at local offset (b/N)*StripeUnit in that server's data file.
+//
+// For RAID5 and Hybrid, a parity stripe groups N-1 consecutive data units.
+// Stripe s covers data units [s*(N-1), (s+1)*(N-1)); those units occupy every
+// server except (N-1-s) mod N, which stores the stripe's parity unit in its
+// redundancy file at local offset (s/N)*StripeUnit.
+//
+// For RAID1, the mirror of data unit b is stored on server (b+1) mod N in
+// that server's redundancy file, at the same local offset as the primary.
+package raid
+
+import "fmt"
+
+// Geometry describes the striping parameters of one file.
+type Geometry struct {
+	// Servers is the number of I/O servers the file is striped over.
+	Servers int
+	// StripeUnit is the size in bytes of one stripe unit (one block).
+	StripeUnit int64
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Servers < 1 {
+		return fmt.Errorf("raid: geometry needs at least 1 server, got %d", g.Servers)
+	}
+	if g.StripeUnit <= 0 {
+		return fmt.Errorf("raid: stripe unit must be positive, got %d", g.StripeUnit)
+	}
+	return nil
+}
+
+// ValidateParity reports whether the geometry supports parity (RAID5/Hybrid),
+// which needs at least three servers so the parity unit of every stripe can
+// be placed on a server holding none of that stripe's data.
+func (g Geometry) ValidateParity() error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if g.Servers < 3 {
+		return fmt.Errorf("raid: parity schemes need at least 3 servers, got %d", g.Servers)
+	}
+	return nil
+}
+
+// DataWidth returns the number of data units in one parity stripe (N-1).
+func (g Geometry) DataWidth() int { return g.Servers - 1 }
+
+// StripeSize returns the number of data bytes covered by one parity stripe.
+func (g Geometry) StripeSize() int64 { return int64(g.DataWidth()) * g.StripeUnit }
+
+// UnitOf returns the index of the stripe unit containing file offset off.
+func (g Geometry) UnitOf(off int64) int64 { return off / g.StripeUnit }
+
+// UnitStart returns the file offset at which stripe unit b begins.
+func (g Geometry) UnitStart(b int64) int64 { return b * g.StripeUnit }
+
+// ServerOf returns the I/O server holding data unit b.
+func (g Geometry) ServerOf(b int64) int { return int(b % int64(g.Servers)) }
+
+// LocalOffset returns the offset of data unit b within its server's data file.
+func (g Geometry) LocalOffset(b int64) int64 { return (b / int64(g.Servers)) * g.StripeUnit }
+
+// MirrorServerOf returns the server holding the RAID1 mirror of data unit b.
+func (g Geometry) MirrorServerOf(b int64) int { return int((b + 1) % int64(g.Servers)) }
+
+// ToLocal translates a logical file range into the local data-file range on
+// server srv, calling fn once per contiguous local piece with the logical
+// start, local start and length of the piece. Only pieces stored on srv are
+// visited, in increasing offset order.
+func (g Geometry) ToLocal(srv int, off, length int64, fn func(logical, local, n int64)) {
+	end := off + length
+	for cur := off; cur < end; {
+		b := g.UnitOf(cur)
+		unitEnd := g.UnitStart(b + 1)
+		pieceEnd := min(unitEnd, end)
+		if g.ServerOf(b) == srv {
+			local := g.LocalOffset(b) + (cur - g.UnitStart(b))
+			fn(cur, local, pieceEnd-cur)
+		}
+		cur = pieceEnd
+	}
+}
+
+// ToMirrorLocal translates a logical file range into the RAID1 mirror-file
+// range on server srv: it visits every contiguous piece whose *mirror* lives
+// on srv, with the piece's logical start, its offset in srv's mirror file
+// (identical to the primary's data-file offset), and its length.
+func (g Geometry) ToMirrorLocal(srv int, off, length int64, fn func(logical, local, n int64)) {
+	end := off + length
+	for cur := off; cur < end; {
+		b := g.UnitOf(cur)
+		unitEnd := g.UnitStart(b + 1)
+		pieceEnd := min(unitEnd, end)
+		if g.MirrorServerOf(b) == srv {
+			local := g.LocalOffset(b) + (cur - g.UnitStart(b))
+			fn(cur, local, pieceEnd-cur)
+		}
+		cur = pieceEnd
+	}
+}
+
+// LocalToLogical translates a local data-file offset on server srv back to
+// the logical file offset it stores.
+func (g Geometry) LocalToLogical(srv int, local int64) int64 {
+	unit := local / g.StripeUnit
+	within := local % g.StripeUnit
+	b := unit*int64(g.Servers) + int64(srv)
+	return g.UnitStart(b) + within
+}
+
+// StripeOf returns the parity stripe index containing file offset off.
+func (g Geometry) StripeOf(off int64) int64 { return off / g.StripeSize() }
+
+// StripeStart returns the file offset at which parity stripe s begins.
+func (g Geometry) StripeStart(s int64) int64 { return s * g.StripeSize() }
+
+// ParityServerOf returns the server storing the parity unit of stripe s.
+// It is the unique server holding none of stripe s's data units.
+func (g Geometry) ParityServerOf(s int64) int {
+	n := int64(g.Servers)
+	return int(((n - 1 - s%n) + n) % n)
+}
+
+// ParityLocalOffset returns the offset of stripe s's parity unit within the
+// redundancy file of its parity server. Each server owns the parity of one
+// stripe out of every N consecutive stripes.
+func (g Geometry) ParityLocalOffset(s int64) int64 {
+	return (s / int64(g.Servers)) * g.StripeUnit
+}
+
+// DataUnitsOf returns the first data unit of stripe s and the number of data
+// units in the stripe.
+func (g Geometry) DataUnitsOf(s int64) (first int64, count int) {
+	return s * int64(g.DataWidth()), g.DataWidth()
+}
+
+// Span describes a byte range [Off, Off+Len) of the logical file.
+type Span struct {
+	Off int64
+	Len int64
+}
+
+// End returns the exclusive end offset of the span.
+func (s Span) End() int64 { return s.Off + s.Len }
+
+// Empty reports whether the span covers no bytes.
+func (s Span) Empty() bool { return s.Len <= 0 }
+
+// Decompose splits the write [off, off+length) into the three portions of
+// the Hybrid rule: a leading partial-stripe span, a body covering an
+// integral number of full stripes, and a trailing partial-stripe span.
+// Any of the three may be empty. head.Off == off always holds when the
+// write is non-empty, and head, body, tail are contiguous.
+func (g Geometry) Decompose(off, length int64) (head, body, tail Span) {
+	if length <= 0 {
+		return Span{Off: off}, Span{Off: off}, Span{Off: off}
+	}
+	ss := g.StripeSize()
+	end := off + length
+
+	bodyStart := off
+	if r := off % ss; r != 0 {
+		bodyStart = off - r + ss
+	}
+	bodyEnd := end - end%ss
+	if bodyEnd <= bodyStart {
+		// No full stripe inside the write. If the write lies within a single
+		// stripe it is all head; otherwise it straddles one boundary and
+		// splits into head + tail.
+		if g.StripeOf(off) == g.StripeOf(end-1) {
+			return Span{off, length}, Span{Off: end}, Span{Off: end}
+		}
+		return Span{off, bodyStart - off}, Span{Off: bodyStart}, Span{bodyStart, end - bodyStart}
+	}
+	return Span{off, bodyStart - off}, Span{bodyStart, bodyEnd - bodyStart}, Span{bodyEnd, end - bodyEnd}
+}
+
+func min(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

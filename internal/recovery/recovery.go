@@ -1,0 +1,336 @@
+// Package recovery implements the consumer of CSAR's redundancy: verifying
+// that a file's redundant data is consistent, and rebuilding a failed
+// server's stores from the survivors. Tolerating a single disk failure is
+// the paper's stated long-term objective for CSAR; this package is the code
+// path that objective pays for.
+//
+// Rebuild reconstructs, onto a blank replacement server:
+//
+//   - its data file, from the RAID1 mirror (next server) or from each
+//     stripe's surviving units XOR parity;
+//   - its mirror file (RAID1), by re-reading the previous server's units;
+//   - its parity file (RAID5/Hybrid), by recomputing each owned stripe;
+//   - its overflow region and table (Hybrid), from the overflow mirror on
+//     the next server, and its overflow-mirror region from the previous
+//     server's primary overflow.
+//
+// Note the Hybrid invariant that makes this work: the in-place data a
+// stripe's parity covers is never updated by a partial-stripe write — new
+// bytes go to the overflow region — so parity reconstruction always yields
+// the old in-place data, and the overflow mirror then carries the newer
+// bytes (Section 4: "the blocks cannot be updated in place because the old
+// blocks are needed to reconstruct the data in the stripe").
+package recovery
+
+import (
+	"bytes"
+	"fmt"
+
+	"csar/internal/client"
+	"csar/internal/raid"
+	"csar/internal/wire"
+)
+
+// Rebuild reconstructs server dead's stores for file f onto the replacement
+// server now occupying the same slot. The caller must have already replaced
+// the failed server with a blank one (and must not mark it up for normal
+// use until Rebuild returns).
+func Rebuild(c *client.Client, f *client.File, dead int) error {
+	g := f.Geometry()
+	ref := f.Ref()
+	if dead < 0 || dead >= g.Servers {
+		return fmt.Errorf("recovery: server %d out of range", dead)
+	}
+	size := f.Size()
+	if size == 0 {
+		return nil
+	}
+
+	switch ref.Scheme {
+	case wire.Raid0:
+		return fmt.Errorf("recovery: %w", client.ErrNoRedundancy)
+	case wire.Raid1:
+		if err := rebuildDataFromMirror(c, f, dead, size); err != nil {
+			return err
+		}
+		return rebuildMirror(c, f, dead, size)
+	case wire.Raid5, wire.Raid5NoLock, wire.Raid5NPC:
+		if err := rebuildDataFromParity(c, f, dead, size); err != nil {
+			return err
+		}
+		return rebuildParity(c, f, dead, size)
+	case wire.Hybrid:
+		if err := rebuildDataFromParity(c, f, dead, size); err != nil {
+			return err
+		}
+		if err := rebuildParity(c, f, dead, size); err != nil {
+			return err
+		}
+		return rebuildOverflow(c, f, dead)
+	default:
+		return fmt.Errorf("recovery: unsupported scheme %v", ref.Scheme)
+	}
+}
+
+// unitsOwnedBy visits every stripe unit owned by srv that intersects
+// [0, size).
+func unitsOwnedBy(g raid.Geometry, srv int, size int64, fn func(unit int64) error) error {
+	lastUnit := g.UnitOf(size - 1)
+	for b := int64(srv); b <= lastUnit; b += int64(g.Servers) {
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuildDataFromMirror restores a RAID1 data file from the mirror copies
+// on the next server.
+func rebuildDataFromMirror(c *client.Client, f *client.File, dead int, size int64) error {
+	g := f.Geometry()
+	ref := f.Ref()
+	mirrorSrv := (dead + 1) % g.Servers
+	return unitsOwnedBy(g, dead, size, func(b int64) error {
+		span := wire.Span{Off: g.UnitStart(b), Len: g.StripeUnit}
+		resp, err := c.ServerCaller(mirrorSrv).Call(&wire.ReadMirror{File: ref, Spans: []wire.Span{span}})
+		if err != nil {
+			return err
+		}
+		data := resp.(*wire.ReadResp).Data
+		if int64(len(data)) != span.Len {
+			return fmt.Errorf("recovery: short mirror read for unit %d", b)
+		}
+		_, err = c.ServerCaller(dead).Call(&wire.WriteData{File: ref, Spans: []wire.Span{span}, Data: data})
+		return err
+	})
+}
+
+// rebuildMirror restores the mirror file on the dead server: it holds the
+// mirror copies of the previous server's units, re-read from their primary.
+func rebuildMirror(c *client.Client, f *client.File, dead int, size int64) error {
+	g := f.Geometry()
+	ref := f.Ref()
+	prev := (dead - 1 + g.Servers) % g.Servers
+	return unitsOwnedBy(g, prev, size, func(b int64) error {
+		span := wire.Span{Off: g.UnitStart(b), Len: g.StripeUnit}
+		resp, err := c.ServerCaller(prev).Call(&wire.Read{File: ref, Spans: []wire.Span{span}, Raw: true})
+		if err != nil {
+			return err
+		}
+		data := resp.(*wire.ReadResp).Data
+		_, err = c.ServerCaller(dead).Call(&wire.WriteMirror{File: ref, Spans: []wire.Span{span}, Data: data})
+		return err
+	})
+}
+
+// readUnitRaw reads one whole unit's in-place contents from its server.
+func readUnitRaw(c *client.Client, ref wire.FileRef, g raid.Geometry, b int64) ([]byte, error) {
+	span := wire.Span{Off: g.UnitStart(b), Len: g.StripeUnit}
+	resp, err := c.ServerCaller(g.ServerOf(b)).Call(&wire.Read{File: ref, Spans: []wire.Span{span}, Raw: true})
+	if err != nil {
+		return nil, err
+	}
+	data := resp.(*wire.ReadResp).Data
+	if int64(len(data)) != g.StripeUnit {
+		return nil, fmt.Errorf("recovery: short unit read (unit %d)", b)
+	}
+	return data, nil
+}
+
+// rebuildDataFromParity restores a data file from each affected stripe's
+// surviving units and parity.
+func rebuildDataFromParity(c *client.Client, f *client.File, dead int, size int64) error {
+	g := f.Geometry()
+	ref := f.Ref()
+	return unitsOwnedBy(g, dead, size, func(b int64) error {
+		stripe := b / int64(g.DataWidth())
+		first, count := g.DataUnitsOf(stripe)
+		acc := make([]byte, g.StripeUnit)
+
+		presp, err := c.ServerCaller(g.ParityServerOf(stripe)).Call(
+			&wire.ReadParity{File: ref, Stripes: []int64{stripe}})
+		if err != nil {
+			return err
+		}
+		copy(acc, presp.(*wire.ReadResp).Data)
+
+		for j := 0; j < count; j++ {
+			u := first + int64(j)
+			if u == b {
+				continue
+			}
+			data, err := readUnitRaw(c, ref, g, u)
+			if err != nil {
+				return err
+			}
+			raid.XORInto(acc, data)
+		}
+		span := wire.Span{Off: g.UnitStart(b), Len: g.StripeUnit}
+		_, err = c.ServerCaller(dead).Call(&wire.WriteData{File: ref, Spans: []wire.Span{span}, Data: acc})
+		return err
+	})
+}
+
+// rebuildParity recomputes every parity unit owned by the dead server.
+func rebuildParity(c *client.Client, f *client.File, dead int, size int64) error {
+	g := f.Geometry()
+	ref := f.Ref()
+	lastStripe := g.StripeOf(size - 1)
+	for s := int64(0); s <= lastStripe; s++ {
+		if g.ParityServerOf(s) != dead {
+			continue
+		}
+		first, count := g.DataUnitsOf(s)
+		acc := make([]byte, g.StripeUnit)
+		for j := 0; j < count; j++ {
+			data, err := readUnitRaw(c, ref, g, first+int64(j))
+			if err != nil {
+				return err
+			}
+			raid.XORInto(acc, data)
+		}
+		if _, err := c.ServerCaller(dead).Call(&wire.WriteParity{
+			File: ref, Stripes: []int64{s}, Data: acc,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuildOverflow restores the dead server's overflow region (from its
+// mirror on the next server) and its overflow-mirror region (from the
+// previous server's primary overflow).
+func rebuildOverflow(c *client.Client, f *client.File, dead int) error {
+	g := f.Geometry()
+	ref := f.Ref()
+	next := (dead + 1) % g.Servers
+	prev := (dead - 1 + g.Servers) % g.Servers
+
+	// Primary overflow <- mirror copy held by the next server.
+	resp, err := c.ServerCaller(next).Call(&wire.OverflowDump{File: ref, Mirror: true})
+	if err != nil {
+		return err
+	}
+	dump := resp.(*wire.OverflowDumpResp)
+	if len(dump.Extents) > 0 {
+		if _, err := c.ServerCaller(dead).Call(&wire.WriteOverflow{
+			File: ref, Extents: dump.Extents, Data: dump.Data,
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Overflow mirror <- previous server's primary overflow.
+	resp, err = c.ServerCaller(prev).Call(&wire.OverflowDump{File: ref})
+	if err != nil {
+		return err
+	}
+	dump = resp.(*wire.OverflowDumpResp)
+	if len(dump.Extents) > 0 {
+		if _, err := c.ServerCaller(dead).Call(&wire.WriteOverflow{
+			File: ref, Extents: dump.Extents, Data: dump.Data, Mirror: true,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify checks a file's redundancy invariants and returns a description of
+// every violation found (empty means consistent). It is the fsck of CSAR.
+func Verify(c *client.Client, f *client.File) ([]string, error) {
+	g := f.Geometry()
+	ref := f.Ref()
+	size := f.Size()
+	var problems []string
+	if size == 0 {
+		return nil, nil
+	}
+
+	switch {
+	case ref.Scheme == wire.Raid1:
+		lastUnit := g.UnitOf(size - 1)
+		for b := int64(0); b <= lastUnit; b++ {
+			span := wire.Span{Off: g.UnitStart(b), Len: g.StripeUnit}
+			prim, err := c.ServerCaller(g.ServerOf(b)).Call(&wire.Read{File: ref, Spans: []wire.Span{span}, Raw: true})
+			if err != nil {
+				return nil, err
+			}
+			mir, err := c.ServerCaller(g.MirrorServerOf(b)).Call(&wire.ReadMirror{File: ref, Spans: []wire.Span{span}})
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(prim.(*wire.ReadResp).Data, mir.(*wire.ReadResp).Data) {
+				problems = append(problems, fmt.Sprintf("unit %d: mirror differs from primary", b))
+			}
+		}
+	case ref.Scheme.UsesParity():
+		lastStripe := g.StripeOf(size - 1)
+		for s := int64(0); s <= lastStripe; s++ {
+			first, count := g.DataUnitsOf(s)
+			acc := make([]byte, g.StripeUnit)
+			for j := 0; j < count; j++ {
+				data, err := readUnitRaw(c, ref, g, first+int64(j))
+				if err != nil {
+					return nil, err
+				}
+				raid.XORInto(acc, data)
+			}
+			presp, err := c.ServerCaller(g.ParityServerOf(s)).Call(
+				&wire.ReadParity{File: ref, Stripes: []int64{s}})
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(acc, presp.(*wire.ReadResp).Data) {
+				problems = append(problems, fmt.Sprintf("stripe %d: parity does not match data", s))
+			}
+		}
+		if ref.Scheme == wire.Hybrid {
+			ovProblems, err := verifyOverflowMirrors(c, f)
+			if err != nil {
+				return nil, err
+			}
+			problems = append(problems, ovProblems...)
+		}
+	}
+	return problems, nil
+}
+
+// verifyOverflowMirrors checks that every server's primary overflow table
+// and contents match the mirror copy on the next server.
+func verifyOverflowMirrors(c *client.Client, f *client.File) ([]string, error) {
+	g := f.Geometry()
+	ref := f.Ref()
+	var problems []string
+	for i := 0; i < g.Servers; i++ {
+		next := (i + 1) % g.Servers
+		presp, err := c.ServerCaller(i).Call(&wire.OverflowDump{File: ref})
+		if err != nil {
+			return nil, err
+		}
+		mresp, err := c.ServerCaller(next).Call(&wire.OverflowDump{File: ref, Mirror: true})
+		if err != nil {
+			return nil, err
+		}
+		p := presp.(*wire.OverflowDumpResp)
+		m := mresp.(*wire.OverflowDumpResp)
+		if len(p.Extents) != len(m.Extents) {
+			problems = append(problems, fmt.Sprintf(
+				"server %d: overflow table has %d extents, mirror on %d has %d",
+				i, len(p.Extents), next, len(m.Extents)))
+			continue
+		}
+		for k := range p.Extents {
+			if p.Extents[k] != m.Extents[k] {
+				problems = append(problems, fmt.Sprintf(
+					"server %d: overflow extent %d differs from mirror", i, k))
+			}
+		}
+		if !bytes.Equal(p.Data, m.Data) {
+			problems = append(problems, fmt.Sprintf(
+				"server %d: overflow contents differ from mirror", i))
+		}
+	}
+	return problems, nil
+}

@@ -1,0 +1,173 @@
+package recovery
+
+import (
+	"errors"
+	"testing"
+
+	"csar/internal/client"
+	"csar/internal/cluster"
+	"csar/internal/wire"
+)
+
+func newCluster(t *testing.T, n int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.DefaultConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func fill(n int, seed byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i)*11 + seed
+	}
+	return p
+}
+
+// corrupt overwrites part of a store on one server, bypassing the client.
+func corrupt(t *testing.T, c *cluster.Cluster, srv int, name string, off int64) {
+	t.Helper()
+	d := c.Server(srv).Disk()
+	found := false
+	for _, fn := range d.FileNames() {
+		if len(fn) >= len(name) && fn[len(fn)-len(name):] == name {
+			f := d.Open(fn)
+			if f.Size() > off {
+				f.WriteAt([]byte{0xDE, 0xAD}, off)
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %q store on server %d reaching offset %d", name, srv, off)
+	}
+}
+
+func TestVerifyDetectsMirrorCorruption(t *testing.T) {
+	c := newCluster(t, 4)
+	cl := c.NewClient()
+	f, err := cl.Create("m", 4, 64, wire.Raid1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt(fill(2000, 1), 0)
+	problems, err := Verify(cl, f)
+	if err != nil || len(problems) != 0 {
+		t.Fatalf("clean file flagged: %v %v", problems, err)
+	}
+	corrupt(t, c, 1, "mirror", 0)
+	problems, err = Verify(cl, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) == 0 {
+		t.Fatal("mirror corruption not detected")
+	}
+}
+
+func TestVerifyDetectsParityCorruption(t *testing.T) {
+	for _, scheme := range []wire.Scheme{wire.Raid5, wire.Hybrid} {
+		c := newCluster(t, 4)
+		cl := c.NewClient()
+		f, err := cl.Create("p", 4, 64, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt(fill(3*64*4, 2), 0) // aligned full stripes
+		corrupt(t, c, 3, "parity", 0)
+		problems, err := Verify(cl, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(problems) == 0 {
+			t.Fatalf("%v: parity corruption not detected", scheme)
+		}
+	}
+}
+
+func TestVerifyDetectsOverflowMirrorDivergence(t *testing.T) {
+	c := newCluster(t, 4)
+	cl := c.NewClient()
+	f, err := cl.Create("h", 4, 64, wire.Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt(fill(30, 3), 10) // partial write -> overflow on server 0, mirror on 1
+	corrupt(t, c, 1, "ovmirror", 12)
+	problems, err := Verify(cl, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) == 0 {
+		t.Fatal("overflow mirror divergence not detected")
+	}
+}
+
+func TestVerifyEmptyFile(t *testing.T) {
+	c := newCluster(t, 4)
+	cl := c.NewClient()
+	f, err := cl.Create("e", 4, 64, wire.Raid5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems, err := Verify(cl, f)
+	if err != nil || len(problems) != 0 {
+		t.Fatalf("empty file: %v %v", problems, err)
+	}
+	if err := Rebuild(cl, f, 1); err != nil {
+		t.Fatalf("rebuild of empty file: %v", err)
+	}
+}
+
+func TestRebuildErrors(t *testing.T) {
+	c := newCluster(t, 4)
+	cl := c.NewClient()
+	f, err := cl.Create("r0", 4, 64, wire.Raid0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt(fill(1000, 4), 0)
+	if err := Rebuild(cl, f, 1); !errors.Is(err, client.ErrNoRedundancy) {
+		t.Fatalf("raid0 rebuild err = %v", err)
+	}
+	f5, err := cl.Create("r5", 4, 64, wire.Raid5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5.WriteAt(fill(1000, 4), 0)
+	if err := Rebuild(cl, f5, -1); err == nil {
+		t.Fatal("negative server index accepted")
+	}
+	if err := Rebuild(cl, f5, 9); err == nil {
+		t.Fatal("out-of-range server index accepted")
+	}
+}
+
+// TestRebuildRepairsCorruption uses Rebuild as a repair tool: corrupt one
+// server's stores entirely (replace it), rebuild, verify clean.
+func TestRebuildRepairsCorruption(t *testing.T) {
+	c := newCluster(t, 5)
+	cl := c.NewClient()
+	f, err := cl.Create("x", 5, 64, wire.Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt(fill(5000, 5), 0)
+	f.WriteAt(fill(100, 6), 64*4+10) // overflow extent
+
+	c.StopServer(3)
+	c.ReplaceServer(3)
+	if err := Rebuild(cl, f, 3); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := Verify(cl, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("not clean after rebuild: %v", problems)
+	}
+}

@@ -1,0 +1,221 @@
+// Package rpc carries wire messages over a byte-stream connection with
+// request/response multiplexing.
+//
+// Each frame is a 4-byte little-endian length, a 4-byte sequence number, and
+// a wire-encoded message. A client tags requests with fresh sequence numbers
+// and matches responses; a server handles every request in its own goroutine
+// so that one blocked request (a queued parity-lock read, Section 5.1 of the
+// paper) never stalls the connection — exactly the behaviour PVFS iods get
+// from their event loop.
+//
+// When the endpoints are simnet nodes, every frame charges the modeled NICs:
+// requests on the client's outbound link, responses on the server's. This is
+// how the figures' client-link saturation appears without real gigabit
+// hardware.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"csar/internal/simnet"
+	"csar/internal/wire"
+)
+
+// MaxFrame bounds a frame body to keep a corrupt or hostile length prefix
+// from allocating unbounded memory.
+const MaxFrame = 1 << 30
+
+// ErrClosed is returned by calls pending on a connection that closed.
+var ErrClosed = errors.New("rpc: connection closed")
+
+func writeFrame(w io.Writer, seq uint32, body []byte) error {
+	frame := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(4+len(body)))
+	binary.LittleEndian.PutUint32(frame[4:], seq)
+	copy(frame[8:], body)
+	_, err := w.Write(frame)
+	return err
+}
+
+func readFrame(r io.Reader) (seq uint32, body []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 4 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("rpc: invalid frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return binary.LittleEndian.Uint32(buf), buf[4:], nil
+}
+
+// Client issues concurrent calls over one connection.
+type Client struct {
+	conn io.ReadWriteCloser
+	// local and remote are the simnet endpoints; either may be nil for an
+	// unmodeled (real TCP) connection.
+	local, remote *simnet.Node
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	seq     uint32
+	pending map[uint32]chan msgOrErr
+	closed  bool
+}
+
+type msgOrErr struct {
+	msg wire.Msg
+	err error
+}
+
+// NewClient wraps conn. If local and remote are non-nil, each request
+// charges the modeled transfer from local to remote (and the server side
+// charges the response). The client owns conn and closes it on Close.
+func NewClient(conn io.ReadWriteCloser, local, remote *simnet.Node) *Client {
+	c := &Client{
+		conn:    conn,
+		local:   local,
+		remote:  remote,
+		pending: make(map[uint32]chan msgOrErr),
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	for {
+		seq, body, err := readFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		m, err := wire.Unmarshal(body)
+		c.mu.Lock()
+		ch := c.pending[seq]
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- msgOrErr{m, err}
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for seq, ch := range c.pending {
+		ch <- msgOrErr{nil, fmt.Errorf("%w (%v)", ErrClosed, err)}
+		delete(c.pending, seq)
+	}
+}
+
+// Call sends req and blocks for the matching response. A wire.Error response
+// is converted into a Go error.
+func (c *Client) Call(req wire.Msg) (wire.Msg, error) {
+	body := wire.Marshal(req)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.seq++
+	seq := c.seq
+	ch := make(chan msgOrErr, 1)
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	c.local.Send(c.remote, int64(8+len(body)))
+
+	c.wmu.Lock()
+	err := writeFrame(c.conn, seq, body)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc: send: %w", err)
+	}
+
+	r := <-ch
+	if r.err != nil {
+		return nil, r.err
+	}
+	if e, ok := r.msg.(*wire.Error); ok {
+		return nil, e
+	}
+	return r.msg, nil
+}
+
+// Close shuts the connection down; pending and future calls fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.failAll(ErrClosed)
+	return err
+}
+
+// Handler processes one request and returns its response. Returning an
+// error sends a wire.Error to the caller.
+type Handler func(req wire.Msg) (wire.Msg, error)
+
+// ServeConn reads requests from conn until it closes, dispatching each to h
+// in its own goroutine. If local and remote are non-nil simnet nodes,
+// responses charge the modeled transfer from local (the server) to remote
+// (the client). ServeConn returns when the connection fails or closes.
+func ServeConn(conn io.ReadWriteCloser, h Handler, local, remote *simnet.Node) error {
+	var wmu sync.Mutex
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		seq, body, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		req, err := wire.Unmarshal(body)
+		if err != nil {
+			// Unknown or corrupt request: answer with an error frame.
+			req = nil
+		}
+		wg.Add(1)
+		go func(seq uint32, req wire.Msg, unmarshalErr error) {
+			defer wg.Done()
+			var resp wire.Msg
+			if unmarshalErr != nil {
+				resp = &wire.Error{Text: unmarshalErr.Error()}
+			} else {
+				r, herr := handleSafely(h, req)
+				if herr != nil {
+					resp = &wire.Error{Text: herr.Error()}
+				} else {
+					resp = r
+				}
+			}
+			out := wire.Marshal(resp)
+			local.Send(remote, int64(8+len(out)))
+			wmu.Lock()
+			defer wmu.Unlock()
+			writeFrame(conn, seq, out) //nolint:errcheck // conn teardown is detected by readFrame
+		}(seq, req, err)
+	}
+}
+
+// handleSafely converts a handler panic into an error response, so one bad
+// request cannot take down a server shared by many clients.
+func handleSafely(h Handler, req wire.Msg) (resp wire.Msg, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rpc: handler panic: %v", r)
+		}
+	}()
+	return h(req)
+}

@@ -1,0 +1,219 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"csar/internal/simnet"
+	"csar/internal/simtime"
+	"csar/internal/wire"
+)
+
+// startPair wires a client to a handler over an in-process connection.
+func startPair(t *testing.T, h Handler) *Client {
+	t.Helper()
+	cEnd, sEnd := net.Pipe()
+	go ServeConn(sEnd, h, nil, nil) //nolint:errcheck
+	c := NewClient(cEnd, nil, nil)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	c := startPair(t, func(req wire.Msg) (wire.Msg, error) {
+		if _, ok := req.(*wire.Ping); ok {
+			return &wire.OK{}, nil
+		}
+		return nil, errors.New("unexpected message")
+	})
+	resp, err := c.Call(&wire.Ping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.(*wire.OK); !ok {
+		t.Fatalf("resp = %T", resp)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	c := startPair(t, func(req wire.Msg) (wire.Msg, error) {
+		return nil, errors.New("no such file")
+	})
+	_, err := c.Call(&wire.Open{Name: "x"})
+	if err == nil || !strings.Contains(err.Error(), "no such file") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHandlerPanicBecomesError(t *testing.T) {
+	c := startPair(t, func(req wire.Msg) (wire.Msg, error) {
+		panic("kaboom")
+	})
+	_, err := c.Call(&wire.Ping{})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection survives a panicking handler... subsequent calls work
+	// because the panic is confined to the request goroutine.
+	_, err = c.Call(&wire.Ping{})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("second call err = %v", err)
+	}
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	c := startPair(t, func(req wire.Msg) (wire.Msg, error) {
+		o := req.(*wire.Open)
+		// Vary response latency so completions interleave out of order.
+		if len(o.Name)%2 == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		return &wire.ListResp{Names: []string{o.Name}}, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := strings.Repeat("x", i+1)
+			resp, err := c.Call(&wire.Open{Name: name})
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			lr := resp.(*wire.ListResp)
+			if len(lr.Names) != 1 || lr.Names[0] != name {
+				t.Errorf("call %d got %v", i, lr.Names)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestSlowHandlerDoesNotBlockOthers(t *testing.T) {
+	block := make(chan struct{})
+	c := startPair(t, func(req wire.Msg) (wire.Msg, error) {
+		if _, ok := req.(*wire.List); ok {
+			<-block // simulates a queued parity-lock read
+			return &wire.ListResp{}, nil
+		}
+		return &wire.OK{}, nil
+	})
+	done := make(chan struct{})
+	go func() {
+		c.Call(&wire.List{}) //nolint:errcheck
+		close(done)
+	}()
+	// While the List call is parked, a Ping must still complete.
+	if _, err := c.Call(&wire.Ping{}); err != nil {
+		t.Fatal(err)
+	}
+	close(block)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked call never finished")
+	}
+}
+
+func TestCloseFailsPendingCalls(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	c := startPair(t, func(req wire.Msg) (wire.Msg, error) {
+		<-block
+		return &wire.OK{}, nil
+	})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Call(&wire.Ping{})
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("pending call succeeded after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending call never failed")
+	}
+	if _, err := c.Call(&wire.Ping{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after close: %v", err)
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		ServeConn(conn, func(req wire.Msg) (wire.Msg, error) {
+			return &wire.OK{}, nil
+		}, nil, nil) //nolint:errcheck
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn, nil, nil)
+	defer c.Close()
+	if _, err := c.Call(&wire.Ping{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimnetChargingOnCalls(t *testing.T) {
+	clock := &simtime.Clock{Scale: 5 * time.Millisecond}
+	nw := simnet.New(clock, simnet.Params{Latency: 0, BandwidthBPS: 1e6})
+	cn, sn := nw.NewNode("client"), nw.NewNode("server")
+
+	cEnd, sEnd := net.Pipe()
+	go ServeConn(sEnd, func(req wire.Msg) (wire.Msg, error) {
+		return &wire.ReadResp{Data: make([]byte, 1e6)}, nil // 1 sim-s response
+	}, sn, cn) //nolint:errcheck
+	c := NewClient(cEnd, cn, sn)
+	defer c.Close()
+
+	start := time.Now()
+	if _, err := c.Call(&wire.Read{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < 4*time.Millisecond {
+		t.Fatalf("modeled transfer not charged: %v", got)
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	payload := make([]byte, 8<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	c := startPair(t, func(req wire.Msg) (wire.Msg, error) {
+		w := req.(*wire.WriteData)
+		return &wire.ReadResp{Data: w.Data}, nil
+	})
+	resp, err := c.Call(&wire.WriteData{Data: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resp.(*wire.ReadResp).Data
+	if len(got) != len(payload) {
+		t.Fatalf("len=%d", len(got))
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,713 @@
+// Package server implements the CSAR I/O daemon — the per-node storage
+// server that PVFS calls an iod, extended with the redundancy machinery of
+// the paper:
+//
+//   - five local stores per file: the data file (identical layout to PVFS),
+//     the RAID1 mirror file, the RAID5 parity file, and the Hybrid scheme's
+//     overflow region plus its mirror;
+//   - the overflow table mapping logical byte ranges to overflow contents,
+//     consulted on every read so clients always receive the newest data
+//     (Section 4, "the I/O servers return the latest copy of the data which
+//     could be in the overflow region");
+//   - the parity-lock table of Section 5.1: a read of a parity unit with the
+//     lock flag set acquires a FIFO lock on that stripe's parity, released
+//     by the subsequent parity write;
+//   - the write-buffering scheme of Section 5.2, which coalesces the data
+//     received from the network into aligned, full-block disk writes.
+//
+// A Server is driven through its Handle method, which satisfies rpc.Handler.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csar/internal/extent"
+	"csar/internal/raid"
+	"csar/internal/simtime"
+	"csar/internal/storage"
+	"csar/internal/wire"
+)
+
+// Store indexes the five per-file local stores.
+type Store int
+
+// The store kinds, in the order reported by wire.StorageStatResp.ByStore.
+const (
+	StoreData Store = iota
+	StoreMirror
+	StoreParity
+	StoreOverflow
+	StoreOverflowMirror
+	numStores
+)
+
+var storeSuffix = [numStores]string{"data", "mirror", "parity", "overflow", "ovmirror"}
+
+// Options tunes a server.
+type Options struct {
+	// WriteBuffering enables the Section 5.2 fix: incoming data is
+	// accumulated and flushed to the local store in block-aligned pieces.
+	// When disabled, data is written in network-receive-sized chunks as it
+	// arrives, reproducing the partial-block write problem.
+	WriteBuffering bool
+	// RecvChunk is the size of one modeled non-blocking network receive,
+	// used when WriteBuffering is off. Defaults to 8 KiB.
+	RecvChunk int
+	// Clock is the performance-model time base; nil runs untimed.
+	Clock *simtime.Clock
+	// RequestCPU is the modeled per-request processing cost of the iod
+	// (request parsing, buffer management, syscalls — a few hundred
+	// microseconds on the paper's 1 GHz Pentium III nodes). Charged per
+	// request when the clock is timed.
+	RequestCPU time.Duration
+	// PageSize is the local block size the write-buffering path aligns
+	// flushes to. Defaults to 4 KiB.
+	PageSize int
+}
+
+// DefaultOptions returns the production configuration (write buffering on).
+func DefaultOptions() Options {
+	return Options{WriteBuffering: true, RecvChunk: 8 << 10, PageSize: 4096}
+}
+
+// Server is one I/O daemon.
+type Server struct {
+	idx  int
+	disk storage.Backend
+	opts Options
+	cpu  *simtime.Limiter // serial request processing, like the iod's event loop
+
+	requests atomic.Int64
+
+	mu    sync.Mutex
+	files map[uint64]*serverFile
+}
+
+// Requests returns the number of requests handled since startup.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+type serverFile struct {
+	ref  wire.FileRef
+	geom raid.Geometry
+
+	mu       sync.Mutex
+	stores   [numStores]storage.File
+	ovTable  extent.Map      // logical range -> offset in overflow store
+	ovmTable extent.Map      // logical range -> offset in overflow-mirror store
+	ovNext   int64           // allocation cursor of the overflow store
+	ovmNext  int64           // allocation cursor of the overflow-mirror store
+	ovSlots  map[int64]int64 // stripe unit -> its slot base in the overflow store
+	ovmSlots map[int64]int64 // stripe unit -> slot base in the overflow mirror
+	locks    map[int64]*parityLock
+}
+
+type parityLock struct {
+	held  bool
+	queue []chan struct{}
+}
+
+// New creates a server with the given index (its position in every file's
+// stripe layout) backed by disk.
+func New(idx int, disk storage.Backend, opts Options) *Server {
+	if opts.RecvChunk <= 0 {
+		opts.RecvChunk = 8 << 10
+	}
+	if opts.PageSize <= 0 {
+		opts.PageSize = 4096
+	}
+	return &Server{
+		idx:   idx,
+		disk:  disk,
+		opts:  opts,
+		cpu:   simtime.NewLimiter(opts.Clock, 1), // durations only
+		files: make(map[uint64]*serverFile),
+	}
+}
+
+// Index returns the server's position in the stripe layout.
+func (s *Server) Index() int { return s.idx }
+
+// Disk exposes the underlying storage (tests and the harness inspect its
+// storage totals).
+func (s *Server) Disk() storage.Backend { return s.disk }
+
+func (s *Server) file(ref wire.FileRef) (*serverFile, error) {
+	g := raid.Geometry{Servers: int(ref.Servers), StripeUnit: int64(ref.StripeUnit)}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if s.idx >= g.Servers {
+		return nil, fmt.Errorf("server %d not part of %d-server layout", s.idx, g.Servers)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sf := s.files[ref.ID]
+	if sf == nil {
+		sf = &serverFile{
+			ref:      ref,
+			geom:     g,
+			ovSlots:  make(map[int64]int64),
+			ovmSlots: make(map[int64]int64),
+			locks:    make(map[int64]*parityLock),
+		}
+		s.files[ref.ID] = sf
+	}
+	return sf, nil
+}
+
+func (sf *serverFile) store(d storage.Backend, k Store) storage.File {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if sf.stores[k] == nil {
+		sf.stores[k] = d.Open(fmt.Sprintf("f%06d.%s", sf.ref.ID, storeSuffix[k]))
+	}
+	return sf.stores[k]
+}
+
+// Handle dispatches one request. It satisfies rpc.Handler.
+func (s *Server) Handle(req wire.Msg) (wire.Msg, error) {
+	s.requests.Add(1)
+	if s.opts.Clock.Timed() && s.opts.RequestCPU > 0 {
+		s.cpu.AcquireDur(s.opts.RequestCPU)
+	}
+	switch m := req.(type) {
+	case *wire.Ping:
+		return &wire.OK{}, nil
+	case *wire.Read:
+		return s.handleRead(m)
+	case *wire.WriteData:
+		return s.handleWriteData(m)
+	case *wire.WriteMirror:
+		return s.handleWriteMirror(m)
+	case *wire.ReadMirror:
+		return s.handleReadMirror(m)
+	case *wire.ReadParity:
+		return s.handleReadParity(m)
+	case *wire.WriteParity:
+		return s.handleWriteParity(m)
+	case *wire.WriteOverflow:
+		return s.handleWriteOverflow(m)
+	case *wire.InvalidateOverflow:
+		return s.handleInvalidateOverflow(m)
+	case *wire.OverflowDump:
+		return s.handleOverflowDump(m)
+	case *wire.Sync:
+		return s.handleSync(m)
+	case *wire.DropCaches:
+		s.disk.DropCaches()
+		return &wire.OK{}, nil
+	case *wire.StorageStat:
+		return s.handleStorageStat(m)
+	case *wire.RemoveFile:
+		return s.handleRemoveFile(m)
+	case *wire.CompactOverflow:
+		return s.handleCompactOverflow(m)
+	default:
+		return nil, fmt.Errorf("server: unsupported request %T", req)
+	}
+}
+
+// writePiece writes one contiguous piece of incoming data to a local store,
+// modeling how the data actually reached the disk. With write buffering the
+// piece lands in at most three aligned flushes (unaligned head, full pages,
+// unaligned tail). Without it, every modeled network receive chunk is
+// written immediately, so pages straddling chunk boundaries are first
+// touched by partial writes and pay the forced read of Section 5.2.
+func (s *Server) writePiece(f storage.File, off int64, p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	if s.opts.WriteBuffering {
+		ps := int64(s.opts.PageSize)
+		end := off + int64(len(p))
+		headEnd := off
+		if r := off % ps; r != 0 {
+			headEnd = off - r + ps
+			if headEnd > end {
+				headEnd = end
+			}
+		}
+		bodyEnd := end - end%ps
+		if bodyEnd < headEnd {
+			bodyEnd = headEnd
+		}
+		if headEnd > off {
+			f.WriteAt(p[:headEnd-off], off) //nolint:errcheck // offsets validated
+		}
+		if bodyEnd > headEnd {
+			f.WriteAt(p[headEnd-off:bodyEnd-off], headEnd) //nolint:errcheck
+		}
+		if end > bodyEnd {
+			f.WriteAt(p[bodyEnd-off:], bodyEnd) //nolint:errcheck
+		}
+		return
+	}
+	for i := 0; i < len(p); i += s.opts.RecvChunk {
+		e := i + s.opts.RecvChunk
+		if e > len(p) {
+			e = len(p)
+		}
+		f.WriteAt(p[i:e], off+int64(i)) //nolint:errcheck
+	}
+}
+
+// handleRead returns the concatenated bytes of the pieces of each span that
+// this server stores, in span order then offset order — the same iteration
+// the client uses to reassemble. Unless Raw is set, overflow-region contents
+// override the data file.
+func (s *Server) handleRead(m *wire.Read) (wire.Msg, error) {
+	sf, err := s.file(m.File)
+	if err != nil {
+		return nil, err
+	}
+	data := sf.store(s.disk, StoreData)
+	var out []byte
+	for _, sp := range m.Spans {
+		sf.geom.ToLocal(s.idx, sp.Off, sp.Len, func(logical, local, n int64) {
+			buf := make([]byte, n)
+			data.ReadAt(buf, local) //nolint:errcheck // zero-fill semantics
+			if !m.Raw {
+				s.patchOverflow(sf, logical, buf)
+			}
+			out = append(out, buf...)
+		})
+	}
+	return &wire.ReadResp{Data: out}, nil
+}
+
+// patchOverflow overlays overflow-region bytes onto buf, which holds the
+// logical range [logical, logical+len(buf)).
+func (s *Server) patchOverflow(sf *serverFile, logical int64, buf []byte) {
+	sf.mu.Lock()
+	hits := make([]extent.Extent, 0, 4)
+	sf.ovTable.Lookup(logical, int64(len(buf)), func(l, src, n int64) {
+		hits = append(hits, extent.Extent{Off: l, Len: n, Src: src})
+	}, nil)
+	sf.mu.Unlock()
+	if len(hits) == 0 {
+		return
+	}
+	ov := sf.store(s.disk, StoreOverflow)
+	for _, h := range hits {
+		ov.ReadAt(buf[h.Off-logical:h.Off-logical+h.Len], h.Src) //nolint:errcheck
+	}
+}
+
+func (s *Server) handleWriteData(m *wire.WriteData) (wire.Msg, error) {
+	sf, err := s.file(m.File)
+	if err != nil {
+		return nil, err
+	}
+	data := sf.store(s.disk, StoreData)
+	cur := int64(0)
+	for _, sp := range m.Spans {
+		sf.geom.ToLocal(s.idx, sp.Off, sp.Len, func(logical, local, n int64) {
+			if cur+n > int64(len(m.Data)) {
+				err = fmt.Errorf("server: write payload short: need %d, have %d", cur+n, len(m.Data))
+				return
+			}
+			s.writePiece(data, local, m.Data[cur:cur+n])
+			cur += n
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if m.File.Scheme == wire.Hybrid {
+		// A Hybrid client writes data in place only for full-stripe
+		// portions, which supersede any overflow contents of the same
+		// range: "when a client issues a full-stripe write any data in the
+		// overflow region for that stripe is invalidated" (Section 4).
+		// The written span covers whole stripes — every server's units —
+		// so this server can also invalidate its overflow-mirror entries
+		// (which mirror the previous server's units) without any extra
+		// message.
+		sf.mu.Lock()
+		for _, sp := range m.Spans {
+			sf.ovTable.Invalidate(sp.Off, sp.Len)
+			sf.ovmTable.Invalidate(sp.Off, sp.Len)
+		}
+		sf.mu.Unlock()
+	}
+	return &wire.OK{}, nil
+}
+
+func (s *Server) handleWriteMirror(m *wire.WriteMirror) (wire.Msg, error) {
+	sf, err := s.file(m.File)
+	if err != nil {
+		return nil, err
+	}
+	mir := sf.store(s.disk, StoreMirror)
+	cur := int64(0)
+	for _, sp := range m.Spans {
+		sf.geom.ToMirrorLocal(s.idx, sp.Off, sp.Len, func(logical, local, n int64) {
+			if cur+n > int64(len(m.Data)) {
+				err = fmt.Errorf("server: mirror payload short: need %d, have %d", cur+n, len(m.Data))
+				return
+			}
+			s.writePiece(mir, local, m.Data[cur:cur+n])
+			cur += n
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &wire.OK{}, nil
+}
+
+func (s *Server) handleReadMirror(m *wire.ReadMirror) (wire.Msg, error) {
+	sf, err := s.file(m.File)
+	if err != nil {
+		return nil, err
+	}
+	mir := sf.store(s.disk, StoreMirror)
+	var out []byte
+	for _, sp := range m.Spans {
+		sf.geom.ToMirrorLocal(s.idx, sp.Off, sp.Len, func(logical, local, n int64) {
+			buf := make([]byte, n)
+			mir.ReadAt(buf, local) //nolint:errcheck
+			out = append(out, buf...)
+		})
+	}
+	return &wire.ReadResp{Data: out}, nil
+}
+
+func (s *Server) handleReadParity(m *wire.ReadParity) (wire.Msg, error) {
+	sf, err := s.file(m.File)
+	if err != nil {
+		return nil, err
+	}
+	par := sf.store(s.disk, StoreParity)
+	su := sf.geom.StripeUnit
+	out := make([]byte, 0, int64(len(m.Stripes))*su)
+	for _, stripe := range m.Stripes {
+		if sf.geom.ParityServerOf(stripe) != s.idx {
+			return nil, fmt.Errorf("server %d does not hold parity of stripe %d", s.idx, stripe)
+		}
+		if m.Lock {
+			sf.lockStripe(stripe)
+		}
+		buf := make([]byte, su)
+		par.ReadAt(buf, sf.geom.ParityLocalOffset(stripe)) //nolint:errcheck
+		out = append(out, buf...)
+	}
+	return &wire.ReadResp{Data: out}, nil
+}
+
+func (s *Server) handleWriteParity(m *wire.WriteParity) (wire.Msg, error) {
+	sf, err := s.file(m.File)
+	if err != nil {
+		return nil, err
+	}
+	par := sf.store(s.disk, StoreParity)
+	su := sf.geom.StripeUnit
+	if int64(len(m.Data)) != int64(len(m.Stripes))*su {
+		return nil, fmt.Errorf("server: parity payload %d bytes for %d stripes of %d",
+			len(m.Data), len(m.Stripes), su)
+	}
+	for i, stripe := range m.Stripes {
+		if sf.geom.ParityServerOf(stripe) != s.idx {
+			return nil, fmt.Errorf("server %d does not hold parity of stripe %d", s.idx, stripe)
+		}
+		s.writePiece(par, sf.geom.ParityLocalOffset(stripe), m.Data[int64(i)*su:int64(i+1)*su])
+		if m.Unlock {
+			sf.unlockStripe(stripe)
+		}
+	}
+	if m.File.Scheme == wire.Hybrid && !m.Unlock {
+		// A fresh (non-RMW) parity write means a full-stripe write is
+		// superseding these stripes. This server holds no data of the
+		// stripes it stores parity for, so it receives no WriteData for a
+		// single-stripe body — but its overflow-mirror table may still
+		// cover the previous server's units inside them. Invalidate here
+		// so the migration back to RAID5 is complete on every server.
+		sf.mu.Lock()
+		for _, stripe := range m.Stripes {
+			off := sf.geom.StripeStart(stripe)
+			sf.ovTable.Invalidate(off, sf.geom.StripeSize())
+			sf.ovmTable.Invalidate(off, sf.geom.StripeSize())
+		}
+		sf.mu.Unlock()
+	}
+	return &wire.OK{}, nil
+}
+
+func (s *Server) handleWriteOverflow(m *wire.WriteOverflow) (wire.Msg, error) {
+	sf, err := s.file(m.File)
+	if err != nil {
+		return nil, err
+	}
+	k, tbl, next, slots := StoreOverflow, &sf.ovTable, &sf.ovNext, sf.ovSlots
+	if m.Mirror {
+		k, tbl, next, slots = StoreOverflowMirror, &sf.ovmTable, &sf.ovmNext, sf.ovmSlots
+	}
+	ov := sf.store(s.disk, k)
+	var total int64
+	for _, e := range m.Extents {
+		total += e.Len
+		if e.Len <= 0 {
+			return nil, fmt.Errorf("server: overflow extent with non-positive length %d", e.Len)
+		}
+		if sf.geom.UnitOf(e.Off) != sf.geom.UnitOf(e.Off+e.Len-1) {
+			return nil, fmt.Errorf("server: overflow extent [%d,%d) crosses a stripe unit", e.Off, e.Off+e.Len)
+		}
+	}
+	if total != int64(len(m.Data)) {
+		return nil, fmt.Errorf("server: overflow payload %d bytes for extents totaling %d",
+			len(m.Data), total)
+	}
+
+	// Allocation is stripe-unit granular: each updated unit gets a whole
+	// unit-sized slot, with the bytes placed at their within-unit offset.
+	// This matches the paper's design — "the updated blocks are written to
+	// an overflow region" — and reproduces the fragmentation Table 2
+	// reports for workloads whose writes are small compared to the stripe
+	// unit ("a smaller stripe unit results in less fragmentation in the
+	// overflow regions"). A unit keeps one slot for the file's lifetime:
+	// later overflow writes to the same unit update it in place, which is
+	// what keeps Hartree-Fock's sequential 16 KB stream at RAID1-like 2x
+	// storage in Table 2 rather than one slot per request. Slots are only
+	// reclaimed by Compact.
+	su := sf.geom.StripeUnit
+	type placement struct {
+		src  int64
+		data []byte
+	}
+	var places []placement
+	sf.mu.Lock()
+	cur := int64(0)
+	for _, e := range m.Extents {
+		unit := sf.geom.UnitOf(e.Off)
+		within := e.Off - sf.geom.UnitStart(unit)
+		slot, ok := slots[unit]
+		if ok {
+			places = append(places, placement{src: slot + within, data: m.Data[cur : cur+e.Len]})
+		} else {
+			slot = *next
+			*next += su
+			slots[unit] = slot
+			// Fresh slot: the whole block is written (zero-padded around
+			// the new bytes), materializing it on disk as the paper's
+			// block-granular overflow does.
+			padded := make([]byte, su)
+			copy(padded[within:], m.Data[cur:cur+e.Len])
+			places = append(places, placement{src: slot, data: padded})
+		}
+		tbl.Insert(e.Off, e.Len, slot+within)
+		cur += e.Len
+	}
+	sf.mu.Unlock()
+
+	for _, pl := range places {
+		s.writePiece(ov, pl.src, pl.data)
+	}
+	return &wire.OK{}, nil
+}
+
+func (s *Server) handleInvalidateOverflow(m *wire.InvalidateOverflow) (wire.Msg, error) {
+	sf, err := s.file(m.File)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &sf.ovTable
+	if m.Mirror {
+		tbl = &sf.ovmTable
+	}
+	sf.mu.Lock()
+	for _, sp := range m.Spans {
+		tbl.Invalidate(sp.Off, sp.Len)
+	}
+	sf.mu.Unlock()
+	return &wire.OK{}, nil
+}
+
+func (s *Server) handleOverflowDump(m *wire.OverflowDump) (wire.Msg, error) {
+	sf, err := s.file(m.File)
+	if err != nil {
+		return nil, err
+	}
+	k, tbl := StoreOverflow, &sf.ovTable
+	if m.Mirror {
+		k, tbl = StoreOverflowMirror, &sf.ovmTable
+	}
+	sf.mu.Lock()
+	exts := tbl.Extents()
+	sf.mu.Unlock()
+	ov := sf.store(s.disk, k)
+	resp := &wire.OverflowDumpResp{}
+	for _, e := range exts {
+		buf := make([]byte, e.Len)
+		ov.ReadAt(buf, e.Src) //nolint:errcheck
+		resp.Extents = append(resp.Extents, wire.Span{Off: e.Off, Len: e.Len})
+		resp.Data = append(resp.Data, buf...)
+	}
+	return resp, nil
+}
+
+func (s *Server) handleSync(m *wire.Sync) (wire.Msg, error) {
+	sf, err := s.file(m.File)
+	if err != nil {
+		return nil, err
+	}
+	sf.mu.Lock()
+	stores := sf.stores
+	sf.mu.Unlock()
+	for _, f := range stores {
+		if f != nil {
+			f.Sync()
+		}
+	}
+	return &wire.OK{}, nil
+}
+
+// handleStorageStat reports materialized (du-style) bytes: the Hybrid
+// scheme's data files are sparse wherever the newest data lives only in
+// the overflow region, and the paper's Table 2 sums what the servers'
+// disks actually hold.
+func (s *Server) handleStorageStat(m *wire.StorageStat) (wire.Msg, error) {
+	resp := &wire.StorageStatResp{}
+	if m.FileID == 0 {
+		resp.Total = s.disk.AllocatedBytes()
+		return resp, nil
+	}
+	s.mu.Lock()
+	sf := s.files[m.FileID]
+	s.mu.Unlock()
+	if sf == nil {
+		return resp, nil
+	}
+	sf.mu.Lock()
+	stores := sf.stores
+	sf.mu.Unlock()
+	for k, f := range stores {
+		if f != nil {
+			resp.ByStore[k] = f.Allocated()
+			resp.Total += f.Allocated()
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) handleRemoveFile(m *wire.RemoveFile) (wire.Msg, error) {
+	s.mu.Lock()
+	sf := s.files[m.File.ID]
+	delete(s.files, m.File.ID)
+	s.mu.Unlock()
+	if sf != nil {
+		for k := Store(0); k < numStores; k++ {
+			s.disk.Remove(fmt.Sprintf("f%06d.%s", m.File.ID, storeSuffix[k]))
+		}
+	}
+	return &wire.OK{}, nil
+}
+
+// handleCompactOverflow rewrites the overflow store keeping only the live
+// extents, reclaiming superseded and invalidated slots — the background
+// storage-recovery process the paper sketches in Section 6.7 ("the storage
+// used for overflow regions could be recovered").
+func (s *Server) handleCompactOverflow(m *wire.CompactOverflow) (wire.Msg, error) {
+	sf, err := s.file(m.File)
+	if err != nil {
+		return nil, err
+	}
+	k, tbl, next, slots := StoreOverflow, &sf.ovTable, &sf.ovNext, sf.ovSlots
+	if m.Mirror {
+		k, tbl, next, slots = StoreOverflowMirror, &sf.ovmTable, &sf.ovmNext, sf.ovmSlots
+	}
+	ov := sf.store(s.disk, k)
+
+	sf.mu.Lock()
+	live := tbl.Extents()
+	sf.mu.Unlock()
+
+	// Read the live contents before rewriting the store.
+	type kept struct {
+		off, length int64
+		data        []byte
+	}
+	keeps := make([]kept, 0, len(live))
+	for _, e := range live {
+		buf := make([]byte, e.Len)
+		ov.ReadAt(buf, e.Src) //nolint:errcheck // zero-fill semantics
+		keeps = append(keeps, kept{e.Off, e.Len, buf})
+	}
+
+	su := sf.geom.StripeUnit
+	sf.mu.Lock()
+	tbl.Clear()
+	*next = 0
+	for u := range slots {
+		delete(slots, u)
+	}
+	ov.Truncate(0)
+	// Reinsert with fresh, dense slot allocation.
+	type placement struct {
+		src  int64
+		data []byte
+	}
+	var places []placement
+	for _, kp := range keeps {
+		unit := sf.geom.UnitOf(kp.off)
+		within := kp.off - sf.geom.UnitStart(unit)
+		slot, ok := slots[unit]
+		if !ok {
+			slot = *next
+			*next += su
+			slots[unit] = slot
+			padded := make([]byte, su)
+			copy(padded[within:], kp.data)
+			places = append(places, placement{slot, padded})
+		} else {
+			places = append(places, placement{slot + within, kp.data})
+		}
+		tbl.Insert(kp.off, kp.length, slot+within)
+	}
+	sf.mu.Unlock()
+	for _, pl := range places {
+		s.writePiece(ov, pl.src, pl.data)
+	}
+	return &wire.OK{}, nil
+}
+
+// lockStripe acquires the FIFO parity lock of one stripe, blocking while
+// another client's partial-stripe update is in flight (Section 5.1).
+func (sf *serverFile) lockStripe(stripe int64) {
+	sf.mu.Lock()
+	l := sf.locks[stripe]
+	if l == nil {
+		l = &parityLock{}
+		sf.locks[stripe] = l
+	}
+	if !l.held {
+		l.held = true
+		sf.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	l.queue = append(l.queue, ch)
+	sf.mu.Unlock()
+	<-ch // woken holding the lock
+}
+
+// unlockStripe releases the parity lock, handing it to the first queued
+// waiter if any.
+func (sf *serverFile) unlockStripe(stripe int64) {
+	sf.mu.Lock()
+	l := sf.locks[stripe]
+	if l == nil || !l.held {
+		sf.mu.Unlock()
+		return
+	}
+	if len(l.queue) > 0 {
+		ch := l.queue[0]
+		l.queue = l.queue[1:]
+		sf.mu.Unlock()
+		close(ch)
+		return
+	}
+	l.held = false
+	sf.mu.Unlock()
+}

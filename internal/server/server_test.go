@@ -1,0 +1,361 @@
+package server
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"csar/internal/simdisk"
+	"csar/internal/wire"
+)
+
+func testServer(idx int) *Server {
+	opts := DefaultOptions()
+	opts.PageSize = 64
+	return New(idx, simdisk.New(nil, simdisk.Params{PageSize: 64}), opts)
+}
+
+func ref() wire.FileRef {
+	return wire.FileRef{ID: 1, Servers: 3, StripeUnit: 128, Scheme: wire.Hybrid}
+}
+
+func call(t *testing.T, s *Server, m wire.Msg) wire.Msg {
+	t.Helper()
+	resp, err := s.Handle(m)
+	if err != nil {
+		t.Fatalf("%T: %v", m, err)
+	}
+	return resp
+}
+
+func TestPing(t *testing.T) {
+	s := testServer(0)
+	if _, ok := call(t, s, &wire.Ping{}).(*wire.OK); !ok {
+		t.Fatal("ping did not return OK")
+	}
+}
+
+func TestUnsupportedMessage(t *testing.T) {
+	s := testServer(0)
+	if _, err := s.Handle(&wire.OpenResp{}); err == nil {
+		t.Fatal("unsupported message accepted")
+	}
+}
+
+func TestBadGeometryRejected(t *testing.T) {
+	s := testServer(0)
+	bad := wire.FileRef{ID: 1, Servers: 0, StripeUnit: 128}
+	if _, err := s.Handle(&wire.Read{File: bad}); err == nil {
+		t.Fatal("zero-server geometry accepted")
+	}
+	outside := wire.FileRef{ID: 1, Servers: 2, StripeUnit: 128}
+	s5 := testServer(5)
+	if _, err := s5.Handle(&wire.Read{File: outside}); err == nil {
+		t.Fatal("server outside layout accepted request")
+	}
+}
+
+func TestWriteReadOwnPieces(t *testing.T) {
+	// Server 0 of a 3-server layout owns units 0, 3, 6... Writing a span
+	// and reading it back must round-trip exactly the server's pieces.
+	s := testServer(0)
+	r := ref()
+	// Span [0, 640) = units 0..4; server 0 owns units 0 and 3: bytes
+	// [0,128) and [384,512).
+	payload := append(bytes.Repeat([]byte{0xA1}, 128), bytes.Repeat([]byte{0xA2}, 128)...)
+	call(t, s, &wire.WriteData{File: r, Spans: []wire.Span{{Off: 0, Len: 640}}, Data: payload})
+	resp := call(t, s, &wire.Read{File: r, Spans: []wire.Span{{Off: 0, Len: 640}}, Raw: true})
+	got := resp.(*wire.ReadResp).Data
+	if !bytes.Equal(got, payload) {
+		t.Fatal("server pieces did not round-trip")
+	}
+}
+
+func TestWritePayloadLengthValidated(t *testing.T) {
+	s := testServer(0)
+	r := ref()
+	_, err := s.Handle(&wire.WriteData{
+		File:  r,
+		Spans: []wire.Span{{Off: 0, Len: 640}},
+		Data:  []byte{1, 2, 3}, // far too short for server 0's pieces
+	})
+	if err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestParityOwnershipEnforced(t *testing.T) {
+	s := testServer(0)
+	r := ref()
+	// Stripe 0's parity lives on server 2, not 0.
+	if _, err := s.Handle(&wire.ReadParity{File: r, Stripes: []int64{0}}); err == nil {
+		t.Fatal("parity read for foreign stripe accepted")
+	}
+	if _, err := s.Handle(&wire.WriteParity{File: r, Stripes: []int64{0}, Data: make([]byte, 128)}); err == nil {
+		t.Fatal("parity write for foreign stripe accepted")
+	}
+}
+
+func TestParityPayloadLengthValidated(t *testing.T) {
+	s := testServer(2) // owns stripe 0's parity
+	r := ref()
+	if _, err := s.Handle(&wire.WriteParity{File: r, Stripes: []int64{0}, Data: make([]byte, 5)}); err == nil {
+		t.Fatal("short parity payload accepted")
+	}
+}
+
+func TestParityLockFIFO(t *testing.T) {
+	s := testServer(2)
+	r := ref()
+	// First locked read acquires the lock immediately.
+	call(t, s, &wire.ReadParity{File: r, Stripes: []int64{0}, Lock: true})
+
+	// Second locked read must block until the parity write releases.
+	got := make(chan struct{})
+	go func() {
+		s.Handle(&wire.ReadParity{File: r, Stripes: []int64{0}, Lock: true}) //nolint:errcheck
+		close(got)
+	}()
+	select {
+	case <-got:
+		t.Fatal("second locked read did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Release: the queued reader acquires and returns.
+	call(t, s, &wire.WriteParity{File: r, Stripes: []int64{0}, Data: make([]byte, 128), Unlock: true})
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued locked read never woke")
+	}
+	// It now holds the lock; a final unlock cleans up.
+	call(t, s, &wire.WriteParity{File: r, Stripes: []int64{0}, Data: make([]byte, 128), Unlock: true})
+}
+
+func TestParityLockManyWaitersAllServed(t *testing.T) {
+	s := testServer(2)
+	r := ref()
+	const waiters = 8
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Handle(&wire.ReadParity{File: r, Stripes: []int64{0}, Lock: true}); err != nil {
+				t.Error(err)
+				return
+			}
+			s.Handle(&wire.WriteParity{ //nolint:errcheck
+				File: r, Stripes: []int64{0}, Data: make([]byte, 128), Unlock: true,
+			})
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("lock queue wedged")
+	}
+}
+
+func TestUnlockWithoutLockIsSafe(t *testing.T) {
+	s := testServer(2)
+	r := ref()
+	// Unlock with no lock held must not panic or wedge.
+	call(t, s, &wire.WriteParity{File: r, Stripes: []int64{0}, Data: make([]byte, 128), Unlock: true})
+}
+
+func TestOverflowRoundTripAndPatch(t *testing.T) {
+	s := testServer(0)
+	r := ref()
+	// In-place data first.
+	base := bytes.Repeat([]byte{0x10}, 128)
+	call(t, s, &wire.WriteData{File: r, Spans: []wire.Span{{Off: 0, Len: 128}}, Data: base})
+	// Overflow write overriding bytes [10, 40) of unit 0.
+	call(t, s, &wire.WriteOverflow{
+		File:    r,
+		Extents: []wire.Span{{Off: 10, Len: 30}},
+		Data:    bytes.Repeat([]byte{0xFF}, 30),
+	})
+	// Raw read sees the old data; patched read sees the overflow bytes.
+	raw := call(t, s, &wire.Read{File: r, Spans: []wire.Span{{Off: 0, Len: 128}}, Raw: true}).(*wire.ReadResp).Data
+	if !bytes.Equal(raw, base) {
+		t.Fatal("raw read saw overflow data")
+	}
+	patched := call(t, s, &wire.Read{File: r, Spans: []wire.Span{{Off: 0, Len: 128}}}).(*wire.ReadResp).Data
+	for i := 0; i < 128; i++ {
+		want := byte(0x10)
+		if i >= 10 && i < 40 {
+			want = 0xFF
+		}
+		if patched[i] != want {
+			t.Fatalf("patched byte %d = %x, want %x", i, patched[i], want)
+		}
+	}
+}
+
+func TestOverflowExtentMustStayInUnit(t *testing.T) {
+	s := testServer(0)
+	r := ref()
+	_, err := s.Handle(&wire.WriteOverflow{
+		File:    r,
+		Extents: []wire.Span{{Off: 100, Len: 60}}, // crosses the 128-byte unit boundary
+		Data:    make([]byte, 60),
+	})
+	if err == nil {
+		t.Fatal("cross-unit overflow extent accepted")
+	}
+	_, err = s.Handle(&wire.WriteOverflow{
+		File:    r,
+		Extents: []wire.Span{{Off: 0, Len: 10}},
+		Data:    make([]byte, 3), // payload mismatch
+	})
+	if err == nil {
+		t.Fatal("mismatched overflow payload accepted")
+	}
+}
+
+func TestOverflowSlotReuse(t *testing.T) {
+	s := testServer(0)
+	r := ref()
+	ov := func() int64 {
+		resp := call(t, s, &wire.StorageStat{FileID: r.ID}).(*wire.StorageStatResp)
+		return resp.ByStore[StoreOverflow]
+	}
+	call(t, s, &wire.WriteOverflow{File: r, Extents: []wire.Span{{Off: 0, Len: 10}}, Data: make([]byte, 10)})
+	first := ov()
+	if first == 0 {
+		t.Fatal("no overflow storage after write")
+	}
+	// Another write to the same unit reuses its slot: no growth.
+	call(t, s, &wire.WriteOverflow{File: r, Extents: []wire.Span{{Off: 50, Len: 10}}, Data: make([]byte, 10)})
+	if got := ov(); got != first {
+		t.Fatalf("same-unit overflow grew storage: %d -> %d", first, got)
+	}
+	// A different unit allocates a new slot.
+	call(t, s, &wire.WriteOverflow{File: r, Extents: []wire.Span{{Off: 3 * 128, Len: 10}}, Data: make([]byte, 10)})
+	if got := ov(); got <= first {
+		t.Fatalf("new-unit overflow did not grow storage: %d -> %d", first, got)
+	}
+}
+
+func TestHybridWriteDataInvalidatesOverflow(t *testing.T) {
+	s := testServer(0)
+	r := ref()
+	call(t, s, &wire.WriteOverflow{File: r, Extents: []wire.Span{{Off: 0, Len: 20}}, Data: make([]byte, 20)})
+	call(t, s, &wire.WriteOverflow{File: r, Extents: []wire.Span{{Off: 5, Len: 10}}, Data: make([]byte, 10), Mirror: true})
+	// An in-place write over the range (a full-stripe body under Hybrid)
+	// invalidates both tables implicitly.
+	call(t, s, &wire.WriteData{File: r, Spans: []wire.Span{{Off: 0, Len: 128}}, Data: make([]byte, 128)})
+	for _, mirror := range []bool{false, true} {
+		dump := call(t, s, &wire.OverflowDump{File: r, Mirror: mirror}).(*wire.OverflowDumpResp)
+		if len(dump.Extents) != 0 {
+			t.Fatalf("mirror=%v: overflow extents survive a covering data write: %v", mirror, dump.Extents)
+		}
+	}
+}
+
+func TestRaid5WriteDataDoesNotTouchOverflow(t *testing.T) {
+	s := testServer(0)
+	r := ref()
+	r.Scheme = wire.Raid5
+	// (Overflow under RAID5 never happens in practice, but invalidation
+	// must not trigger for non-Hybrid schemes.)
+	rh := r
+	rh.Scheme = wire.Hybrid
+	call(t, s, &wire.WriteOverflow{File: rh, Extents: []wire.Span{{Off: 0, Len: 20}}, Data: make([]byte, 20)})
+	call(t, s, &wire.WriteData{File: r, Spans: []wire.Span{{Off: 0, Len: 128}}, Data: make([]byte, 128)})
+	dump := call(t, s, &wire.OverflowDump{File: rh}).(*wire.OverflowDumpResp)
+	if len(dump.Extents) != 1 {
+		t.Fatalf("raid5 data write altered overflow table: %v", dump.Extents)
+	}
+}
+
+func TestMirrorStoreRoundTrip(t *testing.T) {
+	// Server 1 is the mirror server of unit 0 (owned by server 0).
+	s := testServer(1)
+	r := ref()
+	payload := bytes.Repeat([]byte{0x77}, 128)
+	call(t, s, &wire.WriteMirror{File: r, Spans: []wire.Span{{Off: 0, Len: 128}}, Data: payload})
+	got := call(t, s, &wire.ReadMirror{File: r, Spans: []wire.Span{{Off: 0, Len: 128}}}).(*wire.ReadResp).Data
+	if !bytes.Equal(got, payload) {
+		t.Fatal("mirror store did not round-trip")
+	}
+}
+
+func TestRemoveFileClearsStores(t *testing.T) {
+	s := testServer(0)
+	r := ref()
+	call(t, s, &wire.WriteData{File: r, Spans: []wire.Span{{Off: 0, Len: 128}}, Data: make([]byte, 128)})
+	call(t, s, &wire.WriteOverflow{File: r, Extents: []wire.Span{{Off: 0, Len: 10}}, Data: make([]byte, 10)})
+	if s.Disk().TotalBytes() == 0 {
+		t.Fatal("nothing stored before remove")
+	}
+	call(t, s, &wire.RemoveFile{File: r})
+	if got := s.Disk().TotalBytes(); got != 0 {
+		t.Fatalf("%d bytes remain after RemoveFile", got)
+	}
+	// The file can be recreated cleanly afterwards.
+	call(t, s, &wire.WriteData{File: r, Spans: []wire.Span{{Off: 0, Len: 128}}, Data: make([]byte, 128)})
+}
+
+func TestStorageStatBreakdown(t *testing.T) {
+	s := testServer(2)
+	r := ref()
+	call(t, s, &wire.WriteParity{File: r, Stripes: []int64{0}, Data: make([]byte, 128)})
+	st := call(t, s, &wire.StorageStat{FileID: r.ID}).(*wire.StorageStatResp)
+	if st.ByStore[StoreParity] == 0 || st.Total != st.ByStore[StoreParity] {
+		t.Fatalf("parity write not accounted: %+v", st)
+	}
+	// Whole-disk stat.
+	whole := call(t, s, &wire.StorageStat{}).(*wire.StorageStatResp)
+	if whole.Total == 0 {
+		t.Fatal("whole-disk stat empty")
+	}
+	// Unknown file: empty stat, no error.
+	unknown := call(t, s, &wire.StorageStat{FileID: 999}).(*wire.StorageStatResp)
+	if unknown.Total != 0 {
+		t.Fatal("unknown file reported storage")
+	}
+}
+
+func TestWriteBufferingModesEquivalentContent(t *testing.T) {
+	// Buffered and unbuffered servers must store identical bytes; only the
+	// modeled timing differs.
+	for _, buffering := range []bool{true, false} {
+		opts := DefaultOptions()
+		opts.WriteBuffering = buffering
+		opts.RecvChunk = 40 // force many chunks
+		s := New(0, simdisk.New(nil, simdisk.Params{PageSize: 64}), opts)
+		r := ref()
+		payload := make([]byte, 128)
+		for i := range payload {
+			payload[i] = byte(i * 3)
+		}
+		call(t, s, &wire.WriteData{File: r, Spans: []wire.Span{{Off: 0, Len: 128}}, Data: payload})
+		got := call(t, s, &wire.Read{File: r, Spans: []wire.Span{{Off: 0, Len: 128}}, Raw: true}).(*wire.ReadResp).Data
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("buffering=%v corrupted data", buffering)
+		}
+	}
+}
+
+func TestSyncAndDropCaches(t *testing.T) {
+	disk := simdisk.New(nil, simdisk.Params{PageSize: 64})
+	opts := DefaultOptions()
+	opts.PageSize = 64
+	s := New(0, disk, opts)
+	r := ref()
+	call(t, s, &wire.WriteData{File: r, Spans: []wire.Span{{Off: 0, Len: 128}}, Data: make([]byte, 128)})
+	call(t, s, &wire.Sync{File: r})
+	if w := disk.Stats().DiskWriteBytes; w == 0 {
+		t.Fatal("sync flushed nothing")
+	}
+	call(t, s, &wire.DropCaches{})
+	call(t, s, &wire.Read{File: r, Spans: []wire.Span{{Off: 0, Len: 128}}})
+	if m := disk.Stats().CacheMisses; m == 0 {
+		t.Fatal("read after drop-caches hit the cache")
+	}
+}

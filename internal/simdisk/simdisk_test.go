@@ -1,0 +1,312 @@
+package simdisk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"csar/internal/simtime"
+)
+
+func untimedDisk(p Params) *Disk { return New(nil, p) }
+
+func smallParams() Params {
+	return Params{PageSize: 16, CacheBytes: 0, SeekTime: 0, ReadBW: 0, WriteBW: 0}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := untimedDisk(smallParams())
+	f := d.Open("data")
+	msg := []byte("hello cluster file system world!")
+	if _, err := f.WriteAt(msg, 5); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := f.ReadAt(got, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+	if f.Size() != int64(5+len(msg)) {
+		t.Fatalf("size=%d", f.Size())
+	}
+}
+
+func TestHolesReadZero(t *testing.T) {
+	d := untimedDisk(smallParams())
+	f := d.Open("data")
+	f.WriteAt([]byte{1, 2, 3}, 100)
+	got := make([]byte, 103)
+	f.ReadAt(got, 0)
+	for i := 0; i < 100; i++ {
+		if got[i] != 0 {
+			t.Fatalf("hole byte %d = %d", i, got[i])
+		}
+	}
+	if got[100] != 1 || got[102] != 3 {
+		t.Fatal("written bytes wrong after hole")
+	}
+}
+
+func TestReadBeyondEOFZeroFills(t *testing.T) {
+	d := untimedDisk(smallParams())
+	f := d.Open("data")
+	f.WriteAt([]byte{7}, 0)
+	got := []byte{9, 9, 9}
+	n, err := f.ReadAt(got, 10)
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Fatal("EOF read not zero-filled")
+	}
+}
+
+func TestNegativeOffsetRejected(t *testing.T) {
+	d := untimedDisk(smallParams())
+	f := d.Open("data")
+	if _, err := f.WriteAt([]byte{1}, -1); err == nil {
+		t.Fatal("negative write offset accepted")
+	}
+	if _, err := f.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Fatal("negative read offset accepted")
+	}
+}
+
+func TestOpenSameNameSharesContent(t *testing.T) {
+	d := untimedDisk(smallParams())
+	a := d.Open("x")
+	b := d.Open("x")
+	a.WriteAt([]byte{42}, 0)
+	got := make([]byte, 1)
+	b.ReadAt(got, 0)
+	if got[0] != 42 {
+		t.Fatal("handles to the same file not shared")
+	}
+}
+
+func TestRemoveAndTotalBytes(t *testing.T) {
+	d := untimedDisk(smallParams())
+	d.Open("a").WriteAt(make([]byte, 100), 0)
+	d.Open("b").WriteAt(make([]byte, 50), 0)
+	if got := d.TotalBytes(); got != 150 {
+		t.Fatalf("TotalBytes=%d", got)
+	}
+	names := d.FileNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("FileNames=%v", names)
+	}
+	d.Remove("a")
+	if got := d.TotalBytes(); got != 50 {
+		t.Fatalf("TotalBytes after remove=%d", got)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	d := untimedDisk(smallParams())
+	f := d.Open("t")
+	f.WriteAt(bytes.Repeat([]byte{0xAB}, 64), 0)
+	f.Truncate(20)
+	if f.Size() != 20 {
+		t.Fatalf("size=%d", f.Size())
+	}
+	got := make([]byte, 64)
+	f.ReadAt(got, 0)
+	for i := 0; i < 20; i++ {
+		if got[i] != 0xAB {
+			t.Fatalf("kept byte %d lost", i)
+		}
+	}
+	for i := 20; i < 64; i++ {
+		if got[i] != 0 {
+			t.Fatalf("truncated byte %d = %x", i, got[i])
+		}
+	}
+	// Extending writes after truncate work.
+	f.WriteAt([]byte{1}, 63)
+	if f.Size() != 64 {
+		t.Fatalf("size after rewrite=%d", f.Size())
+	}
+}
+
+func TestForcedPageReadOnPartialUncachedWrite(t *testing.T) {
+	p := Params{PageSize: 16, CacheBytes: 16 * 4} // 4-page cache
+	d := untimedDisk(p)
+	f := d.Open("data")
+	f.WriteAt(make([]byte, 16*100), 0) // create a 100-page file
+	d.DropCaches()                     // make it "pre-existing, uncached"
+
+	// Full-page write: no forced read.
+	f.WriteAt(make([]byte, 16), 0)
+	if got := d.Stats().ForcedPageReads; got != 0 {
+		t.Fatalf("full-page write forced %d reads", got)
+	}
+	// Partial-page write to an uncached page: exactly one forced read.
+	f.WriteAt(make([]byte, 8), 16*10+3)
+	if got := d.Stats().ForcedPageReads; got != 1 {
+		t.Fatalf("partial write forced %d reads, want 1", got)
+	}
+	// Same page again (now cached): no additional forced read.
+	f.WriteAt(make([]byte, 4), 16*10+1)
+	if got := d.Stats().ForcedPageReads; got != 1 {
+		t.Fatalf("cached partial write forced %d reads, want 1", got)
+	}
+	// Partial write beyond EOF: no old data exists, so no forced read.
+	f.WriteAt(make([]byte, 4), 16*200+5)
+	if got := d.Stats().ForcedPageReads; got != 1 {
+		t.Fatalf("beyond-EOF partial write forced %d reads, want 1", got)
+	}
+}
+
+func TestCacheHitsAndMisses(t *testing.T) {
+	p := Params{PageSize: 16, CacheBytes: 16 * 8}
+	d := untimedDisk(p)
+	f := d.Open("data")
+	f.WriteAt(make([]byte, 16*4), 0)
+	buf := make([]byte, 16*4)
+	f.ReadAt(buf, 0) // all four pages still cached from the write
+	s := d.Stats()
+	if s.CacheHits < 4 {
+		t.Fatalf("hits=%d, want >=4", s.CacheHits)
+	}
+	d.DropCaches()
+	f.ReadAt(buf, 0)
+	s2 := d.Stats()
+	if s2.CacheMisses-s.CacheMisses != 4 {
+		t.Fatalf("misses after drop=%d, want 4", s2.CacheMisses-s.CacheMisses)
+	}
+}
+
+func TestEvictionBoundsCache(t *testing.T) {
+	p := Params{PageSize: 16, CacheBytes: 16 * 4}
+	d := untimedDisk(p)
+	f := d.Open("data")
+	f.WriteAt(make([]byte, 16*100), 0) // 100 pages through a 4-page cache
+	d.mu.Lock()
+	n := d.cachePages
+	d.mu.Unlock()
+	if n > 4 {
+		t.Fatalf("cache holds %d pages, cap 4", n)
+	}
+	if ops := d.Stats().DiskWriteOps; ops == 0 {
+		t.Fatal("dirty evictions produced no disk writes")
+	}
+}
+
+func TestSyncFlushesDirtyOnce(t *testing.T) {
+	p := Params{PageSize: 16, CacheBytes: 0} // unbounded: nothing written until Sync
+	d := untimedDisk(p)
+	f := d.Open("data")
+	f.WriteAt(make([]byte, 16*10), 0)
+	if w := d.Stats().DiskWriteBytes; w != 0 {
+		t.Fatalf("write-back before Sync: %d bytes", w)
+	}
+	f.Sync()
+	if w := d.Stats().DiskWriteBytes; w != 16*10 {
+		t.Fatalf("Sync wrote %d bytes, want 160", w)
+	}
+	f.Sync() // nothing dirty anymore
+	if w := d.Stats().DiskWriteBytes; w != 16*10 {
+		t.Fatalf("second Sync wrote again: %d", w)
+	}
+}
+
+func TestSyncAll(t *testing.T) {
+	d := untimedDisk(Params{PageSize: 16})
+	d.Open("a").WriteAt(make([]byte, 32), 0)
+	d.Open("b").WriteAt(make([]byte, 32), 0)
+	d.SyncAll()
+	if w := d.Stats().DiskWriteBytes; w != 64 {
+		t.Fatalf("SyncAll wrote %d bytes, want 64", w)
+	}
+}
+
+func TestTimedDiskChargesTransfer(t *testing.T) {
+	clock := &simtime.Clock{Scale: 10 * time.Millisecond} // 1 sim s = 10 ms
+	p := Params{PageSize: 4096, CacheBytes: 4096 * 2, SeekTime: 0, ReadBW: 1 << 20, WriteBW: 1 << 20}
+	d := New(clock, p)
+	f := d.Open("data")
+	f.WriteAt(make([]byte, 1<<20), 0) // 1 MiB through a 2-page cache: ~1 sim s of write-back
+	start := time.Now()
+	f.Sync()
+	d.DropCaches()
+	buf := make([]byte, 1<<20)
+	f.ReadAt(buf, 0) // 1 MiB cold read: ~1 sim s = 10 ms
+	if got := time.Since(start); got < 5*time.Millisecond {
+		t.Fatalf("timed cold read+sync took %v, expected modeled delay", got)
+	}
+}
+
+func TestRandomAgainstReference(t *testing.T) {
+	// The disk must behave exactly like a flat byte array regardless of
+	// page size, cache size, or operation mix.
+	f := func(seed int64, psSeed, cacheSeed uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		ps := int(psSeed%64) + 1
+		cachePages := int64(cacheSeed % 8)
+		d := untimedDisk(Params{PageSize: ps, CacheBytes: cachePages * int64(ps)})
+		file := d.Open("f")
+		const space = 1 << 12
+		ref := make([]byte, space)
+		var refSize int64
+		for op := 0; op < 80; op++ {
+			off := int64(r.Intn(space / 2))
+			n := r.Intn(space/4) + 1
+			switch r.Intn(5) {
+			case 0: // read and compare
+				got := make([]byte, n)
+				file.ReadAt(got, off)
+				want := make([]byte, n)
+				if off < refSize {
+					copy(want, ref[off:min64(refSize, off+int64(n))])
+				}
+				if !bytes.Equal(got, want) {
+					return false
+				}
+			case 1:
+				d.DropCaches()
+			case 2: // truncate
+				sz := int64(r.Intn(space / 2))
+				file.Truncate(sz)
+				for i := sz; i < refSize; i++ {
+					ref[i] = 0
+				}
+				refSize = sz
+			default: // write
+				data := make([]byte, n)
+				r.Read(data)
+				file.WriteAt(data, off)
+				copy(ref[off:], data)
+				if off+int64(n) > refSize {
+					refSize = off + int64(n)
+				}
+			}
+			if file.Size() != refSize {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestInvalidPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(nil, Params{PageSize: 0})
+}

@@ -1,0 +1,128 @@
+package simdisk
+
+import (
+	"testing"
+	"time"
+
+	"csar/internal/simtime"
+)
+
+// seekParams returns an untimed model where physical access counters are
+// the observable (DiskReadOps counts positioning events, not pages).
+func seekParams() Params {
+	return Params{
+		PageSize:   4096,
+		CacheBytes: 4096 * 8, // tiny cache so reads miss
+		SeekTime:   9 * time.Millisecond,
+		ReadBW:     70e6,
+		WriteBW:    70e6,
+	}
+}
+
+func TestSequentialColdReadIsOneAccessRun(t *testing.T) {
+	d := New(nil, seekParams())
+	f := d.OpenFile("s")
+	f.WriteAt(make([]byte, 1<<20), 0)
+	d.DropCaches()
+	before := d.Stats().DiskReadOps
+
+	// 256 pages read as 16 sequential calls: one positioning event total.
+	buf := make([]byte, 64<<10)
+	for off := int64(0); off < 1<<20; off += int64(len(buf)) {
+		f.ReadAt(buf, off)
+	}
+	if got := d.Stats().DiskReadOps - before; got != 1 {
+		t.Fatalf("sequential read across calls cost %d positioning events, want 1", got)
+	}
+}
+
+func TestInterleavedStreamsKeepTheirCursors(t *testing.T) {
+	d := New(nil, seekParams())
+	a := d.OpenFile("a")
+	b := d.OpenFile("b")
+	a.WriteAt(make([]byte, 1<<20), 0)
+	b.WriteAt(make([]byte, 1<<20), 0)
+	d.DropCaches()
+	before := d.Stats().DiskReadOps
+
+	// Two interleaved sequential streams: one positioning event each, not
+	// one per switch — the readahead/elevator pool at work.
+	buf := make([]byte, 64<<10)
+	for off := int64(0); off < 1<<20; off += int64(len(buf)) {
+		a.ReadAt(buf, off)
+		b.ReadAt(buf, off)
+	}
+	if got := d.Stats().DiskReadOps - before; got > 3 {
+		t.Fatalf("interleaved streams cost %d positioning events, want ~2", got)
+	}
+}
+
+func TestScatteredReadsEachReposition(t *testing.T) {
+	d := New(nil, seekParams())
+	f := d.OpenFile("r")
+	f.WriteAt(make([]byte, 64<<20), 0)
+	d.DropCaches()
+	before := d.Stats().DiskReadOps
+
+	buf := make([]byte, 4096)
+	for i := 0; i < 20; i++ {
+		f.ReadAt(buf, int64(i)*3<<20) // far beyond any near-gap window
+	}
+	if got := d.Stats().DiskReadOps - before; got != 20 {
+		t.Fatalf("scattered reads cost %d positioning events, want 20", got)
+	}
+}
+
+func TestStreamPoolEvictsOldCursors(t *testing.T) {
+	d := New(nil, seekParams())
+	files := make([]*File, 20) // more streams than the 16-cursor pool
+	for i := range files {
+		files[i] = d.OpenFile(string(rune('a' + i)))
+		files[i].WriteAt(make([]byte, 64<<10), 0)
+	}
+	d.DropCaches()
+	buf := make([]byte, 4096)
+	// Round-robin over 20 streams: some cursors get evicted, so extra
+	// positioning events occur, but the model must not wedge or panic and
+	// must stay bounded by one event per read.
+	before := d.Stats().DiskReadOps
+	reads := 0
+	for page := 0; page < 8; page++ {
+		for _, f := range files {
+			f.ReadAt(buf, int64(page)*4096)
+			reads++
+		}
+	}
+	got := d.Stats().DiskReadOps - before
+	if got > int64(reads) {
+		t.Fatalf("%d positioning events for %d reads", got, reads)
+	}
+	if got < 20 {
+		t.Fatalf("only %d positioning events for 20 distinct streams", got)
+	}
+}
+
+func TestSyncNearHolesCheaperThanFarHoles(t *testing.T) {
+	// Two files with the same number of dirty runs; one with one-page
+	// holes (elevator hops), one with enormous holes (full strokes). The
+	// near-hole flush must be several times cheaper in modeled time.
+	clock := &simtime.Clock{Scale: 5 * time.Millisecond} // 1 sim-s = 5ms
+	p := Params{PageSize: 4096, CacheBytes: 0, SeekTime: 200 * time.Millisecond, ReadBW: 1e12, WriteBW: 1e12}
+
+	elapsed := func(strideBytes int64) time.Duration {
+		d := New(clock, p)
+		f := d.OpenFile("h")
+		for i := int64(0); i < 32; i++ {
+			f.WriteAt(make([]byte, 4096), i*strideBytes)
+		}
+		start := time.Now()
+		f.Sync()
+		return time.Since(start)
+	}
+
+	near := elapsed(2 * 4096)  // one-page holes
+	far := elapsed(600 * 4096) // beyond nearGapPages, so full strokes
+	if far < near*2 {
+		t.Fatalf("far-hole sync (%v) not clearly costlier than near-hole sync (%v)", far, near)
+	}
+}

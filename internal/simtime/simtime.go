@@ -1,0 +1,126 @@
+// Package simtime provides the scaled time base of the CSAR performance
+// model.
+//
+// All modeled costs (network transfer, disk seek and transfer) are expressed
+// in simulated time. A Clock maps simulated time onto wall-clock time by a
+// configurable scale factor, so that an experiment modeling tens of seconds
+// of 2003-era hardware runs in tens of milliseconds, while concurrency
+// effects (lock contention, pipeline overlap, shared-link saturation) still
+// emerge from real goroutine scheduling. A zero or nil Clock disables
+// timing entirely; correctness tests run untimed.
+package simtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock maps simulated durations to wall-clock sleeps.
+type Clock struct {
+	// Scale is the wall-clock duration of one simulated second.
+	// Zero disables all modeled delays.
+	Scale time.Duration
+}
+
+// Timed reports whether the clock models time at all.
+func (c *Clock) Timed() bool { return c != nil && c.Scale > 0 }
+
+// wall converts a simulated duration to a wall duration.
+func (c *Clock) wall(sim time.Duration) time.Duration {
+	if !c.Timed() {
+		return 0
+	}
+	return time.Duration(float64(sim) * float64(c.Scale) / float64(time.Second))
+}
+
+// Sleep blocks for the wall-clock equivalent of the simulated duration.
+func (c *Clock) Sleep(sim time.Duration) {
+	if w := c.wall(sim); w > 0 {
+		time.Sleep(w)
+	}
+}
+
+// SimSince converts the wall-clock time elapsed since start into simulated
+// time. It reports zero on an untimed clock.
+func (c *Clock) SimSince(start time.Time) time.Duration {
+	if !c.Timed() {
+		return 0
+	}
+	wall := time.Since(start)
+	return time.Duration(float64(wall) * float64(time.Second) / float64(c.Scale))
+}
+
+// Limiter models a serially shared resource with a fixed throughput — a NIC
+// direction, a disk arm — in simulated bytes per simulated second. Users
+// charge work against it; concurrent users queue in FIFO order, so a shared
+// link saturates exactly like a real one. The zero-rate or untimed limiter
+// admits everything instantly.
+type Limiter struct {
+	clock *Clock
+	// wallPerByte is the wall-clock cost of transferring one byte.
+	wallPerByte float64
+
+	mu       sync.Mutex
+	nextFree time.Time // wall-clock instant at which the resource is idle
+}
+
+// NewLimiter returns a limiter for a resource moving bytesPerSimSecond.
+// A non-positive rate or an untimed clock yields an unlimited limiter.
+func NewLimiter(clock *Clock, bytesPerSimSecond float64) *Limiter {
+	l := &Limiter{clock: clock}
+	if clock.Timed() && bytesPerSimSecond > 0 {
+		l.wallPerByte = float64(clock.Scale) / bytesPerSimSecond
+	}
+	return l
+}
+
+// Acquire charges the transfer of n bytes and blocks until the modeled
+// resource has carried them.
+func (l *Limiter) Acquire(n int64) {
+	if l == nil || l.wallPerByte == 0 || n <= 0 {
+		return
+	}
+	l.wait(time.Duration(float64(n) * l.wallPerByte))
+}
+
+// AcquireDur charges a fixed simulated duration (e.g. a disk seek) against
+// the resource's serial timeline.
+func (l *Limiter) AcquireDur(sim time.Duration) {
+	if l == nil || !l.clock.Timed() || sim <= 0 {
+		return
+	}
+	l.wait(l.clock.wall(sim))
+}
+
+func (l *Limiter) wait(wall time.Duration) {
+	target := l.reserve(wall)
+	if d := time.Until(target); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (l *Limiter) reserve(wall time.Duration) time.Time {
+	l.mu.Lock()
+	now := time.Now()
+	start := l.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	l.nextFree = start.Add(wall)
+	target := l.nextFree
+	l.mu.Unlock()
+	return target
+}
+
+// Reserve books the transfer of n bytes on the resource's serial timeline
+// without blocking, and returns the wall-clock instant at which the
+// transfer completes. Callers waiting on several resources at once (e.g.
+// the sender's and receiver's NICs, which operate concurrently) reserve on
+// each and sleep until the latest instant. The zero time is returned when
+// no delay is modeled.
+func (l *Limiter) Reserve(n int64) time.Time {
+	if l == nil || l.wallPerByte == 0 || n <= 0 {
+		return time.Time{}
+	}
+	return l.reserve(time.Duration(float64(n) * l.wallPerByte))
+}

@@ -1,0 +1,111 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUntimedClock(t *testing.T) {
+	var nilClock *Clock
+	if nilClock.Timed() {
+		t.Fatal("nil clock must be untimed")
+	}
+	c := &Clock{}
+	if c.Timed() {
+		t.Fatal("zero-scale clock must be untimed")
+	}
+	start := time.Now()
+	c.Sleep(time.Hour) // must not block
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("untimed Sleep blocked")
+	}
+	if c.SimSince(start) != 0 {
+		t.Fatal("untimed SimSince must be zero")
+	}
+	l := NewLimiter(c, 1)
+	l.Acquire(1 << 40) // must not block
+	l.AcquireDur(time.Hour)
+}
+
+func TestNilLimiter(t *testing.T) {
+	var l *Limiter
+	l.Acquire(100) // must not panic or block
+}
+
+func TestClockScale(t *testing.T) {
+	// 1 sim second = 10ms wall; sleeping 2 sim seconds takes about 20ms.
+	c := &Clock{Scale: 10 * time.Millisecond}
+	start := time.Now()
+	c.Sleep(2 * time.Second)
+	got := time.Since(start)
+	if got < 15*time.Millisecond || got > 200*time.Millisecond {
+		t.Fatalf("scaled sleep took %v, want about 20ms", got)
+	}
+	sim := c.SimSince(start)
+	if sim < time.Second || sim > 30*time.Second {
+		t.Fatalf("SimSince reported %v, want about 2s", sim)
+	}
+}
+
+func TestLimiterThroughput(t *testing.T) {
+	// 1 sim second = 20ms wall, rate 1e6 B/sim-s. Pushing 2e6 bytes should
+	// take about 2 sim seconds = 40ms wall.
+	c := &Clock{Scale: 20 * time.Millisecond}
+	l := NewLimiter(c, 1e6)
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		l.Acquire(100000)
+	}
+	got := time.Since(start)
+	if got < 30*time.Millisecond || got > 400*time.Millisecond {
+		t.Fatalf("transfer took %v, want about 40ms", got)
+	}
+}
+
+func TestLimiterSerializesConcurrentUsers(t *testing.T) {
+	// Two concurrent users of one link share its bandwidth: total time for
+	// 2x work is about 2x the single-user time, not 1x.
+	c := &Clock{Scale: 20 * time.Millisecond}
+	l := NewLimiter(c, 1e6)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for u := 0; u < 2; u++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				l.Acquire(100000)
+			}
+		}()
+	}
+	wg.Wait()
+	got := time.Since(start)
+	if got < 30*time.Millisecond {
+		t.Fatalf("concurrent transfers finished in %v; limiter not shared", got)
+	}
+}
+
+func TestAcquireDur(t *testing.T) {
+	c := &Clock{Scale: 10 * time.Millisecond}
+	l := NewLimiter(c, 1e9)
+	start := time.Now()
+	l.AcquireDur(3 * time.Second) // 30ms wall
+	got := time.Since(start)
+	if got < 20*time.Millisecond || got > 300*time.Millisecond {
+		t.Fatalf("AcquireDur took %v, want about 30ms", got)
+	}
+}
+
+func TestZeroAndNegativeCharges(t *testing.T) {
+	c := &Clock{Scale: 10 * time.Millisecond}
+	l := NewLimiter(c, 1)
+	start := time.Now()
+	l.Acquire(0)
+	l.Acquire(-5)
+	l.AcquireDur(0)
+	l.AcquireDur(-time.Second)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("non-positive charges must be free")
+	}
+}

@@ -1,0 +1,218 @@
+package storage
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+)
+
+// Dir is a Backend storing each file as a regular file inside a host
+// directory. It is what the standalone csar-iod daemon uses for durable
+// storage; holes are real sparse-file holes, so AllocatedBytes matches du.
+type Dir struct {
+	root string
+
+	mu    sync.Mutex
+	files map[string]*dirFile
+}
+
+// NewDir creates (if needed) and opens a directory-backed store.
+func NewDir(root string) (*Dir, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	d := &Dir{root: root, files: make(map[string]*dirFile)}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			d.files[e.Name()] = &dirFile{dir: d, name: e.Name()}
+		}
+	}
+	return d, nil
+}
+
+// Root returns the backing directory.
+func (d *Dir) Root() string { return d.root }
+
+func (d *Dir) path(name string) string { return filepath.Join(d.root, name) }
+
+// Open returns a handle to the named file, creating it if absent.
+func (d *Dir) Open(name string) File {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[name]
+	if f == nil {
+		f = &dirFile{dir: d, name: name}
+		d.files[name] = f
+	}
+	return f
+}
+
+// Remove deletes the named file.
+func (d *Dir) Remove(name string) {
+	d.mu.Lock()
+	f := d.files[name]
+	delete(d.files, name)
+	d.mu.Unlock()
+	if f != nil {
+		f.close()
+	}
+	os.Remove(d.path(name)) //nolint:errcheck // absent is fine
+}
+
+// FileNames returns all file names, sorted.
+func (d *Dir) FileNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.files))
+	for n := range d.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalBytes sums logical sizes.
+func (d *Dir) TotalBytes() int64 {
+	var n int64
+	for _, name := range d.FileNames() {
+		n += d.Open(name).Size()
+	}
+	return n
+}
+
+// AllocatedBytes sums materialized bytes (block-granular, like du).
+func (d *Dir) AllocatedBytes() int64 {
+	var n int64
+	for _, name := range d.FileNames() {
+		n += d.Open(name).Allocated()
+	}
+	return n
+}
+
+// SyncAll fsyncs every open file.
+func (d *Dir) SyncAll() {
+	for _, name := range d.FileNames() {
+		d.Open(name).Sync()
+	}
+}
+
+// DropCaches is a no-op: the host kernel owns the page cache.
+func (d *Dir) DropCaches() {}
+
+type dirFile struct {
+	dir  *Dir
+	name string
+
+	mu sync.Mutex
+	fh *os.File
+}
+
+// handle lazily opens the backing file.
+func (f *dirFile) handle() (*os.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fh == nil {
+		fh, err := os.OpenFile(f.dir.path(f.name), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		f.fh = fh
+	}
+	return f.fh, nil
+}
+
+func (f *dirFile) close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fh != nil {
+		f.fh.Close() //nolint:errcheck
+		f.fh = nil
+	}
+}
+
+// Name returns the file's name within its store.
+func (f *dirFile) Name() string { return f.name }
+
+// ReadAt fills p, zero-filling bytes beyond EOF (matching the modeled
+// disk's sparse semantics).
+func (f *dirFile) ReadAt(p []byte, off int64) (int, error) {
+	fh, err := f.handle()
+	if err != nil {
+		return 0, err
+	}
+	n, err := fh.ReadAt(p, off)
+	if err == io.EOF || (err == nil && n < len(p)) {
+		for i := n; i < len(p); i++ {
+			p[i] = 0
+		}
+		return len(p), nil
+	}
+	if err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// WriteAt writes p at off, extending the file as needed.
+func (f *dirFile) WriteAt(p []byte, off int64) (int, error) {
+	fh, err := f.handle()
+	if err != nil {
+		return 0, err
+	}
+	return fh.WriteAt(p, off)
+}
+
+// Size returns the file's logical size.
+func (f *dirFile) Size() int64 {
+	fh, err := f.handle()
+	if err != nil {
+		return 0
+	}
+	st, err := fh.Stat()
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+// Allocated returns the file's materialized bytes (512-byte block units on
+// Unix, matching du; falls back to Size where block counts are unknown).
+func (f *dirFile) Allocated() int64 {
+	fh, err := f.handle()
+	if err != nil {
+		return 0
+	}
+	st, err := fh.Stat()
+	if err != nil {
+		return 0
+	}
+	if sys, ok := st.Sys().(*syscall.Stat_t); ok {
+		return sys.Blocks * 512
+	}
+	return st.Size()
+}
+
+// Truncate sets the file size.
+func (f *dirFile) Truncate(size int64) {
+	fh, err := f.handle()
+	if err != nil {
+		return
+	}
+	fh.Truncate(size) //nolint:errcheck
+}
+
+// Sync fsyncs the file.
+func (f *dirFile) Sync() {
+	fh, err := f.handle()
+	if err != nil {
+		return
+	}
+	fh.Sync() //nolint:errcheck
+}

@@ -1,0 +1,39 @@
+// Package storage defines the I/O server's local storage abstraction and
+// its two implementations: the modeled in-memory disk (internal/simdisk,
+// used by in-process clusters and the performance experiments) and a real
+// directory-backed store (this package's Dir) that gives the standalone
+// csar-iod daemon durable files on the host file system — the same role
+// the servers' local ext2 file systems play for PVFS iods in the paper.
+package storage
+
+// Backend is one server's local storage: a flat namespace of sparse files.
+type Backend interface {
+	// Open returns a handle to the named file, creating it empty if absent.
+	Open(name string) File
+	// Remove deletes the named file.
+	Remove(name string)
+	// FileNames returns all file names, sorted.
+	FileNames() []string
+	// TotalBytes sums logical file sizes (holes included).
+	TotalBytes() int64
+	// AllocatedBytes sums materialized bytes, du-style (holes excluded).
+	AllocatedBytes() int64
+	// SyncAll flushes everything to stable storage.
+	SyncAll()
+	// DropCaches evicts cached pages, forcing subsequent reads to storage.
+	// Backends without a modeled cache may treat it as a no-op.
+	DropCaches()
+}
+
+// File is a handle to one file on a Backend. Reads of holes and of offsets
+// beyond the current size return zeros (CSAR treats sparse regions of its
+// stores as zero-filled).
+type File interface {
+	Name() string
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Size() int64
+	Allocated() int64
+	Truncate(size int64)
+	Sync()
+}

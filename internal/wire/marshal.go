@@ -1,0 +1,299 @@
+package wire
+
+import "fmt"
+
+// Marshal serializes a message as a kind byte followed by its body.
+func Marshal(m Msg) []byte {
+	e := Encoder{Buf: make([]byte, 0, 64)}
+	e.U8(uint8(m.Kind()))
+	m.encode(&e)
+	return e.Buf
+}
+
+// Unmarshal parses a message produced by Marshal.
+func Unmarshal(b []byte) (Msg, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("wire: empty message")
+	}
+	mk, ok := registry[Kind(b[0])]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown message kind %d", b[0])
+	}
+	m := mk()
+	d := Decoder{Buf: b[1:]}
+	m.decode(&d)
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("wire: decoding %T: %w", m, err)
+	}
+	return m, nil
+}
+
+var registry = map[Kind]func() Msg{
+	KError:              func() Msg { return &Error{} },
+	KOK:                 func() Msg { return &OK{} },
+	KPing:               func() Msg { return &Ping{} },
+	KRead:               func() Msg { return &Read{} },
+	KReadResp:           func() Msg { return &ReadResp{} },
+	KWriteData:          func() Msg { return &WriteData{} },
+	KWriteMirror:        func() Msg { return &WriteMirror{} },
+	KReadMirror:         func() Msg { return &ReadMirror{} },
+	KReadParity:         func() Msg { return &ReadParity{} },
+	KWriteParity:        func() Msg { return &WriteParity{} },
+	KWriteOverflow:      func() Msg { return &WriteOverflow{} },
+	KInvalidateOverflow: func() Msg { return &InvalidateOverflow{} },
+	KOverflowDump:       func() Msg { return &OverflowDump{} },
+	KOverflowDumpResp:   func() Msg { return &OverflowDumpResp{} },
+	KSync:               func() Msg { return &Sync{} },
+	KDropCaches:         func() Msg { return &DropCaches{} },
+	KStorageStat:        func() Msg { return &StorageStat{} },
+	KStorageStatResp:    func() Msg { return &StorageStatResp{} },
+	KRemoveFile:         func() Msg { return &RemoveFile{} },
+	KCompactOverflow:    func() Msg { return &CompactOverflow{} },
+	KCreate:             func() Msg { return &Create{} },
+	KCreateResp:         func() Msg { return &CreateResp{} },
+	KOpen:               func() Msg { return &Open{} },
+	KOpenResp:           func() Msg { return &OpenResp{} },
+	KSetSize:            func() Msg { return &SetSize{} },
+	KRemove:             func() Msg { return &Remove{} },
+	KList:               func() Msg { return &List{} },
+	KListResp:           func() Msg { return &ListResp{} },
+	KServerList:         func() Msg { return &ServerList{} },
+	KServerListResp:     func() Msg { return &ServerListResp{} },
+}
+
+func (m *Error) Kind() Kind        { return KError }
+func (m *Error) encode(e *Encoder) { e.Str(m.Text) }
+func (m *Error) decode(d *Decoder) { m.Text = d.Str() }
+func (m *Error) Error() string     { return m.Text }
+
+func (m *OK) Kind() Kind      { return KOK }
+func (m *OK) encode(*Encoder) {}
+func (m *OK) decode(*Decoder) {}
+
+func (m *Ping) Kind() Kind      { return KPing }
+func (m *Ping) encode(*Encoder) {}
+func (m *Ping) decode(*Decoder) {}
+
+func (m *Read) Kind() Kind { return KRead }
+func (m *Read) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.Spans(m.Spans)
+	e.Bool(m.Raw)
+}
+func (m *Read) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Spans = d.Spans()
+	m.Raw = d.Bool()
+}
+
+func (m *ReadResp) Kind() Kind        { return KReadResp }
+func (m *ReadResp) encode(e *Encoder) { e.Bytes(m.Data) }
+func (m *ReadResp) decode(d *Decoder) { m.Data = d.BytesCopy() }
+
+func (m *WriteData) Kind() Kind { return KWriteData }
+func (m *WriteData) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.Spans(m.Spans)
+	e.Bytes(m.Data)
+}
+func (m *WriteData) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Spans = d.Spans()
+	m.Data = d.BytesCopy()
+}
+
+func (m *WriteMirror) Kind() Kind { return KWriteMirror }
+func (m *WriteMirror) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.Spans(m.Spans)
+	e.Bytes(m.Data)
+}
+func (m *WriteMirror) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Spans = d.Spans()
+	m.Data = d.BytesCopy()
+}
+
+func (m *ReadMirror) Kind() Kind { return KReadMirror }
+func (m *ReadMirror) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.Spans(m.Spans)
+}
+func (m *ReadMirror) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Spans = d.Spans()
+}
+
+func (m *ReadParity) Kind() Kind { return KReadParity }
+func (m *ReadParity) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.I64s(m.Stripes)
+	e.Bool(m.Lock)
+}
+func (m *ReadParity) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Stripes = d.I64sDec()
+	m.Lock = d.Bool()
+}
+
+func (m *WriteParity) Kind() Kind { return KWriteParity }
+func (m *WriteParity) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.I64s(m.Stripes)
+	e.Bytes(m.Data)
+	e.Bool(m.Unlock)
+}
+func (m *WriteParity) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Stripes = d.I64sDec()
+	m.Data = d.BytesCopy()
+	m.Unlock = d.Bool()
+}
+
+func (m *WriteOverflow) Kind() Kind { return KWriteOverflow }
+func (m *WriteOverflow) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.Spans(m.Extents)
+	e.Bytes(m.Data)
+	e.Bool(m.Mirror)
+}
+func (m *WriteOverflow) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Extents = d.Spans()
+	m.Data = d.BytesCopy()
+	m.Mirror = d.Bool()
+}
+
+func (m *InvalidateOverflow) Kind() Kind { return KInvalidateOverflow }
+func (m *InvalidateOverflow) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.Spans(m.Spans)
+	e.Bool(m.Mirror)
+}
+func (m *InvalidateOverflow) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Spans = d.Spans()
+	m.Mirror = d.Bool()
+}
+
+func (m *OverflowDump) Kind() Kind { return KOverflowDump }
+func (m *OverflowDump) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.Bool(m.Mirror)
+}
+func (m *OverflowDump) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Mirror = d.Bool()
+}
+
+func (m *OverflowDumpResp) Kind() Kind { return KOverflowDumpResp }
+func (m *OverflowDumpResp) encode(e *Encoder) {
+	e.Spans(m.Extents)
+	e.Bytes(m.Data)
+}
+func (m *OverflowDumpResp) decode(d *Decoder) {
+	m.Extents = d.Spans()
+	m.Data = d.BytesCopy()
+}
+
+func (m *Sync) Kind() Kind        { return KSync }
+func (m *Sync) encode(e *Encoder) { e.FileRef(m.File) }
+func (m *Sync) decode(d *Decoder) { m.File = d.FileRef() }
+
+func (m *DropCaches) Kind() Kind      { return KDropCaches }
+func (m *DropCaches) encode(*Encoder) {}
+func (m *DropCaches) decode(*Decoder) {}
+
+func (m *StorageStat) Kind() Kind        { return KStorageStat }
+func (m *StorageStat) encode(e *Encoder) { e.U64(m.FileID) }
+func (m *StorageStat) decode(d *Decoder) { m.FileID = d.U64() }
+
+func (m *StorageStatResp) Kind() Kind { return KStorageStatResp }
+func (m *StorageStatResp) encode(e *Encoder) {
+	e.I64(m.Total)
+	for _, v := range m.ByStore {
+		e.I64(v)
+	}
+}
+func (m *StorageStatResp) decode(d *Decoder) {
+	m.Total = d.I64()
+	for i := range m.ByStore {
+		m.ByStore[i] = d.I64()
+	}
+}
+
+func (m *RemoveFile) Kind() Kind        { return KRemoveFile }
+func (m *RemoveFile) encode(e *Encoder) { e.FileRef(m.File) }
+func (m *RemoveFile) decode(d *Decoder) { m.File = d.FileRef() }
+
+func (m *CompactOverflow) Kind() Kind { return KCompactOverflow }
+func (m *CompactOverflow) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.Bool(m.Mirror)
+}
+func (m *CompactOverflow) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Mirror = d.Bool()
+}
+
+func (m *Create) Kind() Kind { return KCreate }
+func (m *Create) encode(e *Encoder) {
+	e.Str(m.Name)
+	e.U16(m.Servers)
+	e.U32(m.StripeUnit)
+	e.U8(uint8(m.Scheme))
+}
+func (m *Create) decode(d *Decoder) {
+	m.Name = d.Str()
+	m.Servers = d.U16()
+	m.StripeUnit = d.U32()
+	m.Scheme = Scheme(d.U8())
+}
+
+func (m *CreateResp) Kind() Kind        { return KCreateResp }
+func (m *CreateResp) encode(e *Encoder) { e.FileRef(m.Ref) }
+func (m *CreateResp) decode(d *Decoder) { m.Ref = d.FileRef() }
+
+func (m *Open) Kind() Kind        { return KOpen }
+func (m *Open) encode(e *Encoder) { e.Str(m.Name) }
+func (m *Open) decode(d *Decoder) { m.Name = d.Str() }
+
+func (m *OpenResp) Kind() Kind { return KOpenResp }
+func (m *OpenResp) encode(e *Encoder) {
+	e.FileRef(m.Ref)
+	e.I64(m.Size)
+}
+func (m *OpenResp) decode(d *Decoder) {
+	m.Ref = d.FileRef()
+	m.Size = d.I64()
+}
+
+func (m *SetSize) Kind() Kind { return KSetSize }
+func (m *SetSize) encode(e *Encoder) {
+	e.U64(m.ID)
+	e.I64(m.Size)
+}
+func (m *SetSize) decode(d *Decoder) {
+	m.ID = d.U64()
+	m.Size = d.I64()
+}
+
+func (m *Remove) Kind() Kind        { return KRemove }
+func (m *Remove) encode(e *Encoder) { e.Str(m.Name) }
+func (m *Remove) decode(d *Decoder) { m.Name = d.Str() }
+
+func (m *List) Kind() Kind      { return KList }
+func (m *List) encode(*Encoder) {}
+func (m *List) decode(*Decoder) {}
+
+func (m *ListResp) Kind() Kind        { return KListResp }
+func (m *ListResp) encode(e *Encoder) { e.Strs(m.Names) }
+func (m *ListResp) decode(d *Decoder) { m.Names = d.Strs() }
+
+func (m *ServerList) Kind() Kind      { return KServerList }
+func (m *ServerList) encode(*Encoder) {}
+func (m *ServerList) decode(*Decoder) {}
+
+func (m *ServerListResp) Kind() Kind        { return KServerListResp }
+func (m *ServerListResp) encode(e *Encoder) { e.Strs(m.Addrs) }
+func (m *ServerListResp) decode(d *Decoder) { m.Addrs = d.Strs() }

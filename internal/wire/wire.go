@@ -1,0 +1,503 @@
+// Package wire defines the CSAR on-the-wire protocol: the redundancy scheme
+// identifiers, the file reference carried by every I/O request, and the
+// binary encoding of all client↔manager and client↔I/O-server messages.
+//
+// The protocol mirrors the PVFS architecture the paper extends: clients
+// obtain a file's layout from the manager once, then talk to the I/O
+// servers directly. Servers are stateless with respect to clients — every
+// request carries the compact file reference (ID, stripe geometry, scheme),
+// so a server can be restarted or a client can fail without any session
+// cleanup.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Scheme identifies a redundancy scheme. The first four are the schemes the
+// paper evaluates; the last two are the instrumented variants used in its
+// microbenchmarks (Figure 3's R5 NO LOCK and Figure 4a's RAID5-npc).
+type Scheme uint8
+
+const (
+	// Raid0 is plain PVFS striping with no redundancy.
+	Raid0 Scheme = iota
+	// Raid1 mirrors every stripe unit onto the next server's redundancy file.
+	Raid1
+	// Raid5 keeps one rotating parity unit per stripe of N-1 data units.
+	Raid5
+	// Hybrid writes full stripes as RAID5 and partial stripes as mirrored
+	// overflow-region writes — the paper's contribution.
+	Hybrid
+	// Raid5NoLock is RAID5 with the parity-consistency locking disabled.
+	// It transfers the same bytes but may corrupt parity under concurrency;
+	// it exists only to measure the locking overhead (Figure 3).
+	Raid5NoLock
+	// Raid5NPC is RAID5 with the client's parity computation elided (the
+	// parity buffer is written without being XOR-computed). It isolates the
+	// CPU cost of parity generation (Figure 4a).
+	Raid5NPC
+)
+
+var schemeNames = map[Scheme]string{
+	Raid0:       "raid0",
+	Raid1:       "raid1",
+	Raid5:       "raid5",
+	Hybrid:      "hybrid",
+	Raid5NoLock: "raid5-nolock",
+	Raid5NPC:    "raid5-npc",
+}
+
+func (s Scheme) String() string {
+	if n, ok := schemeNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("scheme(%d)", uint8(s))
+}
+
+// ParseScheme converts a scheme name as printed by String back to a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	for s, n := range schemeNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("wire: unknown scheme %q", name)
+}
+
+// UsesParity reports whether the scheme maintains RAID5-style parity.
+func (s Scheme) UsesParity() bool {
+	switch s {
+	case Raid5, Hybrid, Raid5NoLock, Raid5NPC:
+		return true
+	}
+	return false
+}
+
+// UsesMirror reports whether the scheme maintains RAID1-style whole-unit
+// mirrors of in-place data.
+func (s Scheme) UsesMirror() bool { return s == Raid1 }
+
+// UsesLocking reports whether partial-stripe parity updates take the
+// distributed parity lock.
+func (s Scheme) UsesLocking() bool {
+	switch s {
+	case Raid5, Hybrid, Raid5NPC:
+		return true
+	}
+	return false
+}
+
+// FileRef is the compact file description carried in every I/O request.
+type FileRef struct {
+	ID         uint64
+	Servers    uint16
+	StripeUnit uint32
+	Scheme     Scheme
+}
+
+// Span is a byte range [Off, Off+Len) of the logical file.
+type Span struct {
+	Off int64
+	Len int64
+}
+
+// Kind identifies a message type.
+type Kind uint8
+
+// Message kinds. Requests and responses share one space.
+const (
+	KError Kind = iota + 1
+	KOK
+	KPing
+
+	// I/O server requests.
+	KRead
+	KReadResp
+	KWriteData
+	KWriteMirror
+	KReadMirror
+	KReadParity
+	KWriteParity
+	KWriteOverflow
+	KInvalidateOverflow
+	KOverflowDump
+	KOverflowDumpResp
+	KSync
+	KDropCaches
+	KStorageStat
+	KStorageStatResp
+	KRemoveFile
+	KCompactOverflow
+
+	// Manager requests.
+	KCreate
+	KCreateResp
+	KOpen
+	KOpenResp
+	KSetSize
+	KRemove
+	KList
+	KListResp
+	KServerList
+	KServerListResp
+)
+
+// Msg is one protocol message.
+type Msg interface {
+	Kind() Kind
+	encode(e *Encoder)
+	decode(d *Decoder)
+}
+
+// Error is the generic failure response; the RPC layer converts it to a Go
+// error on the caller's side.
+type Error struct{ Text string }
+
+// OK is the empty success response.
+type OK struct{}
+
+// Ping checks liveness.
+type Ping struct{}
+
+// Read asks an I/O server for the given logical spans of a file. The server
+// returns the newest data, patching in overflow-region contents, unless Raw
+// is set (recovery wants the in-place data file contents only).
+type Read struct {
+	File  FileRef
+	Spans []Span
+	Raw   bool
+}
+
+// ReadResp carries the concatenated bytes of the requested spans or stripes.
+type ReadResp struct{ Data []byte }
+
+// WriteData writes the given logical spans in place into the data file.
+type WriteData struct {
+	File  FileRef
+	Spans []Span
+	Data  []byte
+}
+
+// WriteMirror writes the RAID1 mirror copies of the given logical spans into
+// the redundancy file. The receiving server is the mirror server of the
+// spans' stripe units.
+type WriteMirror struct {
+	File  FileRef
+	Spans []Span
+	Data  []byte
+}
+
+// ReadMirror reads mirror copies (for degraded reads and verification).
+type ReadMirror struct {
+	File  FileRef
+	Spans []Span
+}
+
+// ReadParity reads whole parity units of the listed stripes. With Lock set,
+// the server acquires the stripe's parity lock before answering (the
+// Section 5.1 protocol: a parity read announces a partial-stripe update).
+type ReadParity struct {
+	File    FileRef
+	Stripes []int64
+	Lock    bool
+}
+
+// WriteParity writes whole parity units of the listed stripes. With Unlock
+// set it releases the parity locks taken by a prior locked ReadParity.
+type WriteParity struct {
+	File    FileRef
+	Stripes []int64
+	Data    []byte
+	Unlock  bool
+}
+
+// WriteOverflow appends new data for the given logical extents into the
+// overflow region (Mirror selects the overflow-mirror store) and records
+// them in the overflow table.
+type WriteOverflow struct {
+	File    FileRef
+	Extents []Span
+	Data    []byte
+	Mirror  bool
+}
+
+// InvalidateOverflow removes overflow-table coverage of the given spans;
+// sent when a full-stripe write migrates data back to RAID5.
+type InvalidateOverflow struct {
+	File   FileRef
+	Spans  []Span
+	Mirror bool
+}
+
+// OverflowDump returns a server's entire overflow table and contents for a
+// file; used by recovery and by storage accounting tests.
+type OverflowDump struct {
+	File   FileRef
+	Mirror bool
+}
+
+// OverflowDumpResp carries the overflow extents, with Data holding the
+// concatenation of each extent's bytes in order.
+type OverflowDumpResp struct {
+	Extents []Span
+	Data    []byte
+}
+
+// Sync flushes a file's server-side stores to the modeled disk.
+type Sync struct{ File FileRef }
+
+// DropCaches empties the server's page cache (between experiment phases).
+type DropCaches struct{}
+
+// StorageStat reports the bytes stored for one file (or the whole disk when
+// FileID is zero), broken down by store.
+type StorageStat struct{ FileID uint64 }
+
+// StorageStatResp is the reply to StorageStat. ByStore is indexed by the
+// server store kinds: data, mirror, parity, overflow, overflow-mirror.
+type StorageStatResp struct {
+	Total   int64
+	ByStore [5]int64
+}
+
+// RemoveFile deletes every local store of the file.
+type RemoveFile struct{ File FileRef }
+
+// CompactOverflow rewrites a file's overflow store (or its mirror) keeping
+// only live extents, reclaiming the space of superseded and invalidated
+// slots. It implements the storage-recovery process the paper sketches in
+// Section 6.7.
+type CompactOverflow struct {
+	File   FileRef
+	Mirror bool
+}
+
+// Create asks the manager to create a file with the given layout.
+type Create struct {
+	Name       string
+	Servers    uint16
+	StripeUnit uint32
+	Scheme     Scheme
+}
+
+// CreateResp returns the new file's reference.
+type CreateResp struct{ Ref FileRef }
+
+// Open looks a file up by name.
+type Open struct{ Name string }
+
+// OpenResp returns a file's reference and current logical size.
+type OpenResp struct {
+	Ref  FileRef
+	Size int64
+}
+
+// SetSize raises the manager's recorded logical file size after a write.
+// The manager keeps the maximum of all reported sizes.
+type SetSize struct {
+	ID   uint64
+	Size int64
+}
+
+// Remove deletes a file's metadata at the manager.
+type Remove struct{ Name string }
+
+// List enumerates file names.
+type List struct{}
+
+// ListResp is the reply to List.
+type ListResp struct{ Names []string }
+
+// ServerList asks the manager for the I/O server addresses.
+type ServerList struct{}
+
+// ServerListResp is the reply to ServerList.
+type ServerListResp struct{ Addrs []string }
+
+// --- encoding ---
+
+// Encoder appends fixed-width little-endian values to a buffer.
+type Encoder struct{ Buf []byte }
+
+func (e *Encoder) U8(v uint8) { e.Buf = append(e.Buf, v) }
+
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+func (e *Encoder) U16(v uint16) { e.Buf = binary.LittleEndian.AppendUint16(e.Buf, v) }
+func (e *Encoder) U32(v uint32) { e.Buf = binary.LittleEndian.AppendUint32(e.Buf, v) }
+func (e *Encoder) U64(v uint64) { e.Buf = binary.LittleEndian.AppendUint64(e.Buf, v) }
+func (e *Encoder) I64(v int64)  { e.U64(uint64(v)) }
+
+func (e *Encoder) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.Buf = append(e.Buf, s...)
+}
+
+func (e *Encoder) Bytes(b []byte) {
+	e.U32(uint32(len(b)))
+	e.Buf = append(e.Buf, b...)
+}
+
+func (e *Encoder) Spans(s []Span) {
+	e.U32(uint32(len(s)))
+	for _, sp := range s {
+		e.I64(sp.Off)
+		e.I64(sp.Len)
+	}
+}
+
+func (e *Encoder) I64s(v []int64) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.I64(x)
+	}
+}
+
+func (e *Encoder) Strs(v []string) {
+	e.U32(uint32(len(v)))
+	for _, s := range v {
+		e.Str(s)
+	}
+}
+
+func (e *Encoder) FileRef(r FileRef) {
+	e.U64(r.ID)
+	e.U16(r.Servers)
+	e.U32(r.StripeUnit)
+	e.U8(uint8(r.Scheme))
+}
+
+// Decoder reads fixed-width little-endian values from a buffer, latching
+// the first error.
+type Decoder struct {
+	Buf []byte
+	off int
+	err error
+}
+
+// Err returns the first decoding error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: truncated message (offset %d of %d)", d.off, len(d.Buf))
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil || n < 0 || d.off+n > len(d.Buf) {
+		d.fail()
+		return nil
+	}
+	b := d.Buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+func (d *Decoder) Str() string {
+	n := int(d.U32())
+	b := d.take(n)
+	return string(b)
+}
+
+func (d *Decoder) BytesCopy() []byte {
+	n := int(d.U32())
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (d *Decoder) Spans() []Span {
+	n := int(d.U32())
+	if d.err != nil || n < 0 || n > len(d.Buf) {
+		d.fail()
+		return nil
+	}
+	s := make([]Span, n)
+	for i := range s {
+		s[i].Off = d.I64()
+		s[i].Len = d.I64()
+	}
+	return s
+}
+
+func (d *Decoder) I64sDec() []int64 {
+	n := int(d.U32())
+	if d.err != nil || n < 0 || n > len(d.Buf) {
+		d.fail()
+		return nil
+	}
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = d.I64()
+	}
+	return v
+}
+
+func (d *Decoder) Strs() []string {
+	n := int(d.U32())
+	if d.err != nil || n < 0 || n > len(d.Buf) {
+		d.fail()
+		return nil
+	}
+	v := make([]string, n)
+	for i := range v {
+		v[i] = d.Str()
+	}
+	return v
+}
+
+func (d *Decoder) FileRef() FileRef {
+	var r FileRef
+	r.ID = d.U64()
+	r.Servers = d.U16()
+	r.StripeUnit = d.U32()
+	r.Scheme = Scheme(d.U8())
+	return r
+}

@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Msg) Msg {
+	t.Helper()
+	b := Marshal(m)
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("unmarshal %T: %v", m, err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip of %T:\n sent %+v\n got  %+v", m, m, got)
+	}
+	return got
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	ref := FileRef{ID: 42, Servers: 7, StripeUnit: 65536, Scheme: Hybrid}
+	spans := []Span{{0, 100}, {4096, 65536}}
+	data := []byte("payload bytes")
+	msgs := []Msg{
+		&Error{Text: "boom"},
+		&OK{},
+		&Ping{},
+		&Read{File: ref, Spans: spans, Raw: true},
+		&ReadResp{Data: data},
+		&WriteData{File: ref, Spans: spans, Data: data},
+		&WriteMirror{File: ref, Spans: spans, Data: data},
+		&ReadMirror{File: ref, Spans: spans},
+		&ReadParity{File: ref, Stripes: []int64{3, 9}, Lock: true},
+		&WriteParity{File: ref, Stripes: []int64{3}, Data: data, Unlock: true},
+		&WriteOverflow{File: ref, Extents: spans, Data: data, Mirror: true},
+		&InvalidateOverflow{File: ref, Spans: spans, Mirror: true},
+		&OverflowDump{File: ref, Mirror: true},
+		&OverflowDumpResp{Extents: spans, Data: data},
+		&Sync{File: ref},
+		&DropCaches{},
+		&StorageStat{FileID: 9},
+		&StorageStatResp{Total: 500, ByStore: [5]int64{1, 2, 3, 4, 490}},
+		&RemoveFile{File: ref},
+		&CompactOverflow{File: ref, Mirror: true},
+		&Create{Name: "f", Servers: 4, StripeUnit: 1024, Scheme: Raid5},
+		&CreateResp{Ref: ref},
+		&Open{Name: "f"},
+		&OpenResp{Ref: ref, Size: 12345},
+		&SetSize{ID: 42, Size: 777},
+		&Remove{Name: "f"},
+		&List{},
+		&ListResp{Names: []string{"a", "b"}},
+		&ServerList{},
+		&ServerListResp{Addrs: []string{"127.0.0.1:7000"}},
+	}
+	seen := map[Kind]bool{}
+	for _, m := range msgs {
+		roundTrip(t, m)
+		if seen[m.Kind()] {
+			t.Fatalf("duplicate kind %d in test set", m.Kind())
+		}
+		seen[m.Kind()] = true
+	}
+	if len(seen) != len(registry) {
+		t.Fatalf("test covers %d kinds, registry has %d", len(seen), len(registry))
+	}
+}
+
+func TestRoundTripEmptySlices(t *testing.T) {
+	// nil and empty slices must survive; decoders produce consistent values.
+	m := &Read{File: FileRef{ID: 1, Servers: 3, StripeUnit: 8, Scheme: Raid0}}
+	b := Marshal(m)
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got.(*Read)
+	if len(r.Spans) != 0 {
+		t.Fatalf("spans = %v", r.Spans)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("empty message accepted")
+	}
+	if _, err := Unmarshal([]byte{0xEE}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// Truncated body.
+	b := Marshal(&Open{Name: "a-long-file-name"})
+	if _, err := Unmarshal(b[:len(b)-3]); err == nil {
+		t.Fatal("truncated message accepted")
+	}
+}
+
+func TestUnmarshalRandomBytesNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, r.Intn(64))
+		r.Read(b)
+		Unmarshal(b) // must not panic regardless of outcome
+	}
+}
+
+func TestUnmarshalHostileLengthPrefix(t *testing.T) {
+	// A length prefix far larger than the buffer must error, not allocate.
+	e := Encoder{}
+	e.U8(uint8(KListResp))
+	e.U32(0xFFFFFFFF)
+	if _, err := Unmarshal(e.Buf); err == nil {
+		t.Fatal("hostile length accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	for _, s := range []Scheme{Raid0, Raid1, Raid5, Hybrid, Raid5NoLock, Raid5NPC} {
+		name := s.String()
+		got, err := ParseScheme(name)
+		if err != nil || got != s {
+			t.Fatalf("ParseScheme(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseScheme("nope"); err == nil {
+		t.Fatal("bad scheme name accepted")
+	}
+	if Scheme(200).String() == "" {
+		t.Fatal("unknown scheme has empty String")
+	}
+}
+
+func TestSchemepredicates(t *testing.T) {
+	cases := []struct {
+		s                     Scheme
+		parity, mirror, locks bool
+	}{
+		{Raid0, false, false, false},
+		{Raid1, false, true, false},
+		{Raid5, true, false, true},
+		{Hybrid, true, false, true},
+		{Raid5NoLock, true, false, false},
+		{Raid5NPC, true, false, true},
+	}
+	for _, c := range cases {
+		if c.s.UsesParity() != c.parity || c.s.UsesMirror() != c.mirror || c.s.UsesLocking() != c.locks {
+			t.Errorf("%v predicates wrong", c.s)
+		}
+	}
+}
+
+func TestEncoderDecoderPrimitives(t *testing.T) {
+	f := func(a uint8, b uint16, c uint32, dd uint64, s string, raw []byte) bool {
+		var e Encoder
+		e.U8(a)
+		e.U16(b)
+		e.U32(c)
+		e.U64(dd)
+		e.Str(s)
+		e.Bytes(raw)
+		e.I64(-12345)
+		d := Decoder{Buf: e.Buf}
+		ok := d.U8() == a && d.U16() == b && d.U32() == c && d.U64() == dd &&
+			d.Str() == s && bytes.Equal(d.BytesCopy(), raw) && d.I64() == -12345
+		return ok && d.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

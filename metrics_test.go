@@ -1,0 +1,100 @@
+package csar_test
+
+import (
+	"testing"
+
+	"csar"
+)
+
+func TestMetricsTrackSchemeDecisions(t *testing.T) {
+	c := newTestCluster(t, 4) // stripe = 3 * 4096
+	cl := c.NewClient()
+	f, err := cl.Create("m", csar.FileOptions{Scheme: csar.Hybrid, StripeUnit: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One aligned full stripe, one small partial, one mixed write.
+	f.WriteAt(make([]byte, 3*4096), 0)      // full-stripe portion only
+	f.WriteAt(make([]byte, 100), 500)       // overflow portion only
+	f.WriteAt(make([]byte, 2*3*4096), 6000) // overflow head + body + tail
+	buf := make([]byte, 1000)
+	f.ReadAt(buf, 0)
+
+	m := cl.Metrics()
+	if m.Writes != 3 || m.Reads != 1 {
+		t.Fatalf("writes=%d reads=%d", m.Writes, m.Reads)
+	}
+	if m.WriteBytes != 3*4096+100+2*3*4096 {
+		t.Fatalf("writeBytes=%d", m.WriteBytes)
+	}
+	if m.ReadBytes != 1000 {
+		t.Fatalf("readBytes=%d", m.ReadBytes)
+	}
+	if m.FullStripes != 2 { // writes 1 and 3 each have one body portion
+		t.Fatalf("fullStripes=%d", m.FullStripes)
+	}
+	if m.OverflowWrites != 3 { // write 2, plus write 3's head and tail
+		t.Fatalf("overflowWrites=%d", m.OverflowWrites)
+	}
+	if m.RMWs != 0 || m.MirrorWrites != 0 {
+		t.Fatalf("hybrid did RMW/mirror: %+v", m)
+	}
+}
+
+func TestMetricsRMWAndMirror(t *testing.T) {
+	c := newTestCluster(t, 4)
+	cl := c.NewClient()
+
+	f5, err := cl.Create("r5", csar.FileOptions{Scheme: csar.Raid5, StripeUnit: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5.WriteAt(make([]byte, 100), 0) // partial -> RMW under RAID5
+	if m := cl.Metrics(); m.RMWs != 1 {
+		t.Fatalf("rmws=%d", m.RMWs)
+	}
+
+	f1, err := cl.Create("r1", csar.FileOptions{Scheme: csar.Raid1, StripeUnit: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1.WriteAt(make([]byte, 100), 0)
+	if m := cl.Metrics(); m.MirrorWrites != 1 {
+		t.Fatalf("mirrorWrites=%d", m.MirrorWrites)
+	}
+}
+
+func TestMetricsDegradedCounters(t *testing.T) {
+	c := newTestCluster(t, 4)
+	cl := c.NewClient()
+	f, err := cl.Create("d", csar.FileOptions{Scheme: csar.Raid5, StripeUnit: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt(make([]byte, 3*4096), 0)
+	c.StopServer(2)
+	cl.MarkDown(2)
+	f.ReadAt(make([]byte, 100), 0)
+	f.WriteAt(make([]byte, 100), 0)
+	m := cl.Metrics()
+	if m.DegradedReads != 1 || m.DegradedWrites != 1 {
+		t.Fatalf("degraded reads=%d writes=%d", m.DegradedReads, m.DegradedWrites)
+	}
+}
+
+func TestMetricsCompaction(t *testing.T) {
+	c := newTestCluster(t, 4)
+	cl := c.NewClient()
+	f, err := cl.Create("c", csar.FileOptions{Scheme: csar.Hybrid, StripeUnit: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt(make([]byte, 200), 10)
+	if err := f.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if m := cl.Metrics(); m.Compactions != 1 {
+		t.Fatalf("compactions=%d", m.Compactions)
+	}
+}

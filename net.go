@@ -1,0 +1,44 @@
+package csar
+
+import (
+	"fmt"
+	"net"
+
+	"csar/internal/client"
+	"csar/internal/rpc"
+	"csar/internal/wire"
+)
+
+// Dial connects to a running CSAR deployment: it contacts the manager at
+// mgrAddr, asks it for the I/O server addresses, and opens a connection to
+// every server. The returned client is ready for Create/Open.
+//
+// Deployments are started with the csar-mgr and csar-iod commands; see
+// their documentation for the wiring.
+func Dial(mgrAddr string) (*Client, error) {
+	mconn, err := net.Dial("tcp", mgrAddr)
+	if err != nil {
+		return nil, fmt.Errorf("csar: dial manager: %w", err)
+	}
+	mgr := rpc.NewClient(mconn, nil, nil)
+	resp, err := mgr.Call(&wire.ServerList{})
+	if err != nil {
+		mgr.Close()
+		return nil, fmt.Errorf("csar: server list: %w", err)
+	}
+	addrs := resp.(*wire.ServerListResp).Addrs
+	if len(addrs) == 0 {
+		mgr.Close()
+		return nil, fmt.Errorf("csar: manager reports no I/O servers")
+	}
+	callers := make([]client.Caller, len(addrs))
+	for i, a := range addrs {
+		conn, err := net.Dial("tcp", a)
+		if err != nil {
+			mgr.Close()
+			return nil, fmt.Errorf("csar: dial iod %d (%s): %w", i, a, err)
+		}
+		callers[i] = rpc.NewClient(conn, nil, nil)
+	}
+	return &Client{inner: client.New(mgr, callers)}, nil
+}

@@ -1,0 +1,59 @@
+package csar
+
+import "csar/internal/mpio"
+
+// Req is one rank's I/O request in a collective operation: Data is written
+// at Off (CollectiveWrite) or filled from Off (CollectiveRead).
+type Req struct {
+	Off  int64
+	Data []byte
+}
+
+// Rank is one process of an SPMD parallel program, in the style of MPI.
+type Rank struct {
+	inner *mpio.Rank
+}
+
+// RunParallel executes fn on `ranks` concurrent ranks sharing one
+// communicator, like an MPI program launched with mpirun -np ranks. It
+// returns the joined errors of all ranks.
+//
+// Collective I/O through the ranks reproduces ROMIO's two-phase collective
+// buffering: each rank's small, non-contiguous requests are merged into
+// large contiguous writes before reaching the file system — the
+// transformation that makes BTIO's output appear to PVFS as ~4 MB requests
+// (Section 6.5 of the paper).
+func RunParallel(ranks int, fn func(r *Rank) error) error {
+	return mpio.Run(ranks, func(r *mpio.Rank) error {
+		return fn(&Rank{inner: r})
+	})
+}
+
+// ID returns the rank number in [0, Size).
+func (r *Rank) ID() int { return r.inner.ID() }
+
+// Size returns the number of ranks.
+func (r *Rank) Size() int { return r.inner.Size() }
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier() { r.inner.Barrier() }
+
+// CollectiveWrite performs a collectively buffered write of every rank's
+// requests. All ranks must call it, even with no requests.
+func (r *Rank) CollectiveWrite(f *File, reqs []Req) error {
+	return r.inner.CollectiveWrite(f.inner, toMPIO(reqs))
+}
+
+// CollectiveRead performs a collectively buffered read filling every
+// rank's request buffers. All ranks must call it, even with no requests.
+func (r *Rank) CollectiveRead(f *File, reqs []Req) error {
+	return r.inner.CollectiveRead(f.inner, toMPIO(reqs))
+}
+
+func toMPIO(reqs []Req) []mpio.Req {
+	out := make([]mpio.Req, len(reqs))
+	for i, q := range reqs {
+		out[i] = mpio.Req{Off: q.Off, Data: q.Data}
+	}
+	return out
+}

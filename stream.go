@@ -1,0 +1,73 @@
+package csar
+
+import (
+	"fmt"
+	"io"
+)
+
+// Stream is a sequential cursor over a CSAR file implementing io.Reader,
+// io.Writer, io.Seeker and io.Closer — the interface sequential
+// applications (like the paper's Hartree-Fock code, which writes its
+// integral file front to back in 16 KB requests) expect. Close flushes the
+// file. A Stream is not safe for concurrent use; open one per goroutine.
+type Stream struct {
+	f   *File
+	pos int64
+}
+
+// Stream returns a sequential cursor positioned at the start of the file.
+func (f *File) Stream() *Stream { return &Stream{f: f} }
+
+// Read reads from the current position, returning io.EOF at the file's
+// logical size.
+func (s *Stream) Read(p []byte) (int, error) {
+	size := s.f.Size()
+	if s.pos >= size {
+		return 0, io.EOF
+	}
+	if max := size - s.pos; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err := s.f.ReadAt(p, s.pos)
+	s.pos += int64(n)
+	return n, err
+}
+
+// Write writes at the current position, advancing it.
+func (s *Stream) Write(p []byte) (int, error) {
+	n, err := s.f.WriteAt(p, s.pos)
+	s.pos += int64(n)
+	return n, err
+}
+
+// Seek repositions the cursor per the io.Seeker contract.
+func (s *Stream) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = s.pos
+	case io.SeekEnd:
+		base = s.f.Size()
+	default:
+		return 0, fmt.Errorf("csar: invalid seek whence %d", whence)
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, fmt.Errorf("csar: seek to negative offset %d", np)
+	}
+	s.pos = np
+	return np, nil
+}
+
+// Close flushes the file's server-side stores; the stream remains usable
+// (closing a PVFS file descriptor does not invalidate others).
+func (s *Stream) Close() error { return s.f.Sync() }
+
+var (
+	_ io.Reader = (*Stream)(nil)
+	_ io.Writer = (*Stream)(nil)
+	_ io.Seeker = (*Stream)(nil)
+	_ io.Closer = (*Stream)(nil)
+)

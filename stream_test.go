@@ -1,0 +1,114 @@
+package csar_test
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"csar"
+)
+
+func streamFile(t *testing.T, scheme csar.Scheme) *csar.File {
+	t.Helper()
+	c := newTestCluster(t, 4)
+	cl := c.NewClient()
+	f, err := cl.Create("s", csar.FileOptions{Scheme: scheme, StripeUnit: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestStreamCopyRoundTrip(t *testing.T) {
+	f := streamFile(t, csar.Hybrid)
+	src := strings.Repeat("sequential hartree-fock style output\n", 10000)
+
+	w := f.Stream()
+	if _, err := io.Copy(w, strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := f.Stream()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != src {
+		t.Fatal("stream round trip mismatch")
+	}
+}
+
+func TestStreamSeek(t *testing.T) {
+	f := streamFile(t, csar.Raid5)
+	s := f.Stream()
+	s.Write([]byte("0123456789"))
+
+	if pos, err := s.Seek(2, io.SeekStart); err != nil || pos != 2 {
+		t.Fatalf("SeekStart: %d, %v", pos, err)
+	}
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(s, buf); err != nil || string(buf) != "234" {
+		t.Fatalf("read after seek: %q, %v", buf, err)
+	}
+	if pos, err := s.Seek(-2, io.SeekCurrent); err != nil || pos != 3 {
+		t.Fatalf("SeekCurrent: %d, %v", pos, err)
+	}
+	if pos, err := s.Seek(-1, io.SeekEnd); err != nil || pos != 9 {
+		t.Fatalf("SeekEnd: %d, %v", pos, err)
+	}
+	if _, err := io.ReadFull(s, buf[:1]); err != nil || buf[0] != '9' {
+		t.Fatalf("read at end-1: %q, %v", buf[:1], err)
+	}
+	if _, err := s.Seek(-100, io.SeekStart); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	if _, err := s.Seek(0, 99); err == nil {
+		t.Fatal("bad whence accepted")
+	}
+}
+
+func TestStreamEOF(t *testing.T) {
+	f := streamFile(t, csar.Raid1)
+	s := f.Stream()
+	s.Write(bytes.Repeat([]byte{7}, 100))
+	s.Seek(0, io.SeekStart)
+
+	got, err := io.ReadAll(s)
+	if err != nil || len(got) != 100 {
+		t.Fatalf("ReadAll: %d bytes, %v", len(got), err)
+	}
+	if n, err := s.Read(make([]byte, 10)); n != 0 || err != io.EOF {
+		t.Fatalf("read at EOF: %d, %v", n, err)
+	}
+	// Writing past EOF extends; reading then succeeds.
+	s.Write([]byte("more"))
+	s.Seek(-4, io.SeekEnd)
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(s, buf); err != nil || string(buf) != "more" {
+		t.Fatalf("after extend: %q, %v", buf, err)
+	}
+}
+
+func TestStreamSparseWriteViaSeek(t *testing.T) {
+	f := streamFile(t, csar.Hybrid)
+	s := f.Stream()
+	s.Seek(1<<20, io.SeekStart)
+	s.Write([]byte("tail"))
+	if f.Size() != 1<<20+4 {
+		t.Fatalf("size=%d", f.Size())
+	}
+	s.Seek(0, io.SeekStart)
+	head := make([]byte, 8)
+	if _, err := io.ReadFull(s, head); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range head {
+		if b != 0 {
+			t.Fatal("hole not zero through stream")
+		}
+	}
+}
