@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race fuzz-seeds ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run every checked-in fuzz corpus seed (including the wire-protocol
+# ChecksumRange messages) as regular tests, without open-ended fuzzing.
+fuzz-seeds:
+	$(GO) test -run Fuzz ./internal/wire ./internal/extent
+
+ci: vet build race fuzz-seeds

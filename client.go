@@ -6,6 +6,7 @@ import (
 	"csar/internal/client"
 	"csar/internal/cluster"
 	"csar/internal/recovery"
+	"csar/internal/scrub"
 )
 
 // ErrDegradedWrite is returned when writing a Raid0 file while a server is
@@ -72,6 +73,53 @@ func (c *Client) Rebuild(f *File, dead int) error {
 // each violation. An empty result means the file is consistent.
 func (c *Client) Verify(f *File) ([]string, error) {
 	return recovery.Verify(c.inner, f.inner)
+}
+
+// ScrubReport is the outcome of one integrity-scrub pass: per-redundancy-
+// kind counts of items checked, mismatched, repaired, and unrepairable,
+// plus a note on every mismatch found.
+type ScrubReport = scrub.Report
+
+// ScrubJournal carries last-known-good checksums between scrub passes of
+// the same file, letting a later pass identify which copy of a diverged
+// pair is the corrupt one. Keep one journal per file for as long as the
+// process lives.
+type ScrubJournal = scrub.Journal
+
+// NewScrubJournal returns an empty scrub journal.
+func NewScrubJournal() *ScrubJournal { return scrub.NewJournal() }
+
+// ScrubOptions tunes one scrub pass.
+type ScrubOptions struct {
+	// RateLimit caps scrub I/O in store bytes per second (simulated time
+	// when the cluster is timed); <= 0 means unlimited.
+	RateLimit float64
+	// RepairData permits repairs that overwrite the primary data copy when
+	// the journal evidence says the data, not the redundancy, is corrupt.
+	// Off by default; such finds are reported as unrepairable instead.
+	RepairData bool
+	// Journal enables evidence-based repair decisions across passes.
+	Journal *ScrubJournal
+	// Cancel, when closed, stops the pass at the next batch boundary; Scrub
+	// then returns its partial report with ErrScrubCanceled.
+	Cancel <-chan struct{}
+}
+
+// ErrScrubCanceled is returned by Scrub when ScrubOptions.Cancel fires
+// mid-pass; the returned report covers what was scrubbed before the stop.
+var ErrScrubCanceled = scrub.ErrCanceled
+
+// Scrub runs one online integrity pass over the file: it cross-checks
+// every redundant copy (mirror, parity, overflow mirror) against the data
+// by checksum, re-reads only what disagrees, and repairs the losing copy in
+// place. It is safe to run while the file is being written.
+func (c *Client) Scrub(f *File, opts ScrubOptions) (*ScrubReport, error) {
+	return scrub.Run(c.inner, f.inner, scrub.Options{
+		RateLimit:  opts.RateLimit,
+		RepairData: opts.RepairData,
+		Journal:    opts.Journal,
+		Cancel:     opts.Cancel,
+	})
 }
 
 // DropServerCaches empties every server's page cache.

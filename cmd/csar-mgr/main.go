@@ -18,16 +18,21 @@ import (
 	"log"
 	"net"
 	"strings"
+	"time"
 
+	"csar"
 	"csar/internal/meta"
 	"csar/internal/rpc"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", ":7100", "address to listen on")
-		iods   = flag.String("iods", "", "comma-separated I/O server addresses, in index order")
-		metaDB = flag.String("meta", "", "metadata snapshot file for durable metadata (default: in-memory)")
+		listen          = flag.String("listen", ":7100", "address to listen on")
+		iods            = flag.String("iods", "", "comma-separated I/O server addresses, in index order")
+		metaDB          = flag.String("meta", "", "metadata snapshot file for durable metadata (default: in-memory)")
+		scrubEvery      = flag.Duration("scrub-every", 0, "period of the background integrity scrub over all files (0 = disabled)")
+		scrubRate       = flag.Float64("scrub-rate", 0, "scrub I/O rate limit in bytes/sec per pass (0 = unlimited)")
+		scrubRepairData = flag.Bool("scrub-repair-data", false, "let the background scrub overwrite primary data when evidence says it is the corrupt copy")
 	)
 	flag.Parse()
 
@@ -58,11 +63,66 @@ func main() {
 		log.Fatalf("csar-mgr: %v", err)
 	}
 	fmt.Printf("csar-mgr: serving metadata on %s for %d I/O servers\n", ln.Addr(), len(addrs))
+	if *scrubEvery > 0 {
+		fmt.Printf("csar-mgr: background scrub every %v\n", *scrubEvery)
+		go scrubLoop(ln.Addr().String(), *scrubEvery, *scrubRate, *scrubRepairData)
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			log.Fatalf("csar-mgr: accept: %v", err)
 		}
 		go rpc.ServeConn(conn, m.Handle, nil, nil) //nolint:errcheck
+	}
+}
+
+// scrubLoop periodically scrubs every file through a client of this very
+// deployment, keeping one checksum journal per file so repeated passes can
+// attribute corruption to the right copy.
+func scrubLoop(addr string, every time.Duration, rate float64, repairData bool) {
+	journals := make(map[string]*csar.ScrubJournal)
+	for range time.Tick(every) {
+		cl, err := csar.Dial(addr)
+		if err != nil {
+			log.Printf("csar-mgr: scrub: dial: %v", err)
+			continue
+		}
+		names, err := cl.List()
+		if err != nil {
+			log.Printf("csar-mgr: scrub: list: %v", err)
+			continue
+		}
+		live := make(map[string]bool, len(names))
+		for _, name := range names {
+			live[name] = true
+			f, err := cl.Open(name)
+			if err != nil {
+				log.Printf("csar-mgr: scrub %s: %v", name, err)
+				continue
+			}
+			j := journals[name]
+			if j == nil {
+				j = csar.NewScrubJournal()
+				journals[name] = j
+			}
+			rep, err := cl.Scrub(f, csar.ScrubOptions{
+				RateLimit: rate, RepairData: repairData, Journal: j,
+			})
+			if err != nil {
+				log.Printf("csar-mgr: scrub %s: %v", name, err)
+				continue
+			}
+			if !rep.Clean() {
+				log.Printf("csar-mgr: scrub %s: %v", name, rep)
+				for _, p := range rep.Problems {
+					log.Printf("csar-mgr: scrub %s: %s", name, p)
+				}
+			}
+		}
+		for name := range journals {
+			if !live[name] {
+				delete(journals, name)
+			}
+		}
 	}
 }

@@ -15,6 +15,8 @@
 //	df                         per-server and total storage in use
 //	stat <name>                show size, scheme and per-store storage
 //	verify <name>              check redundancy invariants (fsck)
+//	scrub <name>               verify and repair redundancy online
+//	                           (-scrub-rate, -repair-data)
 //	rebuild <name> <server>    rebuild a replaced server's stores
 package main
 
@@ -30,10 +32,12 @@ import (
 
 func main() {
 	var (
-		mgr     = flag.String("mgr", "localhost:7100", "manager address")
-		scheme  = flag.String("scheme", "hybrid", "redundancy scheme for create/put")
-		servers = flag.Int("servers", 0, "servers to stripe over (0 = all)")
-		su      = flag.Int64("su", csar.DefaultStripeUnit, "stripe unit in bytes")
+		mgr        = flag.String("mgr", "localhost:7100", "manager address")
+		scheme     = flag.String("scheme", "hybrid", "redundancy scheme for create/put")
+		servers    = flag.Int("servers", 0, "servers to stripe over (0 = all)")
+		su         = flag.Int64("su", csar.DefaultStripeUnit, "stripe unit in bytes")
+		scrubRate  = flag.Float64("scrub-rate", 0, "scrub I/O rate limit in bytes/sec (0 = unlimited)")
+		repairData = flag.Bool("repair-data", false, "let scrub overwrite primary data when evidence says it is the corrupt copy")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -153,6 +157,23 @@ func main() {
 			fmt.Println("PROBLEM:", p)
 		}
 		os.Exit(1)
+	case "scrub":
+		need(rest, 1, "scrub <name>")
+		f, err := cl.Open(rest[0])
+		if err != nil {
+			fail(err)
+		}
+		rep, err := cl.Scrub(f, csar.ScrubOptions{RateLimit: *scrubRate, RepairData: *repairData})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep)
+		for _, p := range rep.Problems {
+			fmt.Println("PROBLEM:", p)
+		}
+		if rep.Totals().Unrepairable > 0 {
+			os.Exit(1)
+		}
 	case "rebuild":
 		need(rest, 2, "rebuild <name> <server-index>")
 		f, err := cl.Open(rest[0])

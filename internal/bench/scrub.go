@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csar"
+)
+
+func init() {
+	register(Experiment{"scrub", "Scrub interference: foreground write bandwidth vs scrub rate limit", scrubBench})
+}
+
+const debugScrubBench = false
+
+// scrubWriters is how many concurrent foreground writers each data point
+// runs, each appending to its own file and syncing every stripe. Together
+// their per-sync elevator seeks keep the disk arms — the one resource the
+// scrubber's checksum sweeps also use — near saturation, so the scrub's
+// share of them shows up as foreground slowdown. A single writer is
+// latency-bound (client CPU, NIC, RPC round trips) and a sequential
+// checksum sweep fits into its idle arm time almost for free.
+const scrubWriters = 4
+
+// scrubBench measures how much foreground write bandwidth the online
+// integrity scrubber steals at several rate-limit settings. Each row builds
+// a fresh Hybrid cluster, prefills one file per writer (so syncs cannot
+// coalesce across writers), then has the writers overwrite their files with
+// full-stripe writes — syncing every stripe, like durability-conscious
+// applications — while a scrubber loops over all the files at the given
+// limit, the way the csar-mgr background loop does. Foreground bandwidth
+// should decline monotonically — and boundedly — as the scrub is allowed
+// more I/O.
+func scrubBench(cfg Config, w io.Writer) error {
+	const (
+		servers = 6
+		su      = int64(64 << 10)
+	)
+	// Size the data set so each server's share of data plus parity
+	// overflows its page cache (1 GB / SizeDiv): a real scrub sweeps mostly
+	// cold data, and only cache-missing scrub reads contend with foreground
+	// I/O for the disk arm. Per server that share is about total/5, the
+	// cache is paperCacheBytes/SizeDiv, so 8 GB paper-scale gives a 1.6x
+	// overshoot.
+	total := cfg.scaled(8<<30, 8<<20)
+	// Stripe-align the per-writer files.
+	stripe := su * int64(servers-1)
+	region := total / scrubWriters / stripe * stripe
+
+	t := &Table{
+		Title:  "Scrub interference: Hybrid foreground writes vs scrub rate",
+		Header: []string{"scrub rate", "fg write MB/s", "scrub MB/s"},
+	}
+	rates := []struct {
+		label string
+		rate  float64
+		on    bool
+	}{
+		{"off", 0, false},
+		{"4 MB/s", 4e6, true},
+		{"16 MB/s", 16e6, true},
+		{"unlimited", 0, true},
+	}
+	for _, r := range rates {
+		fg, sc, err := scrubPoint(cfg, servers, su, region, r.rate, r.on)
+		if err != nil {
+			return err
+		}
+		row := []string{r.label, mb(fg), "-"}
+		if r.on {
+			row[2] = mb(sc)
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d writers, one file each, sync every stripe; the scrub checksums server-locally, so it competes for disk arms, not the network", scrubWriters),
+		"expectation: fg bandwidth declines monotonically with the scrub limit and bottoms out at the unlimited row",
+		"the signal is a few percent, so run at -scale 2s or larger: below that, wall-clock sleep overshoot on the thousands of modeled waits swamps it")
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// scrubPoint runs one data point: aggregate foreground MB/s and scrub MB/s
+// at the given scrub rate limit (scrubOn false measures the baseline with
+// no scrubber at all). Each of the scrubWriters files is region bytes.
+func scrubPoint(cfg Config, servers int, su, region int64, rate float64, scrubOn bool) (fg, sc float64, err error) {
+	cl, err := cfg.newCluster(servers)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+
+	// Prefill: the scrubber needs populated files from pass one.
+	buf := make([]byte, su*int64(servers-1)) // one full stripe per write
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	setup := cl.NewClient()
+	for wi := 0; wi < scrubWriters; wi++ {
+		f, err := setup.Create(fmt.Sprintf("s%d", wi), csar.FileOptions{Scheme: csar.Hybrid, StripeUnit: su})
+		if err != nil {
+			return 0, 0, err
+		}
+		for off := int64(0); off < region; off += int64(len(buf)) {
+			if _, err := f.WriteAt(buf, off); err != nil {
+				return 0, 0, err
+			}
+		}
+		if err := f.Sync(); err != nil {
+			return 0, 0, err
+		}
+	}
+	cl.DropCaches() // every row starts cache-cold, like a long-running system
+
+	var (
+		scrubber *csar.Client
+		stop     = make(chan struct{})
+		scrubWG  sync.WaitGroup
+		scrubErr error
+	)
+	if scrubOn {
+		scrubber = cl.NewClient()
+		files := make([]*csar.File, scrubWriters)
+		journals := make([]*csar.ScrubJournal, scrubWriters)
+		for wi := range files {
+			if files[wi], err = scrubber.Open(fmt.Sprintf("s%d", wi)); err != nil {
+				return 0, 0, err
+			}
+			journals[wi] = csar.NewScrubJournal()
+		}
+		scrubWG.Add(1)
+		go func() {
+			defer scrubWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				wi := i % scrubWriters
+				_, err := scrubber.Scrub(files[wi], csar.ScrubOptions{
+					RateLimit: rate, Journal: journals[wi], Cancel: stop,
+				})
+				if err != nil && err != csar.ErrScrubCanceled {
+					scrubErr = err
+					return
+				}
+			}
+		}()
+	}
+
+	// Concurrent writers, each on its own file, each syncing after every
+	// stripe. Frequent syncs also keep the timing honest: the disk model
+	// charges a dirty page's write-back to whichever request evicts it, so
+	// an unsynced writer could otherwise push its write-back costs onto the
+	// scrubber's reads and appear to speed up under scrubbing.
+	start := time.Now()
+	var fgBytes atomic.Int64
+	var fgWG sync.WaitGroup
+	fgErrs := make([]error, scrubWriters)
+	for wi := 0; wi < scrubWriters; wi++ {
+		fgWG.Add(1)
+		go func(wi int) {
+			defer fgWG.Done()
+			wcl := cl.NewClient()
+			wf, err := wcl.Open(fmt.Sprintf("s%d", wi))
+			if err != nil {
+				fgErrs[wi] = err
+				return
+			}
+			for pass := 0; pass < 2; pass++ {
+				for off := int64(0); off < region; off += int64(len(buf)) {
+					n, err := wf.WriteAt(buf, off)
+					if err == nil {
+						err = wf.Sync()
+					}
+					if err != nil {
+						fgErrs[wi] = err
+						return
+					}
+					fgBytes.Add(int64(n))
+				}
+			}
+		}(wi)
+	}
+	fgWG.Wait()
+	sim := cl.SimElapsed(start).Seconds()
+	var scrubBytes int64
+	if scrubOn {
+		scrubBytes = scrubber.Metrics().ScrubBytes // before stop: the window's bytes, not the final pass's
+	}
+	if debugScrubBench {
+		st := cl.ServerDiskStats(0)
+		fmt.Printf("DBG rate=%v on=%v sim=%.2fs stats0=%+v reqs0=%d\n", rate, scrubOn, sim, st, cl.ServerRequests(0))
+	}
+	close(stop)
+	scrubWG.Wait()
+	for _, werr := range fgErrs {
+		if werr != nil {
+			return 0, 0, werr
+		}
+	}
+	if scrubErr != nil {
+		return 0, 0, scrubErr
+	}
+	if sim <= 0 {
+		return 0, 0, fmt.Errorf("bench: no simulated time elapsed")
+	}
+	fg = float64(fgBytes.Load()) / 1e6 / sim
+	sc = float64(scrubBytes) / 1e6 / sim
+	return fg, sc, nil
+}

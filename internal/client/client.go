@@ -91,6 +91,11 @@ func (c *Client) callSrv(idx int, m wire.Msg) (wire.Msg, error) {
 // NumServers returns the number of I/O servers.
 func (c *Client) NumServers() int { return len(c.srv) }
 
+// Clock returns the client's performance-model time base (nil when the
+// client runs untimed). The scrub rate limiter shares it so scrub I/O is
+// throttled in simulated time, keeping benches deterministic.
+func (c *Client) Clock() *simtime.Clock { return c.clock }
+
 // MarkDown flags a server as failed; reads switch to degraded mode.
 func (c *Client) MarkDown(idx int) {
 	c.mu.Lock()

@@ -19,6 +19,11 @@ type Metrics struct {
 	DegradedReads  int64 // reads served with a server marked down
 	DegradedWrites int64 // writes applied with a server marked down
 	Compactions    int64
+
+	ScrubBytes        int64 // store bytes examined by integrity scrubs
+	ScrubFound        int64 // redundancy mismatches detected by scrubs
+	ScrubRepaired     int64 // mismatches repaired in place
+	ScrubUnrepairable int64 // mismatches scrub declined or failed to repair
 }
 
 // metrics is the internal atomic representation.
@@ -26,6 +31,8 @@ type metrics struct {
 	reads, readBytes, writes, writeBytes       atomic.Int64
 	fullStripes, rmws, overflowWrites, mirrors atomic.Int64
 	degradedReads, degradedWrites, compactions atomic.Int64
+
+	scrubBytes, scrubFound, scrubRepaired, scrubUnrepairable atomic.Int64
 }
 
 func (m *metrics) snapshot() Metrics {
@@ -41,8 +48,22 @@ func (m *metrics) snapshot() Metrics {
 		DegradedReads:  m.degradedReads.Load(),
 		DegradedWrites: m.degradedWrites.Load(),
 		Compactions:    m.compactions.Load(),
+
+		ScrubBytes:        m.scrubBytes.Load(),
+		ScrubFound:        m.scrubFound.Load(),
+		ScrubRepaired:     m.scrubRepaired.Load(),
+		ScrubUnrepairable: m.scrubUnrepairable.Load(),
 	}
 }
 
 // Metrics returns a snapshot of the client's operation counters.
 func (c *Client) Metrics() Metrics { return c.metrics.snapshot() }
+
+// NoteScrub records the outcome of one integrity-scrub pass in the client's
+// counters (called by internal/scrub, which the client cannot import).
+func (c *Client) NoteScrub(bytes, found, repaired, unrepairable int64) {
+	c.metrics.scrubBytes.Add(bytes)
+	c.metrics.scrubFound.Add(found)
+	c.metrics.scrubRepaired.Add(repaired)
+	c.metrics.scrubUnrepairable.Add(unrepairable)
+}

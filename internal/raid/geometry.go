@@ -140,6 +140,51 @@ func (g Geometry) DataUnitsOf(s int64) (first int64, count int) {
 	return s * int64(g.DataWidth()), g.DataWidth()
 }
 
+// UnitsIn returns the number of stripe units needed to cover a file of the
+// given size (zero for empty files).
+func (g Geometry) UnitsIn(size int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return g.UnitOf(size-1) + 1
+}
+
+// StripesIn returns the number of parity stripes needed to cover a file of
+// the given size (zero for empty files).
+func (g Geometry) StripesIn(size int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return g.StripeOf(size-1) + 1
+}
+
+// UnitsOwnedBy visits, in increasing order, every stripe unit stored on
+// server srv that intersects [0, size), stopping at the first error.
+func (g Geometry) UnitsOwnedBy(srv int, size int64, fn func(unit int64) error) error {
+	units := g.UnitsIn(size)
+	for b := int64(srv); b < units; b += int64(g.Servers) {
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParityStripesOwnedBy visits, in increasing order, every parity stripe
+// whose parity unit is stored on server srv and that intersects [0, size),
+// stopping at the first error.
+func (g Geometry) ParityStripesOwnedBy(srv int, size int64, fn func(stripe int64) error) error {
+	n := int64(g.Servers)
+	stripes := g.StripesIn(size)
+	// ParityServerOf(s) == srv iff s ≡ N-1-srv (mod N).
+	for s := ((n - 1 - int64(srv)) % n + n) % n; s < stripes; s += n {
+		if err := fn(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Span describes a byte range [Off, Off+Len) of the logical file.
 type Span struct {
 	Off int64

@@ -72,25 +72,13 @@ func Rebuild(c *client.Client, f *client.File, dead int) error {
 	}
 }
 
-// unitsOwnedBy visits every stripe unit owned by srv that intersects
-// [0, size).
-func unitsOwnedBy(g raid.Geometry, srv int, size int64, fn func(unit int64) error) error {
-	lastUnit := g.UnitOf(size - 1)
-	for b := int64(srv); b <= lastUnit; b += int64(g.Servers) {
-		if err := fn(b); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // rebuildDataFromMirror restores a RAID1 data file from the mirror copies
 // on the next server.
 func rebuildDataFromMirror(c *client.Client, f *client.File, dead int, size int64) error {
 	g := f.Geometry()
 	ref := f.Ref()
 	mirrorSrv := (dead + 1) % g.Servers
-	return unitsOwnedBy(g, dead, size, func(b int64) error {
+	return g.UnitsOwnedBy(dead, size, func(b int64) error {
 		span := wire.Span{Off: g.UnitStart(b), Len: g.StripeUnit}
 		resp, err := c.ServerCaller(mirrorSrv).Call(&wire.ReadMirror{File: ref, Spans: []wire.Span{span}})
 		if err != nil {
@@ -100,7 +88,7 @@ func rebuildDataFromMirror(c *client.Client, f *client.File, dead int, size int6
 		if int64(len(data)) != span.Len {
 			return fmt.Errorf("recovery: short mirror read for unit %d", b)
 		}
-		_, err = c.ServerCaller(dead).Call(&wire.WriteData{File: ref, Spans: []wire.Span{span}, Data: data})
+		_, err = c.ServerCaller(dead).Call(&wire.WriteData{File: ref, Spans: []wire.Span{span}, Data: data, Raw: true})
 		return err
 	})
 }
@@ -111,7 +99,7 @@ func rebuildMirror(c *client.Client, f *client.File, dead int, size int64) error
 	g := f.Geometry()
 	ref := f.Ref()
 	prev := (dead - 1 + g.Servers) % g.Servers
-	return unitsOwnedBy(g, prev, size, func(b int64) error {
+	return g.UnitsOwnedBy(prev, size, func(b int64) error {
 		span := wire.Span{Off: g.UnitStart(b), Len: g.StripeUnit}
 		resp, err := c.ServerCaller(prev).Call(&wire.Read{File: ref, Spans: []wire.Span{span}, Raw: true})
 		if err != nil {
@@ -142,7 +130,7 @@ func readUnitRaw(c *client.Client, ref wire.FileRef, g raid.Geometry, b int64) (
 func rebuildDataFromParity(c *client.Client, f *client.File, dead int, size int64) error {
 	g := f.Geometry()
 	ref := f.Ref()
-	return unitsOwnedBy(g, dead, size, func(b int64) error {
+	return g.UnitsOwnedBy(dead, size, func(b int64) error {
 		stripe := b / int64(g.DataWidth())
 		first, count := g.DataUnitsOf(stripe)
 		acc := make([]byte, g.StripeUnit)
@@ -166,7 +154,7 @@ func rebuildDataFromParity(c *client.Client, f *client.File, dead int, size int6
 			raid.XORInto(acc, data)
 		}
 		span := wire.Span{Off: g.UnitStart(b), Len: g.StripeUnit}
-		_, err = c.ServerCaller(dead).Call(&wire.WriteData{File: ref, Spans: []wire.Span{span}, Data: acc})
+		_, err = c.ServerCaller(dead).Call(&wire.WriteData{File: ref, Spans: []wire.Span{span}, Data: acc, Raw: true})
 		return err
 	})
 }
@@ -175,11 +163,7 @@ func rebuildDataFromParity(c *client.Client, f *client.File, dead int, size int6
 func rebuildParity(c *client.Client, f *client.File, dead int, size int64) error {
 	g := f.Geometry()
 	ref := f.Ref()
-	lastStripe := g.StripeOf(size - 1)
-	for s := int64(0); s <= lastStripe; s++ {
-		if g.ParityServerOf(s) != dead {
-			continue
-		}
+	return g.ParityStripesOwnedBy(dead, size, func(s int64) error {
 		first, count := g.DataUnitsOf(s)
 		acc := make([]byte, g.StripeUnit)
 		for j := 0; j < count; j++ {
@@ -189,13 +173,11 @@ func rebuildParity(c *client.Client, f *client.File, dead int, size int64) error
 			}
 			raid.XORInto(acc, data)
 		}
-		if _, err := c.ServerCaller(dead).Call(&wire.WriteParity{
+		_, err := c.ServerCaller(dead).Call(&wire.WriteParity{
 			File: ref, Stripes: []int64{s}, Data: acc,
-		}); err != nil {
-			return err
-		}
-	}
-	return nil
+		})
+		return err
+	})
 }
 
 // rebuildOverflow restores the dead server's overflow region (from its

@@ -20,6 +20,7 @@ package server
 
 import (
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -205,6 +206,8 @@ func (s *Server) Handle(req wire.Msg) (wire.Msg, error) {
 		return s.handleRemoveFile(m)
 	case *wire.CompactOverflow:
 		return s.handleCompactOverflow(m)
+	case *wire.ChecksumRange:
+		return s.handleChecksumRange(m)
 	default:
 		return nil, fmt.Errorf("server: unsupported request %T", req)
 	}
@@ -316,7 +319,7 @@ func (s *Server) handleWriteData(m *wire.WriteData) (wire.Msg, error) {
 	if err != nil {
 		return nil, err
 	}
-	if m.File.Scheme == wire.Hybrid {
+	if m.File.Scheme == wire.Hybrid && !m.Raw {
 		// A Hybrid client writes data in place only for full-stripe
 		// portions, which supersede any overflow contents of the same
 		// range: "when a client issues a full-stripe write any data in the
@@ -324,7 +327,9 @@ func (s *Server) handleWriteData(m *wire.WriteData) (wire.Msg, error) {
 		// The written span covers whole stripes — every server's units —
 		// so this server can also invalidate its overflow-mirror entries
 		// (which mirror the previous server's units) without any extra
-		// message.
+		// message. Raw writes (scrub repairs, rebuilds) restore the
+		// in-place bytes only and must leave the overflow tables alone —
+		// the overflow still holds the newest data for those ranges.
 		sf.mu.Lock()
 		for _, sp := range m.Spans {
 			sf.ovTable.Invalidate(sp.Off, sp.Len)
@@ -670,6 +675,90 @@ func (s *Server) handleCompactOverflow(m *wire.CompactOverflow) (wire.Msg, error
 		s.writePiece(ov, pl.src, pl.data)
 	}
 	return &wire.OK{}, nil
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// handleChecksumRange computes CRC32C checksums over part of one local
+// store, so the scrubber can cross-check redundant copies without shipping
+// the data over the network. For the flat stores (data, mirror, parity) the
+// range is chunked and one checksum per chunk returned; for the overflow
+// stores a single aggregate checksum covers every live extent intersecting
+// the logical range — offset, length (little-endian uint64s) and contents,
+// in table order — so equal sums mean table and bytes both agree.
+func (s *Server) handleChecksumRange(m *wire.ChecksumRange) (wire.Msg, error) {
+	sf, err := s.file(m.File)
+	if err != nil {
+		return nil, err
+	}
+	if m.Store >= wire.NumStores {
+		return nil, fmt.Errorf("server: unknown store %d", m.Store)
+	}
+	if m.Off < 0 || m.Len < 0 {
+		return nil, fmt.Errorf("server: negative checksum range [%d,+%d)", m.Off, m.Len)
+	}
+
+	if m.Store == wire.StoreOverflow || m.Store == wire.StoreOverflowMirror {
+		k, tbl := StoreOverflow, &sf.ovTable
+		if m.Store == wire.StoreOverflowMirror {
+			k, tbl = StoreOverflowMirror, &sf.ovmTable
+		}
+		sf.mu.Lock()
+		hits := make([]extent.Extent, 0, 8)
+		tbl.Lookup(m.Off, m.Len, func(l, src, n int64) {
+			hits = append(hits, extent.Extent{Off: l, Len: n, Src: src})
+		}, nil)
+		sf.mu.Unlock()
+		ov := sf.store(s.disk, k)
+		var sum uint32
+		var total int64
+		hdr := make([]byte, 16)
+		for _, h := range hits {
+			putU64LE(hdr[0:8], uint64(h.Off))
+			putU64LE(hdr[8:16], uint64(h.Len))
+			sum = crc32.Update(sum, castagnoli, hdr)
+			buf := make([]byte, h.Len)
+			readDirect(ov, buf, h.Src)
+			sum = crc32.Update(sum, castagnoli, buf)
+			total += h.Len
+		}
+		return &wire.ChecksumRangeResp{Sums: []uint32{sum}, Bytes: total}, nil
+	}
+
+	f := sf.store(s.disk, Store(m.Store))
+	chunk := m.Chunk
+	if chunk <= 0 {
+		chunk = m.Len
+	}
+	var sums []uint32
+	for cur := m.Off; cur < m.Off+m.Len; cur += chunk {
+		n := min(chunk, m.Off+m.Len-cur)
+		buf := make([]byte, n)
+		readDirect(f, buf, cur)
+		sums = append(sums, crc32.Checksum(buf, castagnoli))
+	}
+	return &wire.ChecksumRangeResp{Sums: sums, Bytes: m.Len}, nil
+}
+
+// readDirect reads through the store's cache-bypassing path when the
+// backend offers one (the modeled disk does), so a scrub's checksum sweep
+// behaves like O_DIRECT: it neither evicts the foreground working set nor
+// absorbs its dirty-page write-backs.
+func readDirect(f storage.File, p []byte, off int64) {
+	type directReader interface {
+		ReadAtDirect(p []byte, off int64) (int, error)
+	}
+	if dr, ok := f.(directReader); ok {
+		dr.ReadAtDirect(p, off) //nolint:errcheck // zero-fill semantics
+		return
+	}
+	f.ReadAt(p, off) //nolint:errcheck // zero-fill semantics
+}
+
+func putU64LE(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
 }
 
 // lockStripe acquires the FIFO parity lock of one stripe, blocking while

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"hash/crc32"
 	"sync"
 	"testing"
 	"time"
@@ -357,5 +358,120 @@ func TestSyncAndDropCaches(t *testing.T) {
 	call(t, s, &wire.Read{File: r, Spans: []wire.Span{{Off: 0, Len: 128}}})
 	if m := disk.Stats().CacheMisses; m == 0 {
 		t.Fatal("read after drop-caches hit the cache")
+	}
+}
+
+func TestChecksumRangeChunked(t *testing.T) {
+	s := testServer(0)
+	r := ref()
+	// Server 0 owns units 0 and 3 of span [0,640): local bytes [0,256).
+	payload := append(bytes.Repeat([]byte{0xB1}, 128), bytes.Repeat([]byte{0xB2}, 128)...)
+	call(t, s, &wire.WriteData{File: r, Spans: []wire.Span{{Off: 0, Len: 640}}, Data: payload})
+
+	resp := call(t, s, &wire.ChecksumRange{File: r, Store: wire.StoreData, Off: 0, Len: 256, Chunk: 128})
+	cr := resp.(*wire.ChecksumRangeResp)
+	if len(cr.Sums) != 2 || cr.Bytes != 256 {
+		t.Fatalf("got %d sums, %d bytes; want 2 sums, 256 bytes", len(cr.Sums), cr.Bytes)
+	}
+	for i := 0; i < 2; i++ {
+		want := crc32.Checksum(payload[i*128:(i+1)*128], castagnoli)
+		if cr.Sums[i] != want {
+			t.Fatalf("chunk %d sum %08x, want %08x", i, cr.Sums[i], want)
+		}
+	}
+
+	// Chunk <= 0 means one checksum over the whole range; a final short
+	// chunk is checksummed as-is.
+	whole := call(t, s, &wire.ChecksumRange{File: r, Store: wire.StoreData, Off: 0, Len: 256}).(*wire.ChecksumRangeResp)
+	if len(whole.Sums) != 1 || whole.Sums[0] != crc32.Checksum(payload, castagnoli) {
+		t.Fatal("whole-range checksum wrong")
+	}
+	short := call(t, s, &wire.ChecksumRange{File: r, Store: wire.StoreData, Off: 0, Len: 200, Chunk: 128}).(*wire.ChecksumRangeResp)
+	if len(short.Sums) != 2 || short.Sums[1] != crc32.Checksum(payload[128:200], castagnoli) {
+		t.Fatal("short final chunk checksum wrong")
+	}
+
+	// Unwritten store ranges checksum as zeros (zero-fill semantics).
+	z := call(t, s, &wire.ChecksumRange{File: r, Store: wire.StoreParity, Off: 0, Len: 128}).(*wire.ChecksumRangeResp)
+	if z.Sums[0] != crc32.Checksum(make([]byte, 128), castagnoli) {
+		t.Fatal("hole checksum is not the zero-block checksum")
+	}
+}
+
+func TestChecksumRangeOverflowAggregate(t *testing.T) {
+	s := testServer(0)
+	r := ref()
+	// Two overflow extents inside unit 0 (server 0's unit).
+	e1 := wire.Span{Off: 10, Len: 20}
+	e2 := wire.Span{Off: 50, Len: 8}
+	d1 := bytes.Repeat([]byte{0xC1}, 20)
+	d2 := bytes.Repeat([]byte{0xC2}, 8)
+	call(t, s, &wire.WriteOverflow{File: r, Extents: []wire.Span{e1, e2}, Data: append(d1, d2...)})
+
+	resp := call(t, s, &wire.ChecksumRange{File: r, Store: wire.StoreOverflow, Off: 0, Len: 1 << 30}).(*wire.ChecksumRangeResp)
+	if len(resp.Sums) != 1 || resp.Bytes != 28 {
+		t.Fatalf("got %d sums, %d bytes; want 1 sum, 28 bytes", len(resp.Sums), resp.Bytes)
+	}
+	var want uint32
+	hdr := make([]byte, 16)
+	for _, x := range []struct {
+		sp   wire.Span
+		data []byte
+	}{{e1, d1}, {e2, d2}} {
+		putU64LE(hdr[0:8], uint64(x.sp.Off))
+		putU64LE(hdr[8:16], uint64(x.sp.Len))
+		want = crc32.Update(want, castagnoli, hdr)
+		want = crc32.Update(want, castagnoli, x.data)
+	}
+	if resp.Sums[0] != want {
+		t.Fatalf("aggregate sum %08x, want %08x", resp.Sums[0], want)
+	}
+
+	// A range that misses every extent yields the empty aggregate.
+	missResp := call(t, s, &wire.ChecksumRange{File: r, Store: wire.StoreOverflow, Off: 1000, Len: 10}).(*wire.ChecksumRangeResp)
+	if missResp.Sums[0] != 0 || missResp.Bytes != 0 {
+		t.Fatal("empty overflow range should checksum to 0 over 0 bytes")
+	}
+	// The untouched mirror store is empty too.
+	mir := call(t, s, &wire.ChecksumRange{File: r, Store: wire.StoreOverflowMirror, Off: 0, Len: 1 << 30}).(*wire.ChecksumRangeResp)
+	if mir.Sums[0] != 0 || mir.Bytes != 0 {
+		t.Fatal("empty overflow mirror should checksum to 0 over 0 bytes")
+	}
+}
+
+func TestChecksumRangeValidation(t *testing.T) {
+	s := testServer(0)
+	r := ref()
+	if _, err := s.Handle(&wire.ChecksumRange{File: r, Store: 99, Len: 10}); err == nil {
+		t.Fatal("unknown store accepted")
+	}
+	if _, err := s.Handle(&wire.ChecksumRange{File: r, Store: wire.StoreData, Off: -1, Len: 10}); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := s.Handle(&wire.ChecksumRange{File: r, Store: wire.StoreData, Off: 0, Len: -10}); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestRawWritePreservesOverflow(t *testing.T) {
+	// A Raw (repair) data write must not invalidate Hybrid overflow
+	// entries: foreground reads still need the overflow bytes.
+	s := testServer(0)
+	r := ref()
+	call(t, s, &wire.WriteData{File: r, Spans: []wire.Span{{Off: 0, Len: 640}}, Data: append(bytes.Repeat([]byte{1}, 128), bytes.Repeat([]byte{2}, 128)...)})
+	ovData := bytes.Repeat([]byte{0xEE}, 16)
+	call(t, s, &wire.WriteOverflow{File: r, Extents: []wire.Span{{Off: 4, Len: 16}}, Data: ovData})
+
+	call(t, s, &wire.WriteData{File: r, Spans: []wire.Span{{Off: 0, Len: 640}}, Data: append(bytes.Repeat([]byte{3}, 128), bytes.Repeat([]byte{4}, 128)...), Raw: true})
+	got := call(t, s, &wire.Read{File: r, Spans: []wire.Span{{Off: 4, Len: 16}}}).(*wire.ReadResp).Data
+	if !bytes.Equal(got, ovData) {
+		t.Fatal("raw write invalidated overflow contents")
+	}
+
+	// A normal (full-stripe) write does invalidate them.
+	call(t, s, &wire.WriteData{File: r, Spans: []wire.Span{{Off: 0, Len: 640}}, Data: append(bytes.Repeat([]byte{5}, 128), bytes.Repeat([]byte{6}, 128)...)})
+	got = call(t, s, &wire.Read{File: r, Spans: []wire.Span{{Off: 4, Len: 16}}}).(*wire.ReadResp).Data
+	if !bytes.Equal(got, bytes.Repeat([]byte{5}, 16)) {
+		t.Fatal("full-stripe write did not supersede overflow")
 	}
 }

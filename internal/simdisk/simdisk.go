@@ -472,6 +472,55 @@ func (h *File) ReadAt(p []byte, off int64) (int, error) {
 	return len(p), nil
 }
 
+// ReadAtDirect reads like ReadAt but bypasses the page cache, O_DIRECT
+// style: no pages are inserted, promoted, or evicted, and every in-size
+// page is charged as a physical read even when a cached copy exists. Long
+// sequential scans — the integrity scrubber's checksum sweeps — use it so a
+// background pass can neither evict the foreground working set nor absorb
+// its dirty-page write-backs.
+func (h *File) ReadAtDirect(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("simdisk: negative offset %d", off)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	d := h.d
+	ps := int64(d.params.PageSize)
+
+	d.mu.Lock()
+	var c charge
+	end := off + int64(len(p))
+	for cur := off; cur < end; {
+		idx := cur / ps
+		pageEnd := (idx + 1) * ps
+		if pageEnd > end {
+			pageEnd = end
+		}
+		if idx*ps < h.f.size {
+			atomic.AddInt64(&d.stats.misses, 1)
+			if sk := d.readSeekFor(pageKey{h.f, idx}); sk > 0 {
+				c.seek += sk
+				c.ops++
+			}
+			c.read += ps
+		}
+		src := h.f.page(int(ps), idx, false)
+		dst := p[cur-off : pageEnd-off]
+		if src != nil {
+			copy(dst, src[cur-idx*ps:])
+		} else {
+			for i := range dst {
+				dst[i] = 0
+			}
+		}
+		cur = pageEnd
+	}
+	d.mu.Unlock()
+	d.pay(c)
+	return len(p), nil
+}
+
 // WriteAt writes len(p) bytes at offset off, extending the file as needed.
 // Full-page writes land in the cache dirty; partial-page writes to uncached
 // pages inside the file pay a forced page read first (Section 5.2).

@@ -19,6 +19,8 @@ func FuzzUnmarshal(f *testing.F) {
 		&OpenResp{Ref: ref, Size: 1 << 40},
 		&ListResp{Names: []string{"a", "b"}},
 		&StorageStatResp{Total: 5, ByStore: [5]int64{1, 1, 1, 1, 1}},
+		&ChecksumRange{File: ref, Store: StoreOverflowMirror, Off: 0, Len: 1 << 20, Chunk: 4096},
+		&ChecksumRangeResp{Sums: []uint32{7, 0xffffffff}, Bytes: 8192},
 		&Error{Text: "boom"},
 	}
 	for _, m := range seeds {

@@ -59,6 +59,8 @@ var registry = map[Kind]func() Msg{
 	KListResp:           func() Msg { return &ListResp{} },
 	KServerList:         func() Msg { return &ServerList{} },
 	KServerListResp:     func() Msg { return &ServerListResp{} },
+	KChecksumRange:      func() Msg { return &ChecksumRange{} },
+	KChecksumRangeResp:  func() Msg { return &ChecksumRangeResp{} },
 }
 
 func (m *Error) Kind() Kind        { return KError }
@@ -95,11 +97,13 @@ func (m *WriteData) encode(e *Encoder) {
 	e.FileRef(m.File)
 	e.Spans(m.Spans)
 	e.Bytes(m.Data)
+	e.Bool(m.Raw)
 }
 func (m *WriteData) decode(d *Decoder) {
 	m.File = d.FileRef()
 	m.Spans = d.Spans()
 	m.Data = d.BytesCopy()
+	m.Raw = d.Bool()
 }
 
 func (m *WriteMirror) Kind() Kind { return KWriteMirror }
@@ -297,3 +301,29 @@ func (m *ServerList) decode(*Decoder) {}
 func (m *ServerListResp) Kind() Kind        { return KServerListResp }
 func (m *ServerListResp) encode(e *Encoder) { e.Strs(m.Addrs) }
 func (m *ServerListResp) decode(d *Decoder) { m.Addrs = d.Strs() }
+
+func (m *ChecksumRange) Kind() Kind { return KChecksumRange }
+func (m *ChecksumRange) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.U8(m.Store)
+	e.I64(m.Off)
+	e.I64(m.Len)
+	e.I64(m.Chunk)
+}
+func (m *ChecksumRange) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Store = d.U8()
+	m.Off = d.I64()
+	m.Len = d.I64()
+	m.Chunk = d.I64()
+}
+
+func (m *ChecksumRangeResp) Kind() Kind { return KChecksumRangeResp }
+func (m *ChecksumRangeResp) encode(e *Encoder) {
+	e.U32s(m.Sums)
+	e.I64(m.Bytes)
+}
+func (m *ChecksumRangeResp) decode(d *Decoder) {
+	m.Sums = d.U32sDec()
+	m.Bytes = d.I64()
+}

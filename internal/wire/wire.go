@@ -142,6 +142,21 @@ const (
 	KListResp
 	KServerList
 	KServerListResp
+
+	// Integrity scrubbing (appended so earlier kinds keep their values).
+	KChecksumRange
+	KChecksumRangeResp
+)
+
+// Store kinds addressable by ChecksumRange, in the order of
+// StorageStatResp.ByStore and the server's local store layout.
+const (
+	StoreData uint8 = iota
+	StoreMirror
+	StoreParity
+	StoreOverflow
+	StoreOverflowMirror
+	NumStores
 )
 
 // Msg is one protocol message.
@@ -173,11 +188,15 @@ type Read struct {
 // ReadResp carries the concatenated bytes of the requested spans or stripes.
 type ReadResp struct{ Data []byte }
 
-// WriteData writes the given logical spans in place into the data file.
+// WriteData writes the given logical spans in place into the data file. Raw
+// marks a repair or rebuild write: the bytes are restored in place exactly,
+// without the overflow invalidation a Hybrid foreground full-stripe write
+// implies (a repair must not discard newer overflow contents of the range).
 type WriteData struct {
 	File  FileRef
 	Spans []Span
 	Data  []byte
+	Raw   bool
 }
 
 // WriteMirror writes the RAID1 mirror copies of the given logical spans into
@@ -274,6 +293,33 @@ type CompactOverflow struct {
 	Mirror bool
 }
 
+// ChecksumRange asks an I/O server to compute CRC32C checksums over part of
+// one of its local stores, so the integrity scrubber can cross-check
+// redundant copies without shipping the data itself over the network.
+//
+// For the flat stores (data, mirror, parity) Off and Len address the local
+// store file directly and one checksum per Chunk-sized piece is returned
+// (the final piece may be short; Chunk <= 0 means one checksum for the whole
+// range). For the overflow stores Off and Len select a logical file range
+// and a single aggregate checksum is returned, computed over every live
+// overflow extent intersecting the range — offset, length and contents, in
+// table order — so equal sums mean both the table and the bytes agree.
+type ChecksumRange struct {
+	File  FileRef
+	Store uint8 // store kind, StoreData..StoreOverflowMirror
+	Off   int64
+	Len   int64
+	Chunk int64
+}
+
+// ChecksumRangeResp carries the checksums of one ChecksumRange request.
+// Bytes is how many store bytes the server read to compute them, which the
+// scrubber charges against its rate limit.
+type ChecksumRangeResp struct {
+	Sums  []uint32
+	Bytes int64
+}
+
 // Create asks the manager to create a file with the given layout.
 type Create struct {
 	Name       string
@@ -351,6 +397,13 @@ func (e *Encoder) Spans(s []Span) {
 	for _, sp := range s {
 		e.I64(sp.Off)
 		e.I64(sp.Len)
+	}
+}
+
+func (e *Encoder) U32s(v []uint32) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.U32(x)
 	}
 }
 
@@ -465,6 +518,19 @@ func (d *Decoder) Spans() []Span {
 		s[i].Len = d.I64()
 	}
 	return s
+}
+
+func (d *Decoder) U32sDec() []uint32 {
+	n := int(d.U32())
+	if d.err != nil || n < 0 || n > len(d.Buf) {
+		d.fail()
+		return nil
+	}
+	v := make([]uint32, n)
+	for i := range v {
+		v[i] = d.U32()
+	}
+	return v
 }
 
 func (d *Decoder) I64sDec() []int64 {

@@ -31,7 +31,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&Ping{},
 		&Read{File: ref, Spans: spans, Raw: true},
 		&ReadResp{Data: data},
-		&WriteData{File: ref, Spans: spans, Data: data},
+		&WriteData{File: ref, Spans: spans, Data: data, Raw: true},
 		&WriteMirror{File: ref, Spans: spans, Data: data},
 		&ReadMirror{File: ref, Spans: spans},
 		&ReadParity{File: ref, Stripes: []int64{3, 9}, Lock: true},
@@ -56,6 +56,8 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&ListResp{Names: []string{"a", "b"}},
 		&ServerList{},
 		&ServerListResp{Addrs: []string{"127.0.0.1:7000"}},
+		&ChecksumRange{File: ref, Store: StoreParity, Off: 4096, Len: 65536, Chunk: 4096},
+		&ChecksumRangeResp{Sums: []uint32{0xdeadbeef, 1, 0}, Bytes: 65536},
 	}
 	seen := map[Kind]bool{}
 	for _, m := range msgs {
