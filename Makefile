@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz-seeds ci
+.PHONY: build vet test race fuzz-seeds faults ci
 
 build:
 	$(GO) build ./...
@@ -19,4 +19,10 @@ race:
 fuzz-seeds:
 	$(GO) test -run Fuzz ./internal/wire ./internal/extent
 
-ci: vet build race fuzz-seeds
+# The deterministic fault-schedule suite: injected server hangs, ghost
+# parity locks, partitions and flapping servers, run twice under the race
+# detector to prove the scenarios are timing-independent.
+faults:
+	$(GO) test -race -count=2 -run 'TestFaultSchedule|TestAutoFailover' ./internal/cluster
+
+ci: vet build race fuzz-seeds faults

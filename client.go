@@ -1,12 +1,14 @@
 package csar
 
 import (
+	"context"
 	"errors"
 
 	"csar/internal/client"
 	"csar/internal/cluster"
 	"csar/internal/recovery"
 	"csar/internal/scrub"
+	"csar/internal/wire"
 )
 
 // ErrDegradedWrite is returned when writing a Raid0 file while a server is
@@ -186,7 +188,41 @@ func (c *Client) InternalClient() *client.Client { return c.inner }
 // ErrServerDown is the error calls to a stopped server return.
 var ErrServerDown = cluster.ErrServerDown
 
-// IsServerDown reports whether err indicates a stopped server.
+// IsServerDown reports whether err indicates an unavailable server — one
+// that is stopped, unreachable, timing out, or held out by the client's
+// circuit breaker.
 func IsServerDown(err error) bool {
-	return errors.Is(err, cluster.ErrServerDown)
+	return errors.Is(err, cluster.ErrServerDown) ||
+		errors.Is(err, wire.ErrUnavailable) ||
+		errors.Is(err, context.DeadlineExceeded)
 }
+
+// Policy tunes the client's RPC resilience layer: per-call deadlines,
+// retry/backoff for idempotent calls, and the per-server circuit breaker.
+// The zero Policy disables the layer entirely.
+type Policy = client.Policy
+
+// DefaultPolicy is the resilience configuration Dial applies by default.
+func DefaultPolicy() Policy { return client.DefaultPolicy() }
+
+// SetResilience installs a resilience policy on the client; call before
+// issuing I/O.
+func (c *Client) SetResilience(p Policy) { c.inner.SetPolicy(p) }
+
+// BreakerState is one server's circuit-breaker state.
+type BreakerState = client.BreakerState
+
+// Breaker states.
+const (
+	BreakerClosed  = client.BreakerClosed
+	BreakerOpen    = client.BreakerOpen
+	BreakerProbing = client.BreakerProbing
+)
+
+// BreakerStates returns every server's current circuit-breaker state.
+func (c *Client) BreakerStates() []BreakerState { return c.inner.BreakerStates() }
+
+// FailedServer extracts the server index from an unavailability error
+// returned by a file operation; ok is false for errors that do not
+// attribute a failure to one server.
+func FailedServer(err error) (idx int, ok bool) { return client.FailedServer(err) }

@@ -33,6 +33,13 @@ func main() {
 		scrubEvery      = flag.Duration("scrub-every", 0, "period of the background integrity scrub over all files (0 = disabled)")
 		scrubRate       = flag.Float64("scrub-rate", 0, "scrub I/O rate limit in bytes/sec per pass (0 = unlimited)")
 		scrubRepairData = flag.Bool("scrub-repair-data", false, "let the background scrub overwrite primary data when evidence says it is the corrupt copy")
+
+		def         = csar.DefaultPolicy()
+		callTimeout = flag.Duration("call-timeout", def.CallTimeout, "per-RPC deadline for the scrub client (0 = none)")
+		retries     = flag.Int("retries", def.Retries, "retry attempts for the scrub client's idempotent RPCs")
+		backoff     = flag.Duration("retry-backoff", def.BackoffBase, "base retry backoff for the scrub client, doubled per attempt")
+		breakerAt   = flag.Int("breaker-failures", def.BreakerThreshold, "consecutive failures that open a server's circuit breaker (0 = breaker off)")
+		probeAfter  = flag.Duration("probe-after", def.ProbeAfter, "how long an open breaker waits before probing the server")
 	)
 	flag.Parse()
 
@@ -64,8 +71,14 @@ func main() {
 	}
 	fmt.Printf("csar-mgr: serving metadata on %s for %d I/O servers\n", ln.Addr(), len(addrs))
 	if *scrubEvery > 0 {
+		pol := def
+		pol.CallTimeout = *callTimeout
+		pol.Retries = *retries
+		pol.BackoffBase = *backoff
+		pol.BreakerThreshold = *breakerAt
+		pol.ProbeAfter = *probeAfter
 		fmt.Printf("csar-mgr: background scrub every %v\n", *scrubEvery)
-		go scrubLoop(ln.Addr().String(), *scrubEvery, *scrubRate, *scrubRepairData)
+		go scrubLoop(ln.Addr().String(), *scrubEvery, *scrubRate, *scrubRepairData, pol)
 	}
 	for {
 		conn, err := ln.Accept()
@@ -79,7 +92,7 @@ func main() {
 // scrubLoop periodically scrubs every file through a client of this very
 // deployment, keeping one checksum journal per file so repeated passes can
 // attribute corruption to the right copy.
-func scrubLoop(addr string, every time.Duration, rate float64, repairData bool) {
+func scrubLoop(addr string, every time.Duration, rate float64, repairData bool, pol csar.Policy) {
 	journals := make(map[string]*csar.ScrubJournal)
 	for range time.Tick(every) {
 		cl, err := csar.Dial(addr)
@@ -87,6 +100,7 @@ func scrubLoop(addr string, every time.Duration, rate float64, repairData bool) 
 			log.Printf("csar-mgr: scrub: dial: %v", err)
 			continue
 		}
+		cl.SetResilience(pol)
 		names, err := cl.List()
 		if err != nil {
 			log.Printf("csar-mgr: scrub: list: %v", err)

@@ -31,6 +31,7 @@ import (
 )
 
 func main() {
+	def := csar.DefaultPolicy()
 	var (
 		mgr        = flag.String("mgr", "localhost:7100", "manager address")
 		scheme     = flag.String("scheme", "hybrid", "redundancy scheme for create/put")
@@ -38,6 +39,12 @@ func main() {
 		su         = flag.Int64("su", csar.DefaultStripeUnit, "stripe unit in bytes")
 		scrubRate  = flag.Float64("scrub-rate", 0, "scrub I/O rate limit in bytes/sec (0 = unlimited)")
 		repairData = flag.Bool("repair-data", false, "let scrub overwrite primary data when evidence says it is the corrupt copy")
+
+		callTimeout = flag.Duration("call-timeout", def.CallTimeout, "per-RPC deadline (0 = none)")
+		retries     = flag.Int("retries", def.Retries, "retry attempts for idempotent RPCs after the first try")
+		backoff     = flag.Duration("retry-backoff", def.BackoffBase, "base retry backoff, doubled per attempt")
+		breakerAt   = flag.Int("breaker-failures", def.BreakerThreshold, "consecutive failures that open a server's circuit breaker (0 = breaker off)")
+		probeAfter  = flag.Duration("probe-after", def.ProbeAfter, "how long an open breaker waits before probing the server")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -50,6 +57,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	pol := def
+	pol.CallTimeout = *callTimeout
+	pol.Retries = *retries
+	pol.BackoffBase = *backoff
+	pol.BreakerThreshold = *breakerAt
+	pol.ProbeAfter = *probeAfter
+	cl.SetResilience(pol)
 
 	sch, err := csar.ParseScheme(*scheme)
 	if err != nil {

@@ -12,8 +12,10 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -50,13 +52,25 @@ type Client struct {
 
 	metrics metrics
 
-	mu   sync.Mutex
-	down map[int]bool
+	// health is the per-server circuit-breaker state (resilience.go).
+	health []serverHealth
+
+	mu     sync.Mutex
+	down   map[int]bool
+	policy Policy
+	rng    *rand.Rand
 }
 
-// New creates a client talking to the manager and the I/O servers.
+// New creates a client talking to the manager and the I/O servers. The
+// resilience layer starts disabled; SetPolicy turns it on.
 func New(mgr Caller, servers []Caller) *Client {
-	return &Client{mgr: mgr, srv: servers, down: make(map[int]bool)}
+	return &Client{
+		mgr:    mgr,
+		srv:    servers,
+		down:   make(map[int]bool),
+		health: make([]serverHealth, len(servers)),
+		rng:    rand.New(rand.NewSource(1)),
+	}
 }
 
 // SetModel enables the performance model on this client: parity XOR
@@ -79,13 +93,48 @@ func (c *Client) chargeXOR(n int64) {
 	}
 }
 
-// callSrv issues one request to server idx, charging the modeled client
-// CPU first.
+// callSrv issues one request to server idx, charging the modeled client CPU
+// first and applying the resilience policy: the breaker's admission gate, a
+// per-call deadline, and retries with backoff for idempotent requests. An
+// unavailability-class failure comes back as a *ServerError carrying the
+// server index, which the read path uses to fail over to reconstruction.
 func (c *Client) callSrv(idx int, m wire.Msg) (wire.Msg, error) {
 	if c.clock.Timed() && c.callCPU > 0 {
 		c.cpu.AcquireDur(c.callCPU)
 	}
-	return c.srv[idx].Call(m)
+	p := c.getPolicy()
+	if p.BreakerThreshold > 0 {
+		if err := c.admit(idx, p); err != nil {
+			return nil, err
+		}
+	}
+	attempts := 1
+	if p.Retries > 0 && isIdempotent(m) {
+		attempts += p.Retries
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.metrics.retries.Add(1)
+			c.backoff(a, p)
+		}
+		resp, err := c.callOnce(idx, m, p.CallTimeout)
+		if err == nil {
+			c.noteSuccess(idx)
+			return resp, nil
+		}
+		if !isUnavailable(err) {
+			// An application error from a live server: the request itself
+			// was rejected, so neither retrying nor failover can help.
+			return nil, err
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			c.metrics.timeouts.Add(1)
+		}
+		c.noteFailure(idx, p)
+		lastErr = err
+	}
+	return nil, &ServerError{Idx: idx, Err: lastErr}
 }
 
 // NumServers returns the number of I/O servers.
@@ -103,25 +152,41 @@ func (c *Client) MarkDown(idx int) {
 	c.down[idx] = true
 }
 
-// MarkUp clears a server's failed flag (after rebuild).
+// MarkUp clears a server's failed flag (after rebuild), including any
+// breaker and staleness state the resilience layer accumulated for it.
 func (c *Client) MarkUp(idx int) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	delete(c.down, idx)
+	c.mu.Unlock()
+	c.resetHealth(idx)
 }
 
-// Down reports whether a server is marked failed.
+// Down reports whether a server is unusable right now: manually marked
+// failed, or refused by its circuit breaker.
 func (c *Client) Down(idx int) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.down[idx]
+	manual := c.down[idx]
+	c.mu.Unlock()
+	return manual || c.breakerDown(idx)
 }
 
+// anyDown returns the first unusable server of the file's stripe set:
+// manually marked down, or held out by an open breaker. Checking the
+// breaker here (with its probing re-admission) is what routes reads to the
+// degraded paths while a server is out and back to the normal path once a
+// probe finds it recovered.
 func (c *Client) anyDown(ref wire.FileRef) (int, bool) {
+	n := int(ref.Servers)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i := 0; i < int(ref.Servers); i++ {
+	for i := 0; i < n; i++ {
 		if c.down[i] {
+			c.mu.Unlock()
+			return i, true
+		}
+	}
+	c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if c.breakerDown(i) {
 			return i, true
 		}
 	}

@@ -66,6 +66,9 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	f.c.metrics.writeBytes.Add(int64(len(p)))
 	if dead >= 0 {
 		f.c.metrics.degradedWrites.Add(1)
+		// The dead server missed this write: its stores are stale, so the
+		// breaker must not re-admit it before Rebuild + MarkUp.
+		f.c.markStale(dead)
 	}
 	for {
 		old := f.size.Load()
@@ -294,6 +297,14 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 	}
 
 	// 1. Old-parity read (lock acquisition) and old-data read, in parallel.
+	// The acquisition carries a fresh owner token: if the locked read fails
+	// client-side (deadline, dead link) we cannot know whether the server
+	// granted the lock, and the token lets us release exactly that possible
+	// ghost acquisition without ever touching a lock granted to anyone else.
+	var token uint64
+	if lock {
+		token = nextLockToken()
+	}
 	var parity []byte
 	var pErr error
 	done := make(chan struct{})
@@ -303,16 +314,26 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 			defer onParityRead()
 		}
 		presp, err := f.c.callSrv(ps, &wire.ReadParity{
-			File: f.ref, Stripes: []int64{stripe}, Lock: lock,
+			File: f.ref, Stripes: []int64{stripe}, Lock: lock, Owner: token,
 		})
 		if err != nil {
 			pErr = err
+			if lock && isUnavailable(err) {
+				// The server may hold the lock for us without us knowing;
+				// fire the token-scoped release so no peer queues behind a
+				// ghost (the Section 4 protocol cannot deadlock on us).
+				f.c.releaseParityLock(ps, f.ref, stripe, token)
+			}
 			return
 		}
 		parity = presp.(*wire.ReadResp).Data
 		if int64(len(parity)) != g.StripeUnit {
 			pErr = fmt.Errorf("client: parity read returned %d bytes, want %d",
 				len(parity), g.StripeUnit)
+			if lock {
+				// Granted but unusable: free the acquisition.
+				f.c.releaseParityLock(ps, f.ref, stripe, token)
+			}
 		}
 	}()
 	old := make([]byte, span.Len)
@@ -335,10 +356,14 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 	unlockOnError := func(cause error) error {
 		if lock {
 			// Release the lock with an unchanged parity write so a failure
-			// here cannot wedge other clients.
-			f.c.callSrv(ps, &wire.WriteParity{ //nolint:errcheck
+			// here cannot wedge other clients; if even that cannot reach the
+			// server, fall back to the token-scoped release.
+			_, uerr := f.c.callSrv(ps, &wire.WriteParity{
 				File: f.ref, Stripes: []int64{stripe}, Data: parity, Unlock: true,
 			})
+			if uerr != nil && isUnavailable(uerr) {
+				f.c.releaseParityLock(ps, f.ref, stripe, token)
+			}
 		}
 		return cause
 	}
@@ -370,6 +395,11 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 	})
 	<-wdone
 	if pwErr != nil {
+		if lock && isUnavailable(pwErr) {
+			// The unlocking parity write may have been lost before the
+			// server applied it; make sure the acquisition cannot linger.
+			f.c.releaseParityLock(ps, f.ref, stripe, token)
+		}
 		return pwErr
 	}
 	return wErr
@@ -443,6 +473,20 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	span := raid.Span{Off: off, Len: int64(len(p))}
 	perServer, err := f.fetchSpans(span, false)
 	if err != nil {
+		// A server died mid-read. For redundant schemes, fail over to the
+		// reconstruction paths on the spot rather than surfacing an error
+		// the redundancy exists to absorb.
+		if dead, ok := FailedServer(err); ok && dead < f.geom.Servers &&
+			f.ref.Scheme != wire.Raid0 {
+			f.c.metrics.failovers.Add(1)
+			f.c.metrics.degradedReads.Add(1)
+			n, derr := f.readDegraded(p, off, dead)
+			if derr == nil {
+				f.c.metrics.reads.Add(1)
+				f.c.metrics.readBytes.Add(int64(n))
+				return n, nil
+			}
+		}
 		return 0, err
 	}
 	mergeFromServers(f.geom, off, p, perServer)

@@ -24,6 +24,14 @@ type Metrics struct {
 	ScrubFound        int64 // redundancy mismatches detected by scrubs
 	ScrubRepaired     int64 // mismatches repaired in place
 	ScrubUnrepairable int64 // mismatches scrub declined or failed to repair
+
+	Retries         int64 // idempotent calls re-issued after a failure
+	Timeouts        int64 // calls that hit their deadline
+	BreakerTrips    int64 // breakers opened by consecutive failures
+	BreakerProbes   int64 // re-admission Health probes issued
+	BreakerReadmits int64 // probes that closed a breaker again
+	Failovers       int64 // reads rerouted to reconstruction after a failure
+	LockReleases    int64 // ghost parity-lock releases sent (UnlockParity)
 }
 
 // metrics is the internal atomic representation.
@@ -33,6 +41,10 @@ type metrics struct {
 	degradedReads, degradedWrites, compactions atomic.Int64
 
 	scrubBytes, scrubFound, scrubRepaired, scrubUnrepairable atomic.Int64
+
+	retries, timeouts                           atomic.Int64
+	breakerTrips, breakerProbes, breakerReadmits atomic.Int64
+	failovers, lockReleases                     atomic.Int64
 }
 
 func (m *metrics) snapshot() Metrics {
@@ -53,6 +65,14 @@ func (m *metrics) snapshot() Metrics {
 		ScrubFound:        m.scrubFound.Load(),
 		ScrubRepaired:     m.scrubRepaired.Load(),
 		ScrubUnrepairable: m.scrubUnrepairable.Load(),
+
+		Retries:         m.retries.Load(),
+		Timeouts:        m.timeouts.Load(),
+		BreakerTrips:    m.breakerTrips.Load(),
+		BreakerProbes:   m.breakerProbes.Load(),
+		BreakerReadmits: m.breakerReadmits.Load(),
+		Failovers:       m.failovers.Load(),
+		LockReleases:    m.lockReleases.Load(),
 	}
 }
 

@@ -8,7 +8,6 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -37,8 +36,11 @@ const (
 	Pipe
 )
 
-// ErrServerDown is returned by calls to a stopped server.
-var ErrServerDown = errors.New("cluster: server down")
+// ErrServerDown is returned by calls to a stopped server. It wraps
+// wire.ErrUnavailable so the client's resilience layer classifies it (and
+// its stringified form on the Pipe transport, via wire.Error.Code) as
+// server unavailability rather than an application error.
+var ErrServerDown = fmt.Errorf("cluster: server down (%w)", wire.ErrUnavailable)
 
 // Config describes a cluster.
 type Config struct {
@@ -74,12 +76,15 @@ func DefaultConfig(n int) Config {
 }
 
 // ioServer is one server slot: the current server instance (replaceable on
-// rebuild) and its down flag.
+// rebuild), its down flag, and any injected request-level faults.
 type ioServer struct {
 	srv  atomic.Pointer[server.Server]
 	disk atomic.Pointer[simdisk.Disk]
 	down atomic.Bool
 	node *simnet.Node
+
+	fmu    sync.Mutex
+	faults []*InjectedFault
 }
 
 // Cluster is a running deployment.
@@ -134,14 +139,52 @@ func (c *Cluster) Manager() *meta.Manager { return c.mgr }
 // ServerDisk returns I/O server i's modeled disk (for stats inspection).
 func (c *Cluster) ServerDisk(i int) *simdisk.Disk { return c.servers[i].disk.Load() }
 
-// handler returns the gated rpc.Handler for server slot i.
+// handler returns the gated rpc.Handler for server slot i: the down flag
+// and any injected faults apply before the server sees the request.
 func (c *Cluster) handler(i int) rpc.Handler {
 	slot := c.servers[i]
 	return func(m wire.Msg) (wire.Msg, error) {
 		if slot.down.Load() {
 			return nil, ErrServerDown
 		}
+		if err := slot.applyFaults(m); err != nil {
+			return nil, err
+		}
+		if slot.down.Load() {
+			return nil, ErrServerDown
+		}
 		return slot.srv.Load().Handle(m)
+	}
+}
+
+// Network returns the cluster's modeled interconnect; tests install simnet
+// link faults and schedules through it (Pipe transport).
+func (c *Cluster) Network() *simnet.Network { return c.network }
+
+// ServerNodeName returns server i's simnet node name, for addressing link
+// faults.
+func (c *Cluster) ServerNodeName(i int) string { return c.servers[i].node.Name() }
+
+// PartitionServer cuts server i off: under the Pipe transport its simnet
+// links drop in both directions; under Direct the request gate drops. Heal
+// with HealServer. Unlike StopServer, a partition is a network event — the
+// server process keeps running.
+func (c *Cluster) PartitionServer(i int) {
+	switch c.cfg.Transport {
+	case Pipe:
+		c.network.Partition(c.servers[i].node.Name())
+	default:
+		c.servers[i].down.Store(true)
+	}
+}
+
+// HealServer reverses PartitionServer.
+func (c *Cluster) HealServer(i int) {
+	switch c.cfg.Transport {
+	case Pipe:
+		c.network.Heal(c.servers[i].node.Name())
+	default:
+		c.servers[i].down.Store(false)
 	}
 }
 

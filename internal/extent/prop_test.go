@@ -1,0 +1,156 @@
+package extent
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// This property test models the overflow table the way the Hybrid scheme
+// actually uses it: Insert appends real bytes to a backing region and maps a
+// logical range onto them, Invalidate migrates ranges back out, and reading
+// through Lookup must reconstruct exactly the bytes a flat buffer would hold
+// after the same sequence of writes. Where the existing reference-model test
+// checks the offset arithmetic, this one checks end-to-end content — a
+// split extent pointing one byte off in Src passes no other way.
+
+// flatModel is the reference: a plain byte image of the logical space, plus
+// a covered mask (true where overflow currently holds the byte).
+type flatModel struct {
+	img     []byte
+	covered []bool
+}
+
+func (fm *flatModel) insert(off int64, data []byte) {
+	copy(fm.img[off:], data)
+	for i := range data {
+		fm.covered[off+int64(i)] = true
+	}
+}
+
+func (fm *flatModel) invalidate(off, length int64) {
+	for i := int64(0); i < length; i++ {
+		fm.covered[off+i] = false
+	}
+}
+
+// readVia reconstructs the covered bytes of [off, off+length) through the
+// map and a backing region, writing misses as zero.
+func readVia(m *Map, backing []byte, off, length int64) ([]byte, []bool) {
+	out := make([]byte, length)
+	cov := make([]bool, length)
+	m.Lookup(off, length, func(logical, src, n int64) {
+		copy(out[logical-off:], backing[src:src+n])
+		for i := int64(0); i < n; i++ {
+			cov[logical-off+i] = true
+		}
+	}, nil)
+	return out, cov
+}
+
+func TestOverflowContentAgainstFlatBuffer(t *testing.T) {
+	const space = 4096
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var m Map
+		var backing []byte // grows append-only, like the overflow store
+		fm := &flatModel{img: make([]byte, space), covered: make([]bool, space)}
+
+		for op := 0; op < 300; op++ {
+			off := int64(r.Intn(space * 3 / 4))
+			length := int64(r.Intn(space/8) + 1)
+			if off+length > space {
+				length = space - off
+			}
+			switch r.Intn(4) {
+			case 0:
+				// Full-stripe write migrated the range back in place.
+				m.Invalidate(off, length)
+				fm.invalidate(off, length)
+			default:
+				// Overflow write: fresh bytes land at the end of the region.
+				data := make([]byte, length)
+				r.Read(data)
+				src := int64(len(backing))
+				backing = append(backing, data...)
+				m.Insert(off, length, src)
+				fm.insert(off, data)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("seed %d op %d: %v", seed, op, err)
+			}
+
+			// Full-space content + coverage comparison after every op.
+			got, cov := readVia(&m, backing, 0, space)
+			want := make([]byte, space)
+			for i := 0; i < space; i++ {
+				if fm.covered[i] {
+					want[i] = fm.img[i]
+				}
+			}
+			for i := 0; i < space; i++ {
+				if cov[i] != fm.covered[i] {
+					t.Fatalf("seed %d op %d: coverage diverged at byte %d: map=%v ref=%v",
+						seed, op, i, cov[i], fm.covered[i])
+				}
+			}
+			if !bytes.Equal(got, want) {
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d op %d: content diverged at byte %d: got %d want %d",
+							seed, op, i, got[i], want[i])
+					}
+				}
+			}
+
+			// Derived invariants: Bytes() matches the mask, Covered() agrees
+			// on a random window, and extents are canonical (no two adjacent
+			// extents left uncoalesced).
+			var n int64
+			for i := 0; i < space; i++ {
+				if fm.covered[i] {
+					n++
+				}
+			}
+			if m.Bytes() != n {
+				t.Fatalf("seed %d op %d: Bytes()=%d, mask says %d", seed, op, m.Bytes(), n)
+			}
+			wOff := int64(r.Intn(space))
+			wLen := int64(r.Intn(space-int(wOff)) + 1)
+			var wantCov int64
+			for i := wOff; i < wOff+wLen; i++ {
+				if fm.covered[i] {
+					wantCov++
+				}
+			}
+			if got := m.Covered(wOff, wLen); got != wantCov {
+				t.Fatalf("seed %d op %d: Covered(%d,%d)=%d, want %d", seed, op, wOff, wLen, got, wantCov)
+			}
+			exts := m.Extents()
+			for i := 1; i < len(exts); i++ {
+				a, b := exts[i-1], exts[i]
+				if a.End() == b.Off && a.Src+a.Len == b.Src {
+					t.Fatalf("seed %d op %d: adjacent extents left uncoalesced: %v %v", seed, op, a, b)
+				}
+			}
+		}
+
+		// Clone independence: mutating the clone leaves the original's view
+		// of the backing region untouched.
+		cl := m.Clone()
+		cl.Invalidate(0, space)
+		if cl.Len() != 0 {
+			t.Fatalf("seed %d: clone not emptied", seed)
+		}
+		got, _ := readVia(&m, backing, 0, space)
+		want := make([]byte, space)
+		for i := 0; i < space; i++ {
+			if fm.covered[i] {
+				want[i] = fm.img[i]
+			}
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: original corrupted by clone mutation", seed)
+		}
+	}
+}

@@ -15,11 +15,13 @@
 package rpc
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"csar/internal/simnet"
 	"csar/internal/wire"
@@ -31,6 +33,11 @@ const MaxFrame = 1 << 30
 
 // ErrClosed is returned by calls pending on a connection that closed.
 var ErrClosed = errors.New("rpc: connection closed")
+
+// ErrTimeout is returned by CallTimeout when the deadline expires before the
+// response arrives. It wraps context.DeadlineExceeded so callers can
+// classify timeouts without importing this package's sentinel.
+var ErrTimeout = fmt.Errorf("rpc: call timed out (%w)", context.DeadlineExceeded)
 
 func writeFrame(w io.Writer, seq uint32, body []byte) error {
 	frame := make([]byte, 8+len(body))
@@ -121,7 +128,18 @@ func (c *Client) failAll(err error) {
 
 // Call sends req and blocks for the matching response. A wire.Error response
 // is converted into a Go error.
-func (c *Client) Call(req wire.Msg) (wire.Msg, error) {
+func (c *Client) Call(req wire.Msg) (wire.Msg, error) { return c.call(req, 0) }
+
+// CallTimeout is Call with a per-call deadline. When the deadline expires
+// before the response arrives the call returns ErrTimeout and the sequence
+// number is abandoned: a late response is silently dropped by the read loop,
+// and the connection stays usable for other calls. A non-positive timeout
+// means no deadline.
+func (c *Client) CallTimeout(req wire.Msg, timeout time.Duration) (wire.Msg, error) {
+	return c.call(req, timeout)
+}
+
+func (c *Client) call(req wire.Msg, timeout time.Duration) (wire.Msg, error) {
 	body := wire.Marshal(req)
 
 	c.mu.Lock()
@@ -135,19 +153,60 @@ func (c *Client) Call(req wire.Msg) (wire.Msg, error) {
 	c.pending[seq] = ch
 	c.mu.Unlock()
 
-	c.local.Send(c.remote, int64(8+len(body)))
+	if timeout <= 0 {
+		if err := c.send(seq, body); err != nil {
+			c.abandon(seq)
+			return nil, err
+		}
+		return decodeResult(<-ch)
+	}
 
+	// The send itself can block (a hung modeled link, a full pipe), so it
+	// must race the deadline too.
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- c.send(seq, body) }()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case r := <-ch:
+			return decodeResult(r)
+		case err := <-sendErr:
+			if err != nil {
+				c.abandon(seq)
+				return nil, err
+			}
+			sendErr = nil // sent; keep waiting for the response or the deadline
+		case <-timer.C:
+			c.abandon(seq)
+			return nil, ErrTimeout
+		}
+	}
+}
+
+// send charges the modeled link and writes the request frame.
+func (c *Client) send(seq uint32, body []byte) error {
+	if err := c.local.Send(c.remote, int64(8+len(body))); err != nil {
+		return fmt.Errorf("rpc: send: %w", err)
+	}
 	c.wmu.Lock()
 	err := writeFrame(c.conn, seq, body)
 	c.wmu.Unlock()
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, seq)
-		c.mu.Unlock()
-		return nil, fmt.Errorf("rpc: send: %w", err)
+		return fmt.Errorf("rpc: send: %w", err)
 	}
+	return nil
+}
 
-	r := <-ch
+// abandon forgets a pending call; a late response finds no channel and is
+// dropped.
+func (c *Client) abandon(seq uint32) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.mu.Unlock()
+}
+
+func decodeResult(r msgOrErr) (wire.Msg, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -195,13 +254,17 @@ func ServeConn(conn io.ReadWriteCloser, h Handler, local, remote *simnet.Node) e
 			} else {
 				r, herr := handleSafely(h, req)
 				if herr != nil {
-					resp = &wire.Error{Text: herr.Error()}
+					resp = &wire.Error{Text: herr.Error(), Code: wire.ErrorCodeOf(herr)}
 				} else {
 					resp = r
 				}
 			}
 			out := wire.Marshal(resp)
-			local.Send(remote, int64(8+len(out)))
+			if err := local.Send(remote, int64(8+len(out))); err != nil {
+				// The modeled link dropped the response after the handler ran
+				// (work done, reply lost); the client's deadline detects it.
+				return
+			}
 			wmu.Lock()
 			defer wmu.Unlock()
 			writeFrame(conn, seq, out) //nolint:errcheck // conn teardown is detected by readFrame

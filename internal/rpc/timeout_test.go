@@ -1,0 +1,124 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"csar/internal/simnet"
+	"csar/internal/wire"
+)
+
+func TestCallTimeoutExpiresAndConnectionSurvives(t *testing.T) {
+	release := make(chan struct{})
+	c := startPair(t, func(req wire.Msg) (wire.Msg, error) {
+		if _, ok := req.(*wire.Ping); ok {
+			<-release // wedged server
+		}
+		return &wire.OK{}, nil
+	})
+
+	start := time.Now()
+	_, err := c.CallTimeout(&wire.Ping{}, 25*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("ErrTimeout must wrap context.DeadlineExceeded for uniform classification")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout did not bound the call")
+	}
+
+	// Release the wedged handler: its late response must be dropped, not
+	// misdelivered, and the connection must stay usable.
+	close(release)
+	resp, err := c.CallTimeout(&wire.Health{}, time.Second)
+	if err != nil {
+		t.Fatalf("call after timeout: %v", err)
+	}
+	if _, ok := resp.(*wire.OK); !ok {
+		t.Fatalf("late response leaked into a later call: got %T", resp)
+	}
+}
+
+func TestCallTimeoutCoversBlockedSend(t *testing.T) {
+	// A hung modeled link blocks the send itself; the deadline must fire
+	// anyway (the silent-loss failure mode only deadlines detect).
+	n := simnet.New(nil, simnet.DefaultParams())
+	cn, sn := n.NewNode("client"), n.NewNode("server")
+	n.SetLinkFault("client", "server", simnet.LinkFault{Hang: true})
+	t.Cleanup(n.ClearFaults)
+
+	cEnd, sEnd := net.Pipe()
+	go ServeConn(sEnd, func(wire.Msg) (wire.Msg, error) { return &wire.OK{}, nil }, sn, cn) //nolint:errcheck
+	c := NewClient(cEnd, cn, sn)
+	t.Cleanup(func() { c.Close() })
+
+	_, err := c.CallTimeout(&wire.Ping{}, 25*time.Millisecond)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want a deadline error", err)
+	}
+
+	// Clearing the fault lets the stuck frame drain; the connection keeps
+	// working.
+	n.ClearFaults()
+	if _, err := c.CallTimeout(&wire.Ping{}, time.Second); err != nil {
+		t.Fatalf("call after link heal: %v", err)
+	}
+}
+
+func TestSendErrorPropagates(t *testing.T) {
+	// A dropped link fails the call immediately — no deadline needed — and
+	// the error surfaces to the caller.
+	n := simnet.New(nil, simnet.DefaultParams())
+	cn, sn := n.NewNode("client"), n.NewNode("server")
+	n.Partition("server")
+	t.Cleanup(n.ClearFaults)
+
+	cEnd, sEnd := net.Pipe()
+	go ServeConn(sEnd, func(wire.Msg) (wire.Msg, error) { return &wire.OK{}, nil }, sn, cn) //nolint:errcheck
+	c := NewClient(cEnd, cn, sn)
+	t.Cleanup(func() { c.Close() })
+
+	if _, err := c.Call(&wire.Ping{}); !errors.Is(err, simnet.ErrLinkDown) {
+		t.Fatalf("err = %v, want ErrLinkDown", err)
+	}
+	n.Heal("server")
+	if _, err := c.Call(&wire.Ping{}); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+}
+
+func TestDroppedResponseHitsDeadline(t *testing.T) {
+	// The server executes the request but its response frame is lost on the
+	// modeled link (the ghost-lock scenario's transport); only the client's
+	// deadline reports it.
+	n := simnet.New(nil, simnet.DefaultParams())
+	cn, sn := n.NewNode("client"), n.NewNode("server")
+	n.SetLinkFault("server", "client", simnet.LinkFault{Drop: true})
+	t.Cleanup(n.ClearFaults)
+
+	handled := make(chan struct{}, 8)
+	cEnd, sEnd := net.Pipe()
+	go ServeConn(sEnd, func(wire.Msg) (wire.Msg, error) { //nolint:errcheck
+		handled <- struct{}{}
+		return &wire.OK{}, nil
+	}, sn, cn)
+	c := NewClient(cEnd, cn, sn)
+	t.Cleanup(func() { c.Close() })
+
+	_, err := c.CallTimeout(&wire.Ping{}, 25*time.Millisecond)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want a deadline error", err)
+	}
+	select {
+	case <-handled:
+		// The side effect happened even though the call failed — exactly the
+		// asymmetry the client's idempotency rules exist for.
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler never ran")
+	}
+}

@@ -105,9 +105,20 @@ type serverFile struct {
 	locks    map[int64]*parityLock
 }
 
+// parityLock is one stripe's FIFO parity lock. owner is the token of the
+// holding acquisition (0 for legacy lockers that carry none); each queued
+// waiter remembers its own token so UnlockParity can surgically cancel a
+// dead peer's acquisition — held or still queued — without disturbing
+// anyone else's.
 type parityLock struct {
 	held  bool
-	queue []chan struct{}
+	owner uint64
+	queue []lockWaiter
+}
+
+type lockWaiter struct {
+	ch    chan bool // true: granted; false: canceled by UnlockParity
+	owner uint64
 }
 
 // New creates a server with the given index (its position in every file's
@@ -177,6 +188,10 @@ func (s *Server) Handle(req wire.Msg) (wire.Msg, error) {
 	switch m := req.(type) {
 	case *wire.Ping:
 		return &wire.OK{}, nil
+	case *wire.Health:
+		return &wire.HealthResp{Index: uint16(s.idx), Requests: s.requests.Load()}, nil
+	case *wire.UnlockParity:
+		return s.handleUnlockParity(m)
 	case *wire.Read:
 		return s.handleRead(m)
 	case *wire.WriteData:
@@ -393,7 +408,9 @@ func (s *Server) handleReadParity(m *wire.ReadParity) (wire.Msg, error) {
 			return nil, fmt.Errorf("server %d does not hold parity of stripe %d", s.idx, stripe)
 		}
 		if m.Lock {
-			sf.lockStripe(stripe)
+			if !sf.lockStripe(stripe, m.Owner) {
+				return nil, fmt.Errorf("server: parity lock of stripe %d canceled", stripe)
+			}
 		}
 		buf := make([]byte, su)
 		par.ReadAt(buf, sf.geom.ParityLocalOffset(stripe)) //nolint:errcheck
@@ -762,8 +779,10 @@ func putU64LE(b []byte, v uint64) {
 }
 
 // lockStripe acquires the FIFO parity lock of one stripe, blocking while
-// another client's partial-stripe update is in flight (Section 5.1).
-func (sf *serverFile) lockStripe(stripe int64) {
+// another client's partial-stripe update is in flight (Section 5.1). owner
+// is the acquisition's token for UnlockParity cancellation (0 = none). It
+// reports false if the acquisition was canceled while queued.
+func (sf *serverFile) lockStripe(stripe int64, owner uint64) bool {
 	sf.mu.Lock()
 	l := sf.locks[stripe]
 	if l == nil {
@@ -772,13 +791,14 @@ func (sf *serverFile) lockStripe(stripe int64) {
 	}
 	if !l.held {
 		l.held = true
+		l.owner = owner
 		sf.mu.Unlock()
-		return
+		return true
 	}
-	ch := make(chan struct{})
-	l.queue = append(l.queue, ch)
+	ch := make(chan bool, 1)
+	l.queue = append(l.queue, lockWaiter{ch: ch, owner: owner})
 	sf.mu.Unlock()
-	<-ch // woken holding the lock
+	return <-ch // woken holding the lock, or canceled
 }
 
 // unlockStripe releases the parity lock, handing it to the first queued
@@ -791,12 +811,72 @@ func (sf *serverFile) unlockStripe(stripe int64) {
 		return
 	}
 	if len(l.queue) > 0 {
-		ch := l.queue[0]
+		w := l.queue[0]
 		l.queue = l.queue[1:]
+		l.owner = w.owner
 		sf.mu.Unlock()
-		close(ch)
+		w.ch <- true
 		return
 	}
 	l.held = false
+	l.owner = 0
 	sf.mu.Unlock()
+}
+
+// cancelLock releases stripe's parity lock if held under owner's token, and
+// removes any queued acquisitions carrying it (waking them canceled). A
+// zero token never matches: legacy lockers cannot be canceled.
+func (sf *serverFile) cancelLock(stripe int64, owner uint64) {
+	if owner == 0 {
+		return
+	}
+	sf.mu.Lock()
+	l := sf.locks[stripe]
+	if l == nil {
+		sf.mu.Unlock()
+		return
+	}
+	var canceled []lockWaiter
+	kept := l.queue[:0]
+	for _, w := range l.queue {
+		if w.owner == owner {
+			canceled = append(canceled, w)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	l.queue = kept
+	var grant *lockWaiter
+	if l.held && l.owner == owner {
+		if len(l.queue) > 0 {
+			w := l.queue[0]
+			l.queue = l.queue[1:]
+			l.owner = w.owner
+			grant = &w
+		} else {
+			l.held = false
+			l.owner = 0
+		}
+	}
+	sf.mu.Unlock()
+	for _, w := range canceled {
+		w.ch <- false
+	}
+	if grant != nil {
+		grant.ch <- true
+	}
+}
+
+func (s *Server) handleUnlockParity(m *wire.UnlockParity) (wire.Msg, error) {
+	sf, err := s.file(m.File)
+	if err != nil {
+		return nil, err
+	}
+	for _, stripe := range m.Stripes {
+		if sf.geom.ParityServerOf(stripe) != s.idx {
+			return nil, fmt.Errorf("server %d does not hold parity of stripe %d", s.idx, stripe)
+		}
+		sf.cancelLock(stripe, m.Owner)
+	}
+	return &wire.OK{}, nil
 }

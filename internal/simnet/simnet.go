@@ -36,10 +36,13 @@ func DefaultParams() Params {
 	}
 }
 
-// Network is a set of nodes sharing one timing model.
+// Network is a set of nodes sharing one timing model and one fault table
+// (see faults.go): deterministic per-link drop, hang, latency and partition
+// faults drive the failover tests.
 type Network struct {
 	clock  *simtime.Clock
 	params Params
+	faults faultTable
 }
 
 // New creates a network on the given clock. An untimed clock produces a
@@ -74,9 +77,19 @@ func (nd *Node) Name() string { return nd.name }
 // Send charges the transfer of n bytes from nd to dst and blocks until the
 // modeled transfer completes: both NIC directions are reserved concurrently
 // and the call sleeps until the later of the two, plus one-way latency.
-func (nd *Node) Send(dst *Node, n int64) {
-	if nd == nil || dst == nil || !nd.net.clock.Timed() {
-		return
+//
+// Link faults apply first, even on untimed networks: a dropped link returns
+// ErrLinkDown, a hung link blocks until the fault clears, and extra latency
+// is charged before the transfer.
+func (nd *Node) Send(dst *Node, n int64) error {
+	if nd == nil || dst == nil {
+		return nil
+	}
+	if err := nd.net.applyFaults(nd.name, dst.name); err != nil {
+		return err
+	}
+	if !nd.net.clock.Timed() {
+		return nil
 	}
 	tOut := nd.out.Reserve(n)
 	tIn := dst.in.Reserve(n)
@@ -88,4 +101,5 @@ func (nd *Node) Send(dst *Node, n int64) {
 		time.Sleep(d)
 	}
 	nd.net.clock.Sleep(nd.net.params.Latency)
+	return nil
 }

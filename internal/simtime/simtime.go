@@ -33,6 +33,11 @@ func (c *Clock) wall(sim time.Duration) time.Duration {
 	return time.Duration(float64(sim) * float64(c.Scale) / float64(time.Second))
 }
 
+// Wall converts a simulated duration to the wall-clock duration it occupies
+// under this clock's scale; zero on an untimed clock. Fault schedules use it
+// to fire at simulated-time offsets.
+func (c *Clock) Wall(sim time.Duration) time.Duration { return c.wall(sim) }
+
 // Sleep blocks for the wall-clock equivalent of the simulated duration.
 func (c *Clock) Sleep(sim time.Duration) {
 	if w := c.wall(sim); w > 0 {

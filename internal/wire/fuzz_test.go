@@ -5,25 +5,72 @@ import (
 	"testing"
 )
 
+// fuzzSeeds holds at least one exemplar message per registered kind; the
+// fuzz corpus is built from their encodings, and
+// TestFuzzSeedsCoverAllKinds keeps the list honest as the protocol grows
+// (a new message type without a seed fails the suite, not just the fuzzer's
+// coverage).
+func fuzzSeeds() []Msg {
+	ref := FileRef{ID: 3, Servers: 5, StripeUnit: 4096, Scheme: Hybrid}
+	return []Msg{
+		&Error{Text: "boom"},
+		&Error{Text: "down", Code: CodeUnavailable},
+		&OK{},
+		&Ping{},
+		&Read{File: ref, Spans: []Span{{0, 10}, {100, 5}}, Raw: true},
+		&ReadResp{Data: []byte{4, 5, 6}},
+		&WriteData{File: ref, Spans: []Span{{0, 3}}, Data: []byte{1, 2, 3}},
+		&WriteMirror{File: ref, Spans: []Span{{64, 4}}, Data: []byte{8, 8, 8, 8}},
+		&ReadMirror{File: ref, Spans: []Span{{0, 128}}},
+		&ReadParity{File: ref, Stripes: []int64{7}, Lock: true, Owner: 42},
+		&WriteParity{File: ref, Stripes: []int64{7}, Data: []byte{0xAA}, Unlock: true},
+		&WriteOverflow{File: ref, Extents: []Span{{8, 2}}, Data: []byte{9, 9}, Mirror: true},
+		&InvalidateOverflow{File: ref, Spans: []Span{{8, 2}}, Mirror: true},
+		&OverflowDump{File: ref, Mirror: true},
+		&OverflowDumpResp{Extents: []Span{{8, 2}}, Data: []byte{9, 9}},
+		&Sync{File: ref},
+		&DropCaches{},
+		&StorageStat{FileID: 3},
+		&StorageStatResp{Total: 5, ByStore: [5]int64{1, 1, 1, 1, 1}},
+		&RemoveFile{File: ref},
+		&CompactOverflow{File: ref, Mirror: true},
+		&Create{Name: "f", Servers: 5, StripeUnit: 4096, Scheme: Hybrid},
+		&CreateResp{Ref: ref},
+		&Open{Name: "f"},
+		&OpenResp{Ref: ref, Size: 1 << 40},
+		&SetSize{ID: 3, Size: 999},
+		&Remove{Name: "f"},
+		&List{},
+		&ListResp{Names: []string{"a", "b"}},
+		&ServerList{},
+		&ServerListResp{Addrs: []string{"127.0.0.1:7101"}},
+		&ChecksumRange{File: ref, Store: StoreOverflowMirror, Off: 0, Len: 1 << 20, Chunk: 4096},
+		&ChecksumRangeResp{Sums: []uint32{7, 0xffffffff}, Bytes: 8192},
+		&Health{},
+		&HealthResp{Index: 2, Requests: 17},
+		&UnlockParity{File: ref, Stripes: []int64{7, 9}, Owner: 42},
+	}
+}
+
+// TestFuzzSeedsCoverAllKinds asserts every wire message type has at least
+// one fuzz corpus seed.
+func TestFuzzSeedsCoverAllKinds(t *testing.T) {
+	seeded := map[Kind]bool{}
+	for _, m := range fuzzSeeds() {
+		seeded[m.Kind()] = true
+	}
+	for k := range registry {
+		if !seeded[k] {
+			t.Errorf("message kind %d (%T) has no fuzz seed", k, registry[k]())
+		}
+	}
+}
+
 // FuzzUnmarshal feeds arbitrary bytes to the message decoder: it must never
 // panic, and anything it accepts must re-marshal and re-parse to an
 // equivalent message (a decode/encode/decode fixed point).
 func FuzzUnmarshal(f *testing.F) {
-	ref := FileRef{ID: 3, Servers: 5, StripeUnit: 4096, Scheme: Hybrid}
-	seeds := []Msg{
-		&Ping{},
-		&Read{File: ref, Spans: []Span{{0, 10}, {100, 5}}, Raw: true},
-		&WriteData{File: ref, Spans: []Span{{0, 3}}, Data: []byte{1, 2, 3}},
-		&ReadParity{File: ref, Stripes: []int64{7}, Lock: true},
-		&WriteOverflow{File: ref, Extents: []Span{{8, 2}}, Data: []byte{9, 9}, Mirror: true},
-		&OpenResp{Ref: ref, Size: 1 << 40},
-		&ListResp{Names: []string{"a", "b"}},
-		&StorageStatResp{Total: 5, ByStore: [5]int64{1, 1, 1, 1, 1}},
-		&ChecksumRange{File: ref, Store: StoreOverflowMirror, Off: 0, Len: 1 << 20, Chunk: 4096},
-		&ChecksumRangeResp{Sums: []uint32{7, 0xffffffff}, Bytes: 8192},
-		&Error{Text: "boom"},
-	}
-	for _, m := range seeds {
+	for _, m := range fuzzSeeds() {
 		f.Add(Marshal(m))
 	}
 	f.Add([]byte{})

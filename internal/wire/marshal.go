@@ -61,12 +61,21 @@ var registry = map[Kind]func() Msg{
 	KServerListResp:     func() Msg { return &ServerListResp{} },
 	KChecksumRange:      func() Msg { return &ChecksumRange{} },
 	KChecksumRangeResp:  func() Msg { return &ChecksumRangeResp{} },
+	KHealth:             func() Msg { return &Health{} },
+	KHealthResp:         func() Msg { return &HealthResp{} },
+	KUnlockParity:       func() Msg { return &UnlockParity{} },
 }
 
-func (m *Error) Kind() Kind        { return KError }
-func (m *Error) encode(e *Encoder) { e.Str(m.Text) }
-func (m *Error) decode(d *Decoder) { m.Text = d.Str() }
-func (m *Error) Error() string     { return m.Text }
+func (m *Error) Kind() Kind { return KError }
+func (m *Error) encode(e *Encoder) {
+	e.Str(m.Text)
+	e.U8(m.Code)
+}
+func (m *Error) decode(d *Decoder) {
+	m.Text = d.Str()
+	m.Code = d.U8()
+}
+func (m *Error) Error() string { return m.Text }
 
 func (m *OK) Kind() Kind      { return KOK }
 func (m *OK) encode(*Encoder) {}
@@ -133,11 +142,39 @@ func (m *ReadParity) encode(e *Encoder) {
 	e.FileRef(m.File)
 	e.I64s(m.Stripes)
 	e.Bool(m.Lock)
+	e.U64(m.Owner)
 }
 func (m *ReadParity) decode(d *Decoder) {
 	m.File = d.FileRef()
 	m.Stripes = d.I64sDec()
 	m.Lock = d.Bool()
+	m.Owner = d.U64()
+}
+
+func (m *UnlockParity) Kind() Kind { return KUnlockParity }
+func (m *UnlockParity) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.I64s(m.Stripes)
+	e.U64(m.Owner)
+}
+func (m *UnlockParity) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Stripes = d.I64sDec()
+	m.Owner = d.U64()
+}
+
+func (m *Health) Kind() Kind      { return KHealth }
+func (m *Health) encode(*Encoder) {}
+func (m *Health) decode(*Decoder) {}
+
+func (m *HealthResp) Kind() Kind { return KHealthResp }
+func (m *HealthResp) encode(e *Encoder) {
+	e.U16(m.Index)
+	e.I64(m.Requests)
+}
+func (m *HealthResp) decode(d *Decoder) {
+	m.Index = d.U16()
+	m.Requests = d.I64()
 }
 
 func (m *WriteParity) Kind() Kind { return KWriteParity }

@@ -12,6 +12,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
@@ -146,6 +147,11 @@ const (
 	// Integrity scrubbing (appended so earlier kinds keep their values).
 	KChecksumRange
 	KChecksumRangeResp
+
+	// Resilience layer (appended so earlier kinds keep their values).
+	KHealth
+	KHealthResp
+	KUnlockParity
 )
 
 // Store kinds addressable by ChecksumRange, in the order of
@@ -166,9 +172,49 @@ type Msg interface {
 	decode(d *Decoder)
 }
 
+// Error codes classify failure responses so a client can tell an
+// application-level refusal (bad arguments, unknown file — retrying cannot
+// help) from server unavailability (the retry/failover layer's business).
+const (
+	// CodeGeneric marks an application error: the server is alive and
+	// answered; the request itself was rejected.
+	CodeGeneric uint8 = iota
+	// CodeUnavailable marks a server that cannot serve requests at all
+	// (stopped, partitioned behind a proxy, shutting down). Errors with
+	// this code unwrap to ErrUnavailable.
+	CodeUnavailable
+)
+
+// ErrUnavailable is the sentinel behind CodeUnavailable errors: matching it
+// with errors.Is classifies a failure as server unavailability regardless
+// of which transport delivered it.
+var ErrUnavailable = errors.New("server unavailable")
+
+// ErrorCodeOf maps a handler error to the wire code its Error response
+// should carry.
+func ErrorCodeOf(err error) uint8 {
+	if errors.Is(err, ErrUnavailable) {
+		return CodeUnavailable
+	}
+	return CodeGeneric
+}
+
 // Error is the generic failure response; the RPC layer converts it to a Go
-// error on the caller's side.
-type Error struct{ Text string }
+// error on the caller's side. Code classifies the failure (see CodeGeneric,
+// CodeUnavailable).
+type Error struct {
+	Text string
+	Code uint8
+}
+
+// Unwrap lets errors.Is(err, ErrUnavailable) see through a decoded
+// unavailability response.
+func (m *Error) Unwrap() error {
+	if m.Code == CodeUnavailable {
+		return ErrUnavailable
+	}
+	return nil
+}
 
 // OK is the empty success response.
 type OK struct{}
@@ -217,10 +263,37 @@ type ReadMirror struct {
 // ReadParity reads whole parity units of the listed stripes. With Lock set,
 // the server acquires the stripe's parity lock before answering (the
 // Section 5.1 protocol: a parity read announces a partial-stripe update).
+// Owner is the caller's lock token for that acquisition: a later
+// UnlockParity carrying the same token releases exactly this acquisition
+// and no other, so a client whose locked read timed out can free a
+// possibly-granted lock without ever stealing one granted to someone else.
 type ReadParity struct {
 	File    FileRef
 	Stripes []int64
 	Lock    bool
+	Owner   uint64
+}
+
+// UnlockParity force-releases the parity locks of the listed stripes if —
+// and only if — they are held (or queued) under the given Owner token. It
+// is the escape hatch for a dead or timed-out peer: the lock protocol of
+// Section 5.1 releases locks with WriteParity{Unlock}, but a client that
+// never saw its locked-read response cannot know whether it holds the lock,
+// and sends this instead. A token that matches nothing is a no-op.
+type UnlockParity struct {
+	File    FileRef
+	Stripes []int64
+	Owner   uint64
+}
+
+// Health asks a server for a liveness/health report; the client's circuit
+// breaker probes with it before re-admitting a server.
+type Health struct{}
+
+// HealthResp is the reply to Health.
+type HealthResp struct {
+	Index    uint16 // the server's position in the stripe layout
+	Requests int64  // requests handled since startup
 }
 
 // WriteParity writes whole parity units of the listed stripes. With Unlock

@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -26,7 +28,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 	spans := []Span{{0, 100}, {4096, 65536}}
 	data := []byte("payload bytes")
 	msgs := []Msg{
-		&Error{Text: "boom"},
+		&Error{Text: "boom", Code: CodeUnavailable},
 		&OK{},
 		&Ping{},
 		&Read{File: ref, Spans: spans, Raw: true},
@@ -34,7 +36,10 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&WriteData{File: ref, Spans: spans, Data: data, Raw: true},
 		&WriteMirror{File: ref, Spans: spans, Data: data},
 		&ReadMirror{File: ref, Spans: spans},
-		&ReadParity{File: ref, Stripes: []int64{3, 9}, Lock: true},
+		&ReadParity{File: ref, Stripes: []int64{3, 9}, Lock: true, Owner: 77},
+		&UnlockParity{File: ref, Stripes: []int64{3, 9}, Owner: 77},
+		&Health{},
+		&HealthResp{Index: 3, Requests: 12345},
 		&WriteParity{File: ref, Stripes: []int64{3}, Data: data, Unlock: true},
 		&WriteOverflow{File: ref, Extents: spans, Data: data, Mirror: true},
 		&InvalidateOverflow{File: ref, Spans: spans, Mirror: true},
@@ -151,6 +156,29 @@ func TestSchemepredicates(t *testing.T) {
 		if c.s.UsesParity() != c.parity || c.s.UsesMirror() != c.mirror || c.s.UsesLocking() != c.locks {
 			t.Errorf("%v predicates wrong", c.s)
 		}
+	}
+}
+
+func TestErrorCodeClassification(t *testing.T) {
+	plain := &Error{Text: "bad args"}
+	if errors.Is(plain, ErrUnavailable) {
+		t.Fatal("generic error classified unavailable")
+	}
+	down := &Error{Text: "down", Code: CodeUnavailable}
+	if !errors.Is(down, ErrUnavailable) {
+		t.Fatal("CodeUnavailable error not classified unavailable")
+	}
+	// The classification survives a wire round trip (how it actually
+	// reaches clients on a real transport).
+	got := roundTrip(t, down)
+	if !errors.Is(got.(*Error), ErrUnavailable) {
+		t.Fatal("classification lost in round trip")
+	}
+	if ErrorCodeOf(fmt.Errorf("wrapped: %w", ErrUnavailable)) != CodeUnavailable {
+		t.Fatal("ErrorCodeOf missed a wrapped ErrUnavailable")
+	}
+	if ErrorCodeOf(errors.New("app error")) != CodeGeneric {
+		t.Fatal("ErrorCodeOf misclassified an app error")
 	}
 }
 

@@ -11,7 +11,10 @@ import (
 
 // Dial connects to a running CSAR deployment: it contacts the manager at
 // mgrAddr, asks it for the I/O server addresses, and opens a connection to
-// every server. The returned client is ready for Create/Open.
+// every server. The returned client is ready for Create/Open, and has
+// DefaultPolicy's resilience applied — per-call deadlines, retries of
+// idempotent calls, and the per-server circuit breaker; SetResilience
+// overrides it (the zero Policy disables the layer).
 //
 // Deployments are started with the csar-mgr and csar-iod commands; see
 // their documentation for the wiring.
@@ -40,5 +43,7 @@ func Dial(mgrAddr string) (*Client, error) {
 		}
 		callers[i] = rpc.NewClient(conn, nil, nil)
 	}
-	return &Client{inner: client.New(mgr, callers)}, nil
+	inner := client.New(mgr, callers)
+	inner.SetPolicy(client.DefaultPolicy())
+	return &Client{inner: inner}, nil
 }
