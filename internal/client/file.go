@@ -359,7 +359,7 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 			// here cannot wedge other clients; if even that cannot reach the
 			// server, fall back to the token-scoped release.
 			_, uerr := f.c.callSrv(ps, &wire.WriteParity{
-				File: f.ref, Stripes: []int64{stripe}, Data: parity, Unlock: true,
+				File: f.ref, Stripes: []int64{stripe}, Data: parity, Unlock: true, Owner: token,
 			})
 			if uerr != nil && isUnavailable(uerr) {
 				f.c.releaseParityLock(ps, f.ref, stripe, token)
@@ -391,7 +391,7 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 		wErr = f.sendWriteData(span, splitByServer(g, span.Off, p), dead)
 	}()
 	_, pwErr := f.c.callSrv(ps, &wire.WriteParity{
-		File: f.ref, Stripes: []int64{stripe}, Data: parity, Unlock: lock,
+		File: f.ref, Stripes: []int64{stripe}, Data: parity, Unlock: lock, Owner: token,
 	})
 	<-wdone
 	if pwErr != nil {

@@ -2,6 +2,8 @@ package client
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -144,11 +146,33 @@ type serverHealth struct {
 	stale bool
 }
 
-// lockTokens hands out process-unique parity-lock acquisition tokens (wire
-// ReadParity.Owner / UnlockParity.Owner). Token 0 is reserved for "none".
-var lockTokens atomic.Uint64
+// lockTokenFallback backs nextLockToken when the system's entropy source is
+// unreadable (effectively never); mixing a counter into the clock keeps even
+// that path unique within a process.
+var lockTokenFallback atomic.Uint64
 
-func nextLockToken() uint64 { return lockTokens.Add(1) }
+// nextLockToken returns a fresh parity-lock acquisition token (wire
+// ReadParity.Owner / UnlockParity.Owner / WriteParity.Owner). The server
+// cancels ghost acquisitions by token alone, with no notion of which client
+// a token belongs to, so tokens must be unique across every process that can
+// reach the same servers — a counter would make all clients emit the same
+// sequence and let one client's ghost-release free another's live lock. Each
+// token is therefore an independent 64-bit draw from crypto/rand (collision
+// odds ~2^-64 per pair). Token 0 is reserved for "none".
+func nextLockToken() uint64 {
+	var b [8]byte
+	for {
+		var t uint64
+		if _, err := crand.Read(b[:]); err != nil {
+			t = uint64(time.Now().UnixNano())*0x9E3779B97F4A7C15 + lockTokenFallback.Add(1)
+		} else {
+			t = binary.LittleEndian.Uint64(b[:])
+		}
+		if t != 0 {
+			return t
+		}
+	}
+}
 
 // SetPolicy installs a resilience policy on the client. Call it before
 // issuing I/O; the zero Policy (the default for clients built by
@@ -217,13 +241,24 @@ func isIdempotent(m wire.Msg) bool {
 	return false
 }
 
-// callOnce issues one attempt with an optional deadline. The deadline is
-// enforced client-side so it works over every transport (direct handlers
-// included); a timed-out attempt's goroutine finishes in the background and
-// its result is dropped.
+// timeoutCaller is the optional fast path of a Caller: rpc.Client satisfies
+// it, and its abandon path frees the sequence slot on expiry instead of
+// leaving a goroutine parked on the connection.
+type timeoutCaller interface {
+	CallTimeout(m wire.Msg, timeout time.Duration) (wire.Msg, error)
+}
+
+// callOnce issues one attempt with an optional deadline. When the transport
+// supports deadlines natively (rpc.Client), the timeout is threaded down so
+// an expired call is abandoned rather than left running; otherwise (direct
+// in-process handlers) the deadline is enforced by racing a goroutine, whose
+// result is dropped when it eventually finishes.
 func (c *Client) callOnce(idx int, m wire.Msg, timeout time.Duration) (wire.Msg, error) {
 	if timeout <= 0 {
 		return c.srv[idx].Call(m)
+	}
+	if tc, ok := c.srv[idx].(timeoutCaller); ok {
+		return tc.CallTimeout(m, timeout)
 	}
 	type result struct {
 		resp wire.Msg

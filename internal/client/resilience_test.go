@@ -1,0 +1,22 @@
+package client
+
+import "testing"
+
+// Parity-lock owner tokens are matched by value alone on the server, so two
+// client processes must never emit overlapping sequences — a counter would
+// let one client's ghost-release free another's live lock. The draws must
+// therefore look like independent 64-bit randomness: non-zero (0 is the
+// reserved "no token") and without repeats.
+func TestLockTokensUniqueAndNonZero(t *testing.T) {
+	seen := make(map[uint64]struct{}, 4096)
+	for i := 0; i < 4096; i++ {
+		tok := nextLockToken()
+		if tok == 0 {
+			t.Fatal("nextLockToken returned the reserved zero token")
+		}
+		if _, dup := seen[tok]; dup {
+			t.Fatalf("duplicate token %#x after %d draws", tok, i)
+		}
+		seen[tok] = struct{}{}
+	}
+}

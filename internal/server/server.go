@@ -103,7 +103,19 @@ type serverFile struct {
 	ovSlots  map[int64]int64 // stripe unit -> its slot base in the overflow store
 	ovmSlots map[int64]int64 // stripe unit -> slot base in the overflow mirror
 	locks    map[int64]*parityLock
+	// canceled remembers tokens whose acquisitions UnlockParity canceled, so
+	// a late-arriving locked ReadParity (its frame delivered after the
+	// client's compensating UnlockParity was processed) is refused instead of
+	// re-acquiring a lock nobody will ever release. canceledFIFO bounds it.
+	canceled     map[uint64]struct{}
+	canceledFIFO []uint64
 }
+
+// canceledTokensMax bounds the canceled-token memory per file. Tokens are
+// single-use, so an evicted entry only matters if its locked read is still
+// in flight after 4096 later cancellations on the same file — far beyond any
+// plausible frame reordering window.
+const canceledTokensMax = 4096
 
 // parityLock is one stripe's FIFO parity lock. owner is the token of the
 // holding acquisition (0 for legacy lockers that carry none); each queued
@@ -164,6 +176,7 @@ func (s *Server) file(ref wire.FileRef) (*serverFile, error) {
 			ovSlots:  make(map[int64]int64),
 			ovmSlots: make(map[int64]int64),
 			locks:    make(map[int64]*parityLock),
+			canceled: make(map[uint64]struct{}),
 		}
 		s.files[ref.ID] = sf
 	}
@@ -403,14 +416,26 @@ func (s *Server) handleReadParity(m *wire.ReadParity) (wire.Msg, error) {
 	par := sf.store(s.disk, StoreParity)
 	su := sf.geom.StripeUnit
 	out := make([]byte, 0, int64(len(m.Stripes))*su)
+	// Locks acquired by this request so far: a failure on a later stripe
+	// must release them, or they would be held forever (the client sees one
+	// error for the whole request and never sends the unlocking writes).
+	var acquired []int64
+	rollback := func() {
+		for _, stripe := range acquired {
+			sf.unlockStripeOwned(stripe, m.Owner)
+		}
+	}
 	for _, stripe := range m.Stripes {
 		if sf.geom.ParityServerOf(stripe) != s.idx {
+			rollback()
 			return nil, fmt.Errorf("server %d does not hold parity of stripe %d", s.idx, stripe)
 		}
 		if m.Lock {
 			if !sf.lockStripe(stripe, m.Owner) {
+				rollback()
 				return nil, fmt.Errorf("server: parity lock of stripe %d canceled", stripe)
 			}
+			acquired = append(acquired, stripe)
 		}
 		buf := make([]byte, su)
 		par.ReadAt(buf, sf.geom.ParityLocalOffset(stripe)) //nolint:errcheck
@@ -430,13 +455,27 @@ func (s *Server) handleWriteParity(m *wire.WriteParity) (wire.Msg, error) {
 		return nil, fmt.Errorf("server: parity payload %d bytes for %d stripes of %d",
 			len(m.Data), len(m.Stripes), su)
 	}
-	for i, stripe := range m.Stripes {
+	for _, stripe := range m.Stripes {
 		if sf.geom.ParityServerOf(stripe) != s.idx {
 			return nil, fmt.Errorf("server %d does not hold parity of stripe %d", s.idx, stripe)
 		}
+		// A tokened unlocking write is an RMW completion and is only valid
+		// while its lock acquisition still holds: if the token no longer owns
+		// the lock, the acquisition was canceled (the client timed out and
+		// compensated with UnlockParity), making this frame a late ghost —
+		// refuse it before writing anything, or its bytes would clobber
+		// parity now serialized under another client's lock. Checked for all
+		// stripes up front so a multi-stripe ghost writes nothing. Tokenless
+		// (Owner 0) unlocks keep the legacy lenient behavior for callers
+		// predating the resilience layer.
+		if m.Unlock && m.Owner != 0 && !sf.ownsLock(stripe, m.Owner) {
+			return nil, fmt.Errorf("server: parity lock of stripe %d not held under this token", stripe)
+		}
+	}
+	for i, stripe := range m.Stripes {
 		s.writePiece(par, sf.geom.ParityLocalOffset(stripe), m.Data[int64(i)*su:int64(i+1)*su])
 		if m.Unlock {
-			sf.unlockStripe(stripe)
+			sf.unlockStripeOwned(stripe, m.Owner)
 		}
 	}
 	if m.File.Scheme == wire.Hybrid && !m.Unlock {
@@ -781,9 +820,18 @@ func putU64LE(b []byte, v uint64) {
 // lockStripe acquires the FIFO parity lock of one stripe, blocking while
 // another client's partial-stripe update is in flight (Section 5.1). owner
 // is the acquisition's token for UnlockParity cancellation (0 = none). It
-// reports false if the acquisition was canceled while queued.
+// reports false if the acquisition was canceled — either while queued, or
+// before it arrived: a token already canceled by UnlockParity is refused
+// outright, so a late-delivered locked read cannot re-acquire a lock its
+// client gave up on and will never release.
 func (sf *serverFile) lockStripe(stripe int64, owner uint64) bool {
 	sf.mu.Lock()
+	if owner != 0 {
+		if _, ok := sf.canceled[owner]; ok {
+			sf.mu.Unlock()
+			return false
+		}
+	}
 	l := sf.locks[stripe]
 	if l == nil {
 		l = &parityLock{}
@@ -801,12 +849,24 @@ func (sf *serverFile) lockStripe(stripe int64, owner uint64) bool {
 	return <-ch // woken holding the lock, or canceled
 }
 
-// unlockStripe releases the parity lock, handing it to the first queued
-// waiter if any.
-func (sf *serverFile) unlockStripe(stripe int64) {
+// ownsLock reports whether stripe's parity lock is currently held under
+// owner's token.
+func (sf *serverFile) ownsLock(stripe int64, owner uint64) bool {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	l := sf.locks[stripe]
+	return l != nil && l.held && l.owner == owner
+}
+
+// unlockStripeOwned releases the parity lock if it is held under owner's
+// token — the zero token matches only a tokenless (legacy) holder — handing
+// it to the first queued waiter if any. A mismatch is a no-op: an unlock
+// whose acquisition was already canceled must never release a lock since
+// granted to a different client.
+func (sf *serverFile) unlockStripeOwned(stripe int64, owner uint64) {
 	sf.mu.Lock()
 	l := sf.locks[stripe]
-	if l == nil || !l.held {
+	if l == nil || !l.held || l.owner != owner {
 		sf.mu.Unlock()
 		return
 	}
@@ -823,14 +883,33 @@ func (sf *serverFile) unlockStripe(stripe int64) {
 	sf.mu.Unlock()
 }
 
+// rememberCanceled records a canceled acquisition token so late frames
+// carrying it are refused, evicting the oldest entry past the bound. Caller
+// holds sf.mu.
+func (sf *serverFile) rememberCanceled(owner uint64) {
+	if _, ok := sf.canceled[owner]; ok {
+		return
+	}
+	sf.canceled[owner] = struct{}{}
+	sf.canceledFIFO = append(sf.canceledFIFO, owner)
+	if len(sf.canceledFIFO) > canceledTokensMax {
+		delete(sf.canceled, sf.canceledFIFO[0])
+		sf.canceledFIFO = sf.canceledFIFO[1:]
+	}
+}
+
 // cancelLock releases stripe's parity lock if held under owner's token, and
-// removes any queued acquisitions carrying it (waking them canceled). A
-// zero token never matches: legacy lockers cannot be canceled.
+// removes any queued acquisitions carrying it (waking them canceled). The
+// token is remembered even when nothing matches — that is the case where the
+// cancellation overtook its locked read in the dispatch, and the read must
+// find the tombstone when it lands. A zero token never matches: legacy
+// lockers cannot be canceled.
 func (sf *serverFile) cancelLock(stripe int64, owner uint64) {
 	if owner == 0 {
 		return
 	}
 	sf.mu.Lock()
+	sf.rememberCanceled(owner)
 	l := sf.locks[stripe]
 	if l == nil {
 		sf.mu.Unlock()

@@ -168,6 +168,101 @@ func TestUnlockWithoutLockIsSafe(t *testing.T) {
 	call(t, s, &wire.WriteParity{File: r, Stripes: []int64{0}, Data: make([]byte, 128), Unlock: true})
 }
 
+func TestTokenedUnlockRequiresOwner(t *testing.T) {
+	s := testServer(2)
+	r := ref()
+	// Client A acquires under its token; its compensating UnlockParity
+	// (fired after a client-side timeout) releases the acquisition.
+	call(t, s, &wire.ReadParity{File: r, Stripes: []int64{0}, Lock: true, Owner: 101})
+	call(t, s, &wire.UnlockParity{File: r, Stripes: []int64{0}, Owner: 101})
+	// Client B acquires next.
+	call(t, s, &wire.ReadParity{File: r, Stripes: []int64{0}, Lock: true, Owner: 202})
+	// A's unlocking parity write now arrives late: it must be refused, not
+	// release B's lock or write its stale parity bytes.
+	if _, err := s.Handle(&wire.WriteParity{
+		File: r, Stripes: []int64{0}, Data: make([]byte, 128), Unlock: true, Owner: 101,
+	}); err == nil {
+		t.Fatal("late unlocking parity write with a canceled token accepted")
+	}
+	// B must still hold the lock: its own unlocking write succeeds (it would
+	// be refused if A's ghost had released it).
+	call(t, s, &wire.WriteParity{
+		File: r, Stripes: []int64{0}, Data: make([]byte, 128), Unlock: true, Owner: 202,
+	})
+}
+
+func TestCanceledTokenRefusesLateLockedRead(t *testing.T) {
+	s := testServer(2)
+	r := ref()
+	// The compensating UnlockParity overtakes its own locked read in the
+	// server's concurrent dispatch: nothing matches yet, but the token must
+	// be tombstoned.
+	call(t, s, &wire.UnlockParity{File: r, Stripes: []int64{0}, Owner: 303})
+	// The locked read lands afterwards: it must be refused, or it would
+	// acquire a lock its client has already given up on — permanently.
+	if _, err := s.Handle(&wire.ReadParity{
+		File: r, Stripes: []int64{0}, Lock: true, Owner: 303,
+	}); err == nil {
+		t.Fatal("late locked read with a canceled token acquired the lock")
+	}
+	// The stripe stays immediately lockable by everyone else.
+	got := make(chan struct{})
+	go func() {
+		defer close(got)
+		if _, err := s.Handle(&wire.ReadParity{
+			File: r, Stripes: []int64{0}, Lock: true, Owner: 404,
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stripe wedged by a refused ghost acquisition")
+	}
+	call(t, s, &wire.WriteParity{
+		File: r, Stripes: []int64{0}, Data: make([]byte, 128), Unlock: true, Owner: 404,
+	})
+}
+
+func TestMultiStripeLockRollbackOnCancel(t *testing.T) {
+	s := testServer(2) // holds parity of stripes 0 and 3
+	r := ref()
+	// Another owner holds stripe 3, so the two-stripe acquisition below
+	// locks stripe 0 and then queues on stripe 3.
+	call(t, s, &wire.ReadParity{File: r, Stripes: []int64{3}, Lock: true, Owner: 600})
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Handle(&wire.ReadParity{File: r, Stripes: []int64{0, 3}, Lock: true, Owner: 500})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// Cancel the in-flight acquisition. Whether it already queued on stripe 3
+	// or has not even locked stripe 0 yet, the end state must be the same:
+	// the request fails and holds nothing.
+	call(t, s, &wire.UnlockParity{File: r, Stripes: []int64{0, 3}, Owner: 500})
+	if err := <-errc; err == nil {
+		t.Fatal("canceled two-stripe acquisition reported success")
+	}
+	// Stripe 0's lock — taken before the cancellation hit stripe 3 — must
+	// have been rolled back: a fresh acquisition may not block.
+	got := make(chan struct{})
+	go func() {
+		defer close(got)
+		if _, err := s.Handle(&wire.ReadParity{
+			File: r, Stripes: []int64{0}, Lock: true, Owner: 700,
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stripe 0 lock leaked by the canceled multi-stripe request")
+	}
+}
+
 func TestOverflowRoundTripAndPatch(t *testing.T) {
 	s := testServer(0)
 	r := ref()

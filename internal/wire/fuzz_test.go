@@ -23,7 +23,7 @@ func fuzzSeeds() []Msg {
 		&WriteMirror{File: ref, Spans: []Span{{64, 4}}, Data: []byte{8, 8, 8, 8}},
 		&ReadMirror{File: ref, Spans: []Span{{0, 128}}},
 		&ReadParity{File: ref, Stripes: []int64{7}, Lock: true, Owner: 42},
-		&WriteParity{File: ref, Stripes: []int64{7}, Data: []byte{0xAA}, Unlock: true},
+		&WriteParity{File: ref, Stripes: []int64{7}, Data: []byte{0xAA}, Unlock: true, Owner: 42},
 		&WriteOverflow{File: ref, Extents: []Span{{8, 2}}, Data: []byte{9, 9}, Mirror: true},
 		&InvalidateOverflow{File: ref, Spans: []Span{{8, 2}}, Mirror: true},
 		&OverflowDump{File: ref, Mirror: true},

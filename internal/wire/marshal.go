@@ -183,12 +183,14 @@ func (m *WriteParity) encode(e *Encoder) {
 	e.I64s(m.Stripes)
 	e.Bytes(m.Data)
 	e.Bool(m.Unlock)
+	e.U64(m.Owner)
 }
 func (m *WriteParity) decode(d *Decoder) {
 	m.File = d.FileRef()
 	m.Stripes = d.I64sDec()
 	m.Data = d.BytesCopy()
 	m.Unlock = d.Bool()
+	m.Owner = d.U64()
 }
 
 func (m *WriteOverflow) Kind() Kind { return KWriteOverflow }

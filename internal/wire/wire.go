@@ -297,12 +297,20 @@ type HealthResp struct {
 }
 
 // WriteParity writes whole parity units of the listed stripes. With Unlock
-// set it releases the parity locks taken by a prior locked ReadParity.
+// set it releases the parity locks taken by a prior locked ReadParity and
+// Owner must carry that acquisition's token: the server only releases a lock
+// held under the same token, and refuses the write outright when a non-zero
+// token no longer holds it — the acquisition was canceled by UnlockParity
+// after a client-side timeout, so this frame is a late ghost whose bytes
+// could clobber parity now owned by another client's update. A zero Owner is
+// the legacy tokenless protocol: the unlock applies only if the holder is
+// also tokenless, and is otherwise a no-op.
 type WriteParity struct {
 	File    FileRef
 	Stripes []int64
 	Data    []byte
 	Unlock  bool
+	Owner   uint64
 }
 
 // WriteOverflow appends new data for the given logical extents into the

@@ -40,7 +40,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&UnlockParity{File: ref, Stripes: []int64{3, 9}, Owner: 77},
 		&Health{},
 		&HealthResp{Index: 3, Requests: 12345},
-		&WriteParity{File: ref, Stripes: []int64{3}, Data: data, Unlock: true},
+		&WriteParity{File: ref, Stripes: []int64{3}, Data: data, Unlock: true, Owner: 77},
 		&WriteOverflow{File: ref, Extents: spans, Data: data, Mirror: true},
 		&InvalidateOverflow{File: ref, Spans: spans, Mirror: true},
 		&OverflowDump{File: ref, Mirror: true},

@@ -1,20 +1,89 @@
 package csar
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"time"
 
 	"csar/internal/client"
 	"csar/internal/rpc"
 	"csar/internal/wire"
 )
 
+// redialCaller is the connection to one I/O server, tolerant of the server
+// being down. The TCP connection is established lazily on first use and
+// re-established after it fails, so:
+//
+//   - a server that is dead when Dial runs does not abort the whole client —
+//     its calls fail with an unavailability error, which is exactly what
+//     trips the circuit breaker and routes reads to the degraded
+//     reconstruction paths (the point of the redundancy schemes);
+//   - a server that crashes mid-session and comes back is re-admitted by the
+//     breaker's Health probe, because the probe's call re-dials instead of
+//     hitting a permanently closed rpc client.
+type redialCaller struct {
+	addr string
+
+	mu  sync.Mutex
+	cli *rpc.Client
+}
+
+func (r *redialCaller) get() (*rpc.Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cli != nil {
+		return r.cli, nil
+	}
+	conn, err := net.Dial("tcp", r.addr)
+	if err != nil {
+		return nil, fmt.Errorf("csar: dial iod %s: %v: %w", r.addr, err, wire.ErrUnavailable)
+	}
+	r.cli = rpc.NewClient(conn, nil, nil)
+	return r.cli, nil
+}
+
+// drop forgets a failed connection so the next call re-dials.
+func (r *redialCaller) drop(failed *rpc.Client) {
+	r.mu.Lock()
+	if r.cli == failed {
+		failed.Close()
+		r.cli = nil
+	}
+	r.mu.Unlock()
+}
+
+func (r *redialCaller) Call(m wire.Msg) (wire.Msg, error) {
+	return r.CallTimeout(m, 0)
+}
+
+// CallTimeout satisfies the resilience layer's timeoutCaller fast path, so
+// per-call deadlines ride the rpc client's abandon path instead of a
+// goroutine race.
+func (r *redialCaller) CallTimeout(m wire.Msg, timeout time.Duration) (wire.Msg, error) {
+	cli, err := r.get()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cli.CallTimeout(m, timeout)
+	if err != nil && errors.Is(err, rpc.ErrClosed) {
+		r.drop(cli)
+	}
+	return resp, err
+}
+
 // Dial connects to a running CSAR deployment: it contacts the manager at
-// mgrAddr, asks it for the I/O server addresses, and opens a connection to
-// every server. The returned client is ready for Create/Open, and has
+// mgrAddr, asks it for the I/O server addresses, and wires up a connection
+// to every server. The returned client is ready for Create/Open, and has
 // DefaultPolicy's resilience applied — per-call deadlines, retries of
 // idempotent calls, and the per-server circuit breaker; SetResilience
 // overrides it (the zero Policy disables the layer).
+//
+// An I/O server that is unreachable is not an error here: its connection is
+// established lazily and, until that succeeds, it is treated like any other
+// down server — the breaker opens and reads route through the degraded
+// reconstruction paths. Only an unreachable manager fails Dial.
 //
 // Deployments are started with the csar-mgr and csar-iod commands; see
 // their documentation for the wiring.
@@ -36,12 +105,7 @@ func Dial(mgrAddr string) (*Client, error) {
 	}
 	callers := make([]client.Caller, len(addrs))
 	for i, a := range addrs {
-		conn, err := net.Dial("tcp", a)
-		if err != nil {
-			mgr.Close()
-			return nil, fmt.Errorf("csar: dial iod %d (%s): %w", i, a, err)
-		}
-		callers[i] = rpc.NewClient(conn, nil, nil)
+		callers[i] = &redialCaller{addr: a}
 	}
 	inner := client.New(mgr, callers)
 	inner.SetPolicy(client.DefaultPolicy())

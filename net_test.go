@@ -1,0 +1,48 @@
+package csar
+
+import (
+	"net"
+	"testing"
+
+	"csar/internal/rpc"
+	"csar/internal/wire"
+)
+
+// A server that is down must not wedge or abort the caller — its calls fail
+// with an unavailability-class error — and once something is listening again
+// the same caller must reconnect on its own, because that is what the
+// circuit breaker's re-admission probe rides on.
+func TestRedialCallerFailsUnavailableThenRecovers(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listening: the address is known-dead
+
+	rc := &redialCaller{addr: addr}
+	if _, err := rc.Call(&wire.Ping{}); err == nil {
+		t.Fatal("call to a dead server succeeded")
+	}
+
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	defer ln2.Close()
+	go func() {
+		for {
+			conn, err := ln2.Accept()
+			if err != nil {
+				return
+			}
+			go rpc.ServeConn(conn, func(wire.Msg) (wire.Msg, error) {
+				return &wire.OK{}, nil
+			}, nil, nil) //nolint:errcheck
+		}
+	}()
+
+	if _, err := rc.Call(&wire.Ping{}); err != nil {
+		t.Fatalf("redial after the server came back: %v", err)
+	}
+}
