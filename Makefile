@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz-seeds faults ci
+.PHONY: build vet test race fuzz-seeds faults crash staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -25,4 +25,23 @@ fuzz-seeds:
 faults:
 	$(GO) test -race -count=2 -run 'TestFaultSchedule|TestAutoFailover' ./internal/cluster
 
-ci: vet build race fuzz-seeds faults
+# The crash-consistency suite for the RAID5 write hole: client death
+# mid-RMW, parity-server crash-restart with intent-journal replay, lease
+# heartbeats under a stalled write, lease/intent metrics, and the
+# real-TCP iod bounce — run twice under the race detector to prove the
+# schedules are deterministic.
+crash:
+	$(GO) test -race -count=2 -run 'TestCrashClientMidRMW|TestCrashServerMidParityWrite|TestLeaseRenewalKeepsLock' ./internal/cluster
+	$(GO) test -race -count=2 -run 'TestMetricsLeaseAndIntent|TestRestartedIODReadmission' .
+
+# Static analysis beyond go vet, when the tool is installed (CI images
+# that lack it skip the target rather than fail it — nothing is
+# downloaded at build time).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
+ci: vet staticcheck build race fuzz-seeds faults crash

@@ -77,6 +77,29 @@ func (c *Client) Verify(f *File) ([]string, error) {
 	return recovery.Verify(c.inner, f.inner)
 }
 
+// ErrStripeTorn is returned by writes to a fail-stopped stripe: one whose
+// earlier read-modify-write died mid-flight (lease expiry, dirty unlock, or
+// a crash-restarted parity server), leaving data and parity possibly
+// inconsistent. The stripe refuses further RMWs until ReplayIntents
+// reconciles it.
+var ErrStripeTorn = wire.ErrStripeTorn
+
+// ErrLeaseExpired is returned when a parity-lock operation arrives after
+// the server already expired the caller's lease and revoked the lock.
+var ErrLeaseExpired = wire.ErrLeaseExpired
+
+// ReplayReport summarizes one intent-replay pass over a file.
+type ReplayReport = recovery.ReplayReport
+
+// ReplayIntents runs crash-restart recovery for the file: every abandoned
+// stripe intent (an RMW that died between its data writes and its unlocking
+// parity write) has its parity reconstructed from the stripe's data units
+// and is retired, re-admitting the stripe for writes. Run it after a parity
+// server restart or whenever writes fail with ErrStripeTorn.
+func (c *Client) ReplayIntents(f *File) (*ReplayReport, error) {
+	return recovery.ReplayIntents(c.inner, f.inner)
+}
+
 // ScrubReport is the outcome of one integrity-scrub pass: per-redundancy-
 // kind counts of items checked, mismatched, repaired, and unrepairable,
 // plus a note on every mismatch found.

@@ -40,6 +40,8 @@ func main() {
 		backoff     = flag.Duration("retry-backoff", def.BackoffBase, "base retry backoff for the scrub client, doubled per attempt")
 		breakerAt   = flag.Int("breaker-failures", def.BreakerThreshold, "consecutive failures that open a server's circuit breaker (0 = breaker off)")
 		probeAfter  = flag.Duration("probe-after", def.ProbeAfter, "how long an open breaker waits before probing the server")
+		lockLease   = flag.Duration("lock-lease", def.LockLease, "parity-lock lease the scrub client requests; expiry fail-stops the stripe (0 = no lease)")
+		leaseRenew  = flag.Duration("lease-renew-every", def.LeaseRenewEvery, "parity-lock heartbeat period (0 = lease/3, negative = heartbeat off)")
 	)
 	flag.Parse()
 
@@ -77,6 +79,8 @@ func main() {
 		pol.BackoffBase = *backoff
 		pol.BreakerThreshold = *breakerAt
 		pol.ProbeAfter = *probeAfter
+		pol.LockLease = *lockLease
+		pol.LeaseRenewEvery = *leaseRenew
 		fmt.Printf("csar-mgr: background scrub every %v\n", *scrubEvery)
 		go scrubLoop(ln.Addr().String(), *scrubEvery, *scrubRate, *scrubRepairData, pol)
 	}
@@ -118,6 +122,15 @@ func scrubLoop(addr string, every time.Duration, rate float64, repairData bool, 
 			if j == nil {
 				j = csar.NewScrubJournal()
 				journals[name] = j
+			}
+			// Replay abandoned stripe intents first: a stripe fail-stopped
+			// by a crashed writer would otherwise be skipped by the scrub
+			// (it must not "repair" parity that replay still needs).
+			if rr, err := cl.ReplayIntents(f); err != nil {
+				log.Printf("csar-mgr: replay %s: %v", name, err)
+			} else if rr.Replayed > 0 || len(rr.Problems) > 0 {
+				log.Printf("csar-mgr: replay %s: %d stripes reconciled, %d deferred %v",
+					name, rr.Replayed, rr.Skipped, rr.Problems)
 			}
 			rep, err := cl.Scrub(f, csar.ScrubOptions{
 				RateLimit: rate, RepairData: repairData, Journal: j,

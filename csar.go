@@ -264,3 +264,13 @@ type FileOptions struct {
 func (c *Cluster) ServerRequests(i int) int64 {
 	return c.inner.Server(i).Requests()
 }
+
+// CrashServer kills server i's process: RAM state (parity locks, lease
+// timers) is lost, the disk survives. RestartServer completes the restart;
+// the fresh instance reloads its stripe intent journal, so stripes that
+// were mid-update come back fail-stopped awaiting Client.ReplayIntents.
+func (c *Cluster) CrashServer(i int) { c.inner.CrashServer(i) }
+
+// Internal returns the underlying cluster; the test and benchmark
+// harnesses in this repository use it, applications should not.
+func (c *Cluster) Internal() *cluster.Cluster { return c.inner }

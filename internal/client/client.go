@@ -55,6 +55,12 @@ type Client struct {
 	// health is the per-server circuit-breaker state (resilience.go).
 	health []serverHealth
 
+	// leases tracks live parity-lock acquisitions for heartbeat renewal
+	// (lease.go), keyed by owner token.
+	lmu       sync.Mutex
+	leases    map[uint64]leaseEntry
+	hbRunning bool
+
 	mu     sync.Mutex
 	down   map[int]bool
 	policy Policy
@@ -69,6 +75,7 @@ func New(mgr Caller, servers []Caller) *Client {
 		srv:    servers,
 		down:   make(map[int]bool),
 		health: make([]serverHealth, len(servers)),
+		leases: make(map[uint64]leaseEntry),
 		rng:    rand.New(rand.NewSource(1)),
 	}
 }

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -301,6 +302,11 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 	// client-side (deadline, dead link) we cannot know whether the server
 	// granted the lock, and the token lets us release exactly that possible
 	// ghost acquisition without ever touching a lock granted to anyone else.
+	// It also carries the policy's lock lease: the server opens a stripe
+	// intent with that deadline, and lease.go heartbeats it until the
+	// unlocking parity write retires it — so a client that dies mid-RMW
+	// costs one lease, not a wedged stripe.
+	pol := f.c.getPolicy()
 	var token uint64
 	if lock {
 		token = nextLockToken()
@@ -315,14 +321,16 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 		}
 		presp, err := f.c.callSrv(ps, &wire.ReadParity{
 			File: f.ref, Stripes: []int64{stripe}, Lock: lock, Owner: token,
+			LeaseMS: leaseMS(pol),
 		})
 		if err != nil {
 			pErr = err
 			if lock && isUnavailable(err) {
 				// The server may hold the lock for us without us knowing;
 				// fire the token-scoped release so no peer queues behind a
-				// ghost (the Section 4 protocol cannot deadlock on us).
-				f.c.releaseParityLock(ps, f.ref, stripe, token)
+				// ghost (the Section 4 protocol cannot deadlock on us). No
+				// data has been written: a clean (non-dirty) cancel.
+				f.c.releaseParityLock(ps, f.ref, stripe, token, false)
 			}
 			return
 		}
@@ -331,9 +339,13 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 			pErr = fmt.Errorf("client: parity read returned %d bytes, want %d",
 				len(parity), g.StripeUnit)
 			if lock {
-				// Granted but unusable: free the acquisition.
-				f.c.releaseParityLock(ps, f.ref, stripe, token)
+				// Granted but unusable: free the acquisition (stripe untouched).
+				f.c.releaseParityLock(ps, f.ref, stripe, token, false)
 			}
+			return
+		}
+		if lock {
+			f.c.trackLease(ps, f.ref, stripe, token)
 		}
 	}()
 	old := make([]byte, span.Len)
@@ -357,12 +369,14 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 		if lock {
 			// Release the lock with an unchanged parity write so a failure
 			// here cannot wedge other clients; if even that cannot reach the
-			// server, fall back to the token-scoped release.
+			// server, fall back to the token-scoped release. No data write
+			// has started, so the stripe is untouched (non-dirty).
+			f.c.untrackLease(token)
 			_, uerr := f.c.callSrv(ps, &wire.WriteParity{
 				File: f.ref, Stripes: []int64{stripe}, Data: parity, Unlock: true, Owner: token,
 			})
 			if uerr != nil && isUnavailable(uerr) {
-				f.c.releaseParityLock(ps, f.ref, stripe, token)
+				f.c.releaseParityLock(ps, f.ref, stripe, token, false)
 			}
 		}
 		return cause
@@ -377,13 +391,62 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 		core.ApplyParityDelta(g, span.Off, old, p, parity)
 	}
 
-	// 4. Write the new data and the new parity concurrently; the parity
-	// write releases the lock. No ordering between them is needed for the
-	// protocol's guarantee (consistency under concurrent writes to
-	// non-overlapping regions): another client's delta never involves this
-	// range's data, and the parity block itself is serialized by the lock.
-	// Keeping the data write out of the lock-hold window is what makes the
-	// measured locking overhead modest (Figure 3).
+	// 4. Write the new data and the new parity; the parity write releases
+	// the lock. For the protocol's consistency guarantee (concurrent writes
+	// to non-overlapping regions) no ordering between them is needed:
+	// another client's delta never involves this range's data, and the
+	// parity block itself is serialized by the lock. Crash consistency is a
+	// different matter — see writeRMWCommit for the two orderings.
+	return f.writeRMWCommit(pol, span, p, stripe, ps, parity, lock, token, dead)
+}
+
+// writeRMWCommit runs the write phase of a read-modify-write.
+//
+// With Policy.CrashSafeRMW the phases are strictly ordered: the data writes
+// must all complete before the unlocking parity write is issued. The
+// unlocking write is what retires the stripe's intent record on the parity
+// server, so under this ordering an intent is only ever retired when data
+// and parity are both fully in place — a crash at any earlier point leaves
+// an open intent, and recovery's replay reconstructs the parity from
+// whatever data landed. If a data write fails partway, parity and data may
+// already disagree, so the lock is released dirty: the server fail-stops
+// the stripe (abandons the intent, refuses new locks) until replay
+// reconciles it.
+//
+// Without CrashSafeRMW the two run concurrently — the paper's layout, which
+// keeps the lock-hold window to the write phase (Figure 3) but reopens the
+// write hole if a client can crash between them.
+func (f *File) writeRMWCommit(pol Policy, span raid.Span, p []byte, stripe int64, ps int, parity []byte, lock bool, token uint64, dead int) error {
+	g := f.geom
+	if lock && pol.CrashSafeRMW {
+		if dErr := f.sendWriteData(span, splitByServer(g, span.Off, p), dead); dErr != nil {
+			f.c.untrackLease(token)
+			f.c.releaseParityLock(ps, f.ref, stripe, token, true)
+			return dErr
+		}
+		_, pwErr := f.c.callSrv(ps, &wire.WriteParity{
+			File: f.ref, Stripes: []int64{stripe}, Data: parity, Unlock: true, Owner: token,
+		})
+		f.c.untrackLease(token)
+		if pwErr != nil {
+			if errors.Is(pwErr, wire.ErrLeaseExpired) {
+				// The server expired our lease mid-write and fenced this
+				// late parity write off; the stripe is fail-stopped until
+				// replay reconstructs its parity from the data we wrote.
+				f.c.metrics.leaseExpiries.Add(1)
+				return pwErr
+			}
+			if isUnavailable(pwErr) {
+				// The unlocking parity write may have been lost before the
+				// server applied it; the stripe's data has changed, so the
+				// lingering acquisition must be released dirty.
+				f.c.releaseParityLock(ps, f.ref, stripe, token, true)
+			}
+			return pwErr
+		}
+		return nil
+	}
+
 	var wErr error
 	wdone := make(chan struct{})
 	go func() {
@@ -394,11 +457,15 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 		File: f.ref, Stripes: []int64{stripe}, Data: parity, Unlock: lock, Owner: token,
 	})
 	<-wdone
+	if lock {
+		f.c.untrackLease(token)
+	}
 	if pwErr != nil {
 		if lock && isUnavailable(pwErr) {
 			// The unlocking parity write may have been lost before the
 			// server applied it; make sure the acquisition cannot linger.
-			f.c.releaseParityLock(ps, f.ref, stripe, token)
+			// Data writes ran concurrently, so the release is dirty.
+			f.c.releaseParityLock(ps, f.ref, stripe, token, true)
 		}
 		return pwErr
 	}

@@ -32,6 +32,11 @@ type Metrics struct {
 	BreakerReadmits int64 // probes that closed a breaker again
 	Failovers       int64 // reads rerouted to reconstruction after a failure
 	LockReleases    int64 // ghost parity-lock releases sent (UnlockParity)
+
+	LeaseRenewals    int64 // parity-lock lease heartbeats the server honored
+	LeaseExpiries    int64 // leases the server revoked before we released them
+	IntentsReplayed  int64 // abandoned stripe intents repaired by replay
+	IntentsAbandoned int64 // abandoned intents seen by replay (incl. skipped)
 }
 
 // metrics is the internal atomic representation.
@@ -45,6 +50,9 @@ type metrics struct {
 	retries, timeouts                           atomic.Int64
 	breakerTrips, breakerProbes, breakerReadmits atomic.Int64
 	failovers, lockReleases                     atomic.Int64
+
+	leaseRenewals, leaseExpiries       atomic.Int64
+	intentsReplayed, intentsAbandoned  atomic.Int64
 }
 
 func (m *metrics) snapshot() Metrics {
@@ -73,6 +81,11 @@ func (m *metrics) snapshot() Metrics {
 		BreakerReadmits: m.breakerReadmits.Load(),
 		Failovers:       m.failovers.Load(),
 		LockReleases:    m.lockReleases.Load(),
+
+		LeaseRenewals:    m.leaseRenewals.Load(),
+		LeaseExpiries:    m.leaseExpiries.Load(),
+		IntentsReplayed:  m.intentsReplayed.Load(),
+		IntentsAbandoned: m.intentsAbandoned.Load(),
 	}
 }
 
@@ -86,4 +99,11 @@ func (c *Client) NoteScrub(bytes, found, repaired, unrepairable int64) {
 	c.metrics.scrubFound.Add(found)
 	c.metrics.scrubRepaired.Add(repaired)
 	c.metrics.scrubUnrepairable.Add(unrepairable)
+}
+
+// NoteReplay records the outcome of one intent-replay pass in the client's
+// counters (called by internal/recovery, which the client cannot import).
+func (c *Client) NoteReplay(replayed, abandoned int64) {
+	c.metrics.intentsReplayed.Add(replayed)
+	c.metrics.intentsAbandoned.Add(abandoned)
 }

@@ -92,6 +92,23 @@ type Policy struct {
 	// Seed seeds the jitter's random source; zero uses a fixed default so
 	// tests are reproducible.
 	Seed int64
+	// LockLease bounds how long a parity-lock acquisition may go without a
+	// heartbeat before the server revokes it and fail-stops the stripe (the
+	// write-hole close: a crashed client cannot wedge a stripe forever).
+	// Non-positive requests no lease — the lock is held until released,
+	// which is what correctness tests and the performance model want.
+	LockLease time.Duration
+	// LeaseRenewEvery is the heartbeat period for held leases. Zero derives
+	// LockLease/3; negative disables renewal (tests use that to force an
+	// expiry deterministically).
+	LeaseRenewEvery time.Duration
+	// CrashSafeRMW orders the read-modify-write's phases for crash
+	// consistency: the data writes must complete before the unlocking
+	// parity write is issued, so the stripe's intent record on the parity
+	// server always brackets the window where data and parity can disagree.
+	// Off, the two run concurrently (the paper's low-latency layout, fine
+	// when clients never crash mid-write).
+	CrashSafeRMW bool
 }
 
 // DefaultPolicy is the resilience configuration csar.Dial applies to real
@@ -106,6 +123,8 @@ func DefaultPolicy() Policy {
 		Jitter:           0.2,
 		BreakerThreshold: 3,
 		ProbeAfter:       250 * time.Millisecond,
+		LockLease:        10 * time.Second,
+		CrashSafeRMW:     true,
 	}
 }
 
@@ -233,7 +252,8 @@ func isUnavailable(err error) bool {
 func isIdempotent(m wire.Msg) bool {
 	switch m := m.(type) {
 	case *wire.Read, *wire.ReadMirror, *wire.Ping, *wire.Health,
-		*wire.StorageStat, *wire.ChecksumRange, *wire.OverflowDump:
+		*wire.StorageStat, *wire.ChecksumRange, *wire.OverflowDump,
+		*wire.RenewLease, *wire.ListIntents:
 		return true
 	case *wire.ReadParity:
 		return !m.Lock
@@ -431,13 +451,17 @@ func (c *Client) breakerDown(idx int) bool {
 // locked parity-read acquisition whose outcome is unknown (the read failed
 // or timed out client-side, but the server may have granted the lock). The
 // owner token guarantees it can only release our own ghost acquisition —
-// never a lock since granted to another client.
-func (c *Client) releaseParityLock(idx int, ref wire.FileRef, stripe int64, token uint64) {
+// never a lock since granted to another client. dirty tells the server
+// whether data writes may have landed under this acquisition: false means
+// the stripe is untouched (the server simply retires the intent and hands
+// the lock on), true means parity and data may disagree, so the server
+// fail-stops the stripe until intent replay reconciles it.
+func (c *Client) releaseParityLock(idx int, ref wire.FileRef, stripe int64, token uint64, dirty bool) {
 	p := c.getPolicy()
 	c.metrics.lockReleases.Add(1)
 	go func() {
 		c.callOnce(idx, &wire.UnlockParity{ //nolint:errcheck // best effort
-			File: ref, Stripes: []int64{stripe}, Owner: token,
+			File: ref, Stripes: []int64{stripe}, Owner: token, Dirty: dirty,
 		}, p.CallTimeout)
 	}()
 }

@@ -234,6 +234,21 @@ func (c *Cluster) StopServer(i int) { c.servers[i].down.Store(true) }
 // restart, not a disk loss).
 func (c *Cluster) RestartServer(i int) { c.servers[i].down.Store(false) }
 
+// CrashServer kills server i's process: all subsequent calls error, and the
+// in-RAM state (parity locks, lock queues, lease timers, overflow tables)
+// is gone. The disk survives. RestartServer then completes the restart —
+// the fresh instance reloads the intent journal, so stripes that were
+// mid-update at the crash come back fail-stopped and awaiting replay.
+// Contrast StopServer, which keeps the same instance (a partition-like
+// outage with RAM intact).
+func (c *Cluster) CrashServer(i int) {
+	slot := c.servers[i]
+	slot.down.Store(true)
+	disk := slot.disk.Load()
+	disk.DropCaches() // the page cache dies with the process
+	slot.srv.Store(server.New(i, disk, c.cfg.ServerOpts))
+}
+
 // ReplaceServer brings server i back with a blank disk, modeling a disk
 // replacement after a crash. The recovery machinery then rebuilds it.
 func (c *Cluster) ReplaceServer(i int) {

@@ -83,8 +83,23 @@ func (m *Manager) save() error {
 	if err != nil {
 		return err
 	}
+	// Write-fsync-rename: the temp file's bytes must be durable before the
+	// rename publishes them, or a crash could leave the (durable) rename
+	// pointing at (lost) content — the metadata flavor of the write hole.
 	tmp := m.persistPath + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := tf.Write(data); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, m.persistPath); err != nil {

@@ -101,7 +101,12 @@ type Report struct {
 	Mirror        Counts
 	Parity        Counts
 	Overflow      Counts
-	Problems      []string // human-readable notes on every mismatch
+	// IntentSkips counts stripes the pass left unexamined because their
+	// parity server holds a write intent for them: an RMW is in flight (or
+	// died and awaits replay), so data and parity legitimately disagree and
+	// "repairing" the stripe would destroy the evidence replay needs.
+	IntentSkips int64
+	Problems    []string // human-readable notes on every mismatch
 }
 
 // Totals sums the per-kind counts.
@@ -435,6 +440,10 @@ func (s *scrubber) scrubParity() error {
 	stripes := s.g.StripesIn(s.size)
 	windows := (stripes + n - 1) / n
 	batch := int64(s.opts.BatchStripes)
+	intents, err := s.intentStripes()
+	if err != nil {
+		return err
+	}
 	for w0 := int64(0); w0 < windows; w0 += batch {
 		if s.canceled() {
 			return ErrCanceled
@@ -458,6 +467,12 @@ func (s *scrubber) scrubParity() error {
 			return err
 		}
 		for st := w0 * n; st < w1*n && st < stripes; st++ {
+			if intents[st] {
+				// A write intent covers this stripe: an update is in flight
+				// or awaits replay; its transient mismatch is not corruption.
+				s.rep.IntentSkips++
+				continue
+			}
 			s.rep.Parity.Checked++
 			first, count := s.g.DataUnitsOf(st)
 			unitSums := make([]uint32, count)
@@ -481,6 +496,31 @@ func (s *scrubber) scrubParity() error {
 	return nil
 }
 
+// intentStripes fetches every parity server's write-intent set at the start
+// of a parity pass; the covered stripes are mid-update (or fail-stopped
+// awaiting replay) and must not be "repaired" from their transient state.
+func (s *scrubber) intentStripes() (map[int64]bool, error) {
+	intents := make(map[int64]bool)
+	var mu sync.Mutex
+	err := s.eachServer(func(i int) error {
+		resp, err := s.call(i, &wire.ListIntents{File: s.ref})
+		if err != nil {
+			return err
+		}
+		lr, ok := resp.(*wire.ListIntentsResp)
+		if !ok {
+			return fmt.Errorf("scrub: unexpected intent listing %T", resp)
+		}
+		mu.Lock()
+		for _, in := range lr.Intents {
+			intents[in.Stripe] = true
+		}
+		mu.Unlock()
+		return nil
+	})
+	return intents, err
+}
+
 // checkStripe re-verifies one stripe at the byte level and repairs it. It
 // acquires the stripe's parity lock (for the schemes that use locking), so
 // no read-modify-write can interleave; the lock is released by the closing
@@ -491,6 +531,13 @@ func (s *scrubber) checkStripe(st int64) error {
 	presp, err := s.call(s.g.ParityServerOf(st), &wire.ReadParity{
 		File: s.ref, Stripes: []int64{st}, Lock: lock,
 	})
+	if errors.Is(err, wire.ErrStripeTorn) {
+		// The stripe fail-stopped (lease expiry) after the pass-start intent
+		// snapshot; it belongs to recovery's replay, not to the scrubber.
+		s.rep.IntentSkips++
+		s.rep.Parity.Checked--
+		return nil
+	}
 	if err != nil {
 		return err
 	}

@@ -85,6 +85,22 @@ type Server struct {
 
 	mu    sync.Mutex
 	files map[uint64]*serverFile
+
+	// Stripe intent journal (see intent.go). jmu nests inside sf.mu.
+	jmu     sync.Mutex
+	journal storage.File
+	jOff    int64 // append cursor
+	jLive   int   // live (open or abandoned) intents across all files
+	// pendingIntents holds journal-loaded intents (fileID -> stripe ->
+	// owner) not yet adopted by a serverFile record. Guarded by mu.
+	pendingIntents map[uint64]map[int64]uint64
+
+	intOpened     atomic.Int64
+	intRetired    atomic.Int64
+	intAbandoned  atomic.Int64
+	intResolved   atomic.Int64
+	leaseRenewals atomic.Int64
+	leaseExpiries atomic.Int64
 }
 
 // Requests returns the number of requests handled since startup.
@@ -103,6 +119,10 @@ type serverFile struct {
 	ovSlots  map[int64]int64 // stripe unit -> its slot base in the overflow store
 	ovmSlots map[int64]int64 // stripe unit -> slot base in the overflow mirror
 	locks    map[int64]*parityLock
+	// intents holds the file's stripe write intents: open ones belong to
+	// an in-flight locked read-modify-write, abandoned ones mark possibly
+	// torn stripes that refuse new parity locks until replayed (intent.go).
+	intents map[int64]*intentRec
 	// canceled remembers tokens whose acquisitions UnlockParity canceled, so
 	// a late-arriving locked ReadParity (its frame delivered after the
 	// client's compensating UnlockParity was processed) is refused instead of
@@ -142,13 +162,15 @@ func New(idx int, disk storage.Backend, opts Options) *Server {
 	if opts.PageSize <= 0 {
 		opts.PageSize = 4096
 	}
-	return &Server{
+	s := &Server{
 		idx:   idx,
 		disk:  disk,
 		opts:  opts,
 		cpu:   simtime.NewLimiter(opts.Clock, 1), // durations only
 		files: make(map[uint64]*serverFile),
 	}
+	s.loadIntents()
+	return s
 }
 
 // Index returns the server's position in the stripe layout.
@@ -176,8 +198,10 @@ func (s *Server) file(ref wire.FileRef) (*serverFile, error) {
 			ovSlots:  make(map[int64]int64),
 			ovmSlots: make(map[int64]int64),
 			locks:    make(map[int64]*parityLock),
+			intents:  make(map[int64]*intentRec),
 			canceled: make(map[uint64]struct{}),
 		}
+		s.adoptIntents(sf)
 		s.files[ref.ID] = sf
 	}
 	return sf, nil
@@ -205,6 +229,12 @@ func (s *Server) Handle(req wire.Msg) (wire.Msg, error) {
 		return &wire.HealthResp{Index: uint16(s.idx), Requests: s.requests.Load()}, nil
 	case *wire.UnlockParity:
 		return s.handleUnlockParity(m)
+	case *wire.RenewLease:
+		return s.handleRenewLease(m)
+	case *wire.ListIntents:
+		return s.handleListIntents(m)
+	case *wire.ResolveIntent:
+		return s.handleResolveIntent(m)
 	case *wire.Read:
 		return s.handleRead(m)
 	case *wire.WriteData:
@@ -431,15 +461,21 @@ func (s *Server) handleReadParity(m *wire.ReadParity) (wire.Msg, error) {
 			return nil, fmt.Errorf("server %d does not hold parity of stripe %d", s.idx, stripe)
 		}
 		if m.Lock {
-			if !sf.lockStripe(stripe, m.Owner) {
+			if err := sf.lockStripe(stripe, m.Owner); err != nil {
 				rollback()
-				return nil, fmt.Errorf("server: parity lock of stripe %d canceled", stripe)
+				return nil, err
 			}
 			acquired = append(acquired, stripe)
 		}
 		buf := make([]byte, su)
 		par.ReadAt(buf, sf.geom.ParityLocalOffset(stripe)) //nolint:errcheck
 		out = append(out, buf...)
+	}
+	if m.Lock {
+		// All stripes locked: open their durable write intents before the
+		// grant leaves the server, so from here to the unlocking parity
+		// write every possibly-torn state is journal-covered.
+		s.openIntents(sf, m.Stripes, m.Owner, m.LeaseMS)
 	}
 	return &wire.ReadResp{Data: out}, nil
 }
@@ -468,13 +504,39 @@ func (s *Server) handleWriteParity(m *wire.WriteParity) (wire.Msg, error) {
 		// stripes up front so a multi-stripe ghost writes nothing. Tokenless
 		// (Owner 0) unlocks keep the legacy lenient behavior for callers
 		// predating the resilience layer.
-		if m.Unlock && m.Owner != 0 && !sf.ownsLock(stripe, m.Owner) {
-			return nil, fmt.Errorf("server: parity lock of stripe %d not held under this token", stripe)
+		if m.Unlock && m.Owner != 0 {
+			// An abandoned intent under this token fences the write even if
+			// the lock bookkeeping has not caught up: the lease was revoked
+			// (or the client canceled with unknown outcome) and the stripe
+			// awaits replay, so the late completion must not land
+			// (wire.ErrLeaseExpired tells the writer it lost its lease, not
+			// merely the lock).
+			sf.mu.Lock()
+			rec := sf.intents[stripe]
+			expired := rec != nil && rec.owner == m.Owner && rec.abandoned
+			sf.mu.Unlock()
+			if expired {
+				return nil, fmt.Errorf("server: parity write of stripe %d: %w", stripe, wire.ErrLeaseExpired)
+			}
+			if !sf.ownsLock(stripe, m.Owner) {
+				return nil, fmt.Errorf("server: parity lock of stripe %d not held under this token", stripe)
+			}
 		}
+	}
+	if !m.Unlock {
+		// A fresh full-stripe parity write installs parity correct by
+		// construction, superseding any tear an abandoned intent recorded.
+		// Retired before the bytes land (see handleResolveIntent for the
+		// ordering argument against a racing replay).
+		s.resolveAbandonedByWrite(sf, m.Stripes)
 	}
 	for i, stripe := range m.Stripes {
 		s.writePiece(par, sf.geom.ParityLocalOffset(stripe), m.Data[int64(i)*su:int64(i+1)*su])
 		if m.Unlock {
+			// Commit: the read-modify-write completed, the stripe is
+			// consistent again. The intent retires before the lock hands
+			// off, so the next holder's open cannot collide.
+			sf.retireIntent(s, stripe, m.Owner)
 			sf.unlockStripeOwned(stripe, m.Owner)
 		}
 	}
@@ -658,6 +720,7 @@ func (s *Server) handleRemoveFile(m *wire.RemoveFile) (wire.Msg, error) {
 	delete(s.files, m.File.ID)
 	s.mu.Unlock()
 	if sf != nil {
+		s.dropFileIntents(sf)
 		for k := Store(0); k < numStores; k++ {
 			s.disk.Remove(fmt.Sprintf("f%06d.%s", m.File.ID, storeSuffix[k]))
 		}
@@ -820,17 +883,23 @@ func putU64LE(b []byte, v uint64) {
 // lockStripe acquires the FIFO parity lock of one stripe, blocking while
 // another client's partial-stripe update is in flight (Section 5.1). owner
 // is the acquisition's token for UnlockParity cancellation (0 = none). It
-// reports false if the acquisition was canceled — either while queued, or
-// before it arrived: a token already canceled by UnlockParity is refused
+// fails if the acquisition was canceled — either while queued, or before
+// it arrived: a token already canceled by UnlockParity is refused
 // outright, so a late-delivered locked read cannot re-acquire a lock its
-// client gave up on and will never release.
-func (sf *serverFile) lockStripe(stripe int64, owner uint64) bool {
+// client gave up on and will never release. A stripe with an abandoned
+// write intent fail-stops (wire.ErrStripeTorn): its parity may be stale,
+// so no new read-modify-write may base itself on it until replay.
+func (sf *serverFile) lockStripe(stripe int64, owner uint64) error {
 	sf.mu.Lock()
 	if owner != 0 {
 		if _, ok := sf.canceled[owner]; ok {
 			sf.mu.Unlock()
-			return false
+			return fmt.Errorf("server: parity lock of stripe %d canceled", stripe)
 		}
+	}
+	if rec := sf.intents[stripe]; rec != nil && rec.abandoned {
+		sf.mu.Unlock()
+		return fmt.Errorf("server: stripe %d: %w", stripe, wire.ErrStripeTorn)
 	}
 	l := sf.locks[stripe]
 	if l == nil {
@@ -841,12 +910,15 @@ func (sf *serverFile) lockStripe(stripe int64, owner uint64) bool {
 		l.held = true
 		l.owner = owner
 		sf.mu.Unlock()
-		return true
+		return nil
 	}
 	ch := make(chan bool, 1)
 	l.queue = append(l.queue, lockWaiter{ch: ch, owner: owner})
 	sf.mu.Unlock()
-	return <-ch // woken holding the lock, or canceled
+	if !<-ch { // woken holding the lock, or canceled
+		return fmt.Errorf("server: parity lock of stripe %d canceled", stripe)
+	}
+	return nil
 }
 
 // ownsLock reports whether stripe's parity lock is currently held under
@@ -954,6 +1026,31 @@ func (s *Server) handleUnlockParity(m *wire.UnlockParity) (wire.Msg, error) {
 	for _, stripe := range m.Stripes {
 		if sf.geom.ParityServerOf(stripe) != s.idx {
 			return nil, fmt.Errorf("server %d does not hold parity of stripe %d", s.idx, stripe)
+		}
+		if m.Dirty {
+			// Data writes were already in flight when the client gave up,
+			// so the stripe may be torn: fail-stop it — abandon the intent
+			// and revoke the lock without handing it to queued waiters, who
+			// would otherwise read possibly-stale parity. Replay recomputes
+			// the parity; recomputing an untouched stripe is merely
+			// redundant, never wrong.
+			sf.mu.Lock()
+			abandoned, woken := sf.failStopLocked(s, stripe, m.Owner)
+			sf.mu.Unlock()
+			for _, w := range woken {
+				w.ch <- false
+			}
+			if abandoned {
+				s.intAbandoned.Add(1)
+				continue
+			}
+			// No open intent (the acquisition never got that far): fall
+			// through to the plain cancellation.
+		} else {
+			// Nothing was written: the stripe is untouched and consistent,
+			// so the acquisition's intent — if the grant raced the client's
+			// timeout — simply retires.
+			sf.retireIntent(s, stripe, m.Owner)
 		}
 		sf.cancelLock(stripe, m.Owner)
 	}

@@ -22,7 +22,7 @@ func fuzzSeeds() []Msg {
 		&WriteData{File: ref, Spans: []Span{{0, 3}}, Data: []byte{1, 2, 3}},
 		&WriteMirror{File: ref, Spans: []Span{{64, 4}}, Data: []byte{8, 8, 8, 8}},
 		&ReadMirror{File: ref, Spans: []Span{{0, 128}}},
-		&ReadParity{File: ref, Stripes: []int64{7}, Lock: true, Owner: 42},
+		&ReadParity{File: ref, Stripes: []int64{7}, Lock: true, Owner: 42, LeaseMS: 5000},
 		&WriteParity{File: ref, Stripes: []int64{7}, Data: []byte{0xAA}, Unlock: true, Owner: 42},
 		&WriteOverflow{File: ref, Extents: []Span{{8, 2}}, Data: []byte{9, 9}, Mirror: true},
 		&InvalidateOverflow{File: ref, Spans: []Span{{8, 2}}, Mirror: true},
@@ -48,7 +48,14 @@ func fuzzSeeds() []Msg {
 		&ChecksumRangeResp{Sums: []uint32{7, 0xffffffff}, Bytes: 8192},
 		&Health{},
 		&HealthResp{Index: 2, Requests: 17},
-		&UnlockParity{File: ref, Stripes: []int64{7, 9}, Owner: 42},
+		&UnlockParity{File: ref, Stripes: []int64{7, 9}, Owner: 42, Dirty: true},
+		&Error{Text: "fenced", Code: CodeLeaseExpired},
+		&Error{Text: "torn", Code: CodeStripeTorn},
+		&RenewLease{File: ref, Stripes: []int64{7, 9}, Owner: 42, LeaseMS: 5000},
+		&RenewLeaseResp{Renewed: 2},
+		&ListIntents{File: ref},
+		&ListIntentsResp{Intents: []Intent{{Stripe: 7, Owner: 42, Abandoned: true}, {Stripe: 9, Owner: 43}}},
+		&ResolveIntent{File: ref, Stripe: 7, Owner: 42, Data: []byte{0xAA, 0xBB}},
 	}
 }
 

@@ -64,6 +64,11 @@ var registry = map[Kind]func() Msg{
 	KHealth:             func() Msg { return &Health{} },
 	KHealthResp:         func() Msg { return &HealthResp{} },
 	KUnlockParity:       func() Msg { return &UnlockParity{} },
+	KRenewLease:         func() Msg { return &RenewLease{} },
+	KRenewLeaseResp:     func() Msg { return &RenewLeaseResp{} },
+	KListIntents:        func() Msg { return &ListIntents{} },
+	KListIntentsResp:    func() Msg { return &ListIntentsResp{} },
+	KResolveIntent:      func() Msg { return &ResolveIntent{} },
 }
 
 func (m *Error) Kind() Kind { return KError }
@@ -143,12 +148,73 @@ func (m *ReadParity) encode(e *Encoder) {
 	e.I64s(m.Stripes)
 	e.Bool(m.Lock)
 	e.U64(m.Owner)
+	e.U32(m.LeaseMS)
 }
 func (m *ReadParity) decode(d *Decoder) {
 	m.File = d.FileRef()
 	m.Stripes = d.I64sDec()
 	m.Lock = d.Bool()
 	m.Owner = d.U64()
+	m.LeaseMS = d.U32()
+}
+
+func (m *RenewLease) Kind() Kind { return KRenewLease }
+func (m *RenewLease) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.I64s(m.Stripes)
+	e.U64(m.Owner)
+	e.U32(m.LeaseMS)
+}
+func (m *RenewLease) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Stripes = d.I64sDec()
+	m.Owner = d.U64()
+	m.LeaseMS = d.U32()
+}
+
+func (m *RenewLeaseResp) Kind() Kind        { return KRenewLeaseResp }
+func (m *RenewLeaseResp) encode(e *Encoder) { e.U32(m.Renewed) }
+func (m *RenewLeaseResp) decode(d *Decoder) { m.Renewed = d.U32() }
+
+func (m *ListIntents) Kind() Kind        { return KListIntents }
+func (m *ListIntents) encode(e *Encoder) { e.FileRef(m.File) }
+func (m *ListIntents) decode(d *Decoder) { m.File = d.FileRef() }
+
+func (m *ListIntentsResp) Kind() Kind { return KListIntentsResp }
+func (m *ListIntentsResp) encode(e *Encoder) {
+	e.U32(uint32(len(m.Intents)))
+	for _, in := range m.Intents {
+		e.I64(in.Stripe)
+		e.U64(in.Owner)
+		e.Bool(in.Abandoned)
+	}
+}
+func (m *ListIntentsResp) decode(d *Decoder) {
+	n := int(d.U32())
+	if d.err != nil || n < 0 || n > len(d.Buf) {
+		d.fail()
+		return
+	}
+	m.Intents = make([]Intent, n)
+	for i := range m.Intents {
+		m.Intents[i].Stripe = d.I64()
+		m.Intents[i].Owner = d.U64()
+		m.Intents[i].Abandoned = d.Bool()
+	}
+}
+
+func (m *ResolveIntent) Kind() Kind { return KResolveIntent }
+func (m *ResolveIntent) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.I64(m.Stripe)
+	e.U64(m.Owner)
+	e.Bytes(m.Data)
+}
+func (m *ResolveIntent) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Stripe = d.I64()
+	m.Owner = d.U64()
+	m.Data = d.BytesCopy()
 }
 
 func (m *UnlockParity) Kind() Kind { return KUnlockParity }
@@ -156,11 +222,13 @@ func (m *UnlockParity) encode(e *Encoder) {
 	e.FileRef(m.File)
 	e.I64s(m.Stripes)
 	e.U64(m.Owner)
+	e.Bool(m.Dirty)
 }
 func (m *UnlockParity) decode(d *Decoder) {
 	m.File = d.FileRef()
 	m.Stripes = d.I64sDec()
 	m.Owner = d.U64()
+	m.Dirty = d.Bool()
 }
 
 func (m *Health) Kind() Kind      { return KHealth }

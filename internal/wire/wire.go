@@ -152,6 +152,14 @@ const (
 	KHealth
 	KHealthResp
 	KUnlockParity
+
+	// Crash consistency: leased parity locks and the stripe intent journal
+	// (appended so earlier kinds keep their values).
+	KRenewLease
+	KRenewLeaseResp
+	KListIntents
+	KListIntentsResp
+	KResolveIntent
 )
 
 // Store kinds addressable by ChecksumRange, in the order of
@@ -183,6 +191,17 @@ const (
 	// (stopped, partitioned behind a proxy, shutting down). Errors with
 	// this code unwrap to ErrUnavailable.
 	CodeUnavailable
+	// CodeLeaseExpired marks a request refused because the parity-lock
+	// lease it rode on was revoked: the server expired the lease, woke the
+	// lock queue and abandoned the stripe's intent, so the caller's update
+	// must not land. Errors with this code unwrap to ErrLeaseExpired.
+	CodeLeaseExpired
+	// CodeStripeTorn marks a stripe that is fail-stopped awaiting intent
+	// replay: a crashed or expired update may have left its parity stale,
+	// so new parity-lock acquisitions are refused until ReplayIntents (or a
+	// fresh full-stripe write) reconciles it. Errors with this code unwrap
+	// to ErrStripeTorn.
+	CodeStripeTorn
 )
 
 // ErrUnavailable is the sentinel behind CodeUnavailable errors: matching it
@@ -190,11 +209,26 @@ const (
 // of which transport delivered it.
 var ErrUnavailable = errors.New("server unavailable")
 
+// ErrLeaseExpired is the sentinel behind CodeLeaseExpired errors: the
+// caller's parity-lock lease was revoked before its unlocking parity write
+// arrived.
+var ErrLeaseExpired = errors.New("parity lock lease expired")
+
+// ErrStripeTorn is the sentinel behind CodeStripeTorn errors: the stripe
+// has an abandoned write intent and is refusing new parity-lock
+// acquisitions until its parity is replayed.
+var ErrStripeTorn = errors.New("stripe awaiting intent replay")
+
 // ErrorCodeOf maps a handler error to the wire code its Error response
 // should carry.
 func ErrorCodeOf(err error) uint8 {
-	if errors.Is(err, ErrUnavailable) {
+	switch {
+	case errors.Is(err, ErrUnavailable):
 		return CodeUnavailable
+	case errors.Is(err, ErrLeaseExpired):
+		return CodeLeaseExpired
+	case errors.Is(err, ErrStripeTorn):
+		return CodeStripeTorn
 	}
 	return CodeGeneric
 }
@@ -207,11 +241,17 @@ type Error struct {
 	Code uint8
 }
 
-// Unwrap lets errors.Is(err, ErrUnavailable) see through a decoded
-// unavailability response.
+// Unwrap lets errors.Is see through a decoded failure response to the
+// sentinel its code stands for (ErrUnavailable, ErrLeaseExpired,
+// ErrStripeTorn).
 func (m *Error) Unwrap() error {
-	if m.Code == CodeUnavailable {
+	switch m.Code {
+	case CodeUnavailable:
 		return ErrUnavailable
+	case CodeLeaseExpired:
+		return ErrLeaseExpired
+	case CodeStripeTorn:
+		return ErrStripeTorn
 	}
 	return nil
 }
@@ -267,11 +307,19 @@ type ReadMirror struct {
 // UnlockParity carrying the same token releases exactly this acquisition
 // and no other, so a client whose locked read timed out can free a
 // possibly-granted lock without ever stealing one granted to someone else.
+//
+// A locked read also opens a durable write intent per stripe (the stripe
+// may be torn until the closing WriteParity commits it). LeaseMS, when
+// non-zero, bounds how long the acquisition may stay open without a
+// RenewLease heartbeat: past the deadline the server revokes the lock,
+// wakes the FIFO queue and marks the intent abandoned, so a dead client
+// cannot wedge the stripe.
 type ReadParity struct {
 	File    FileRef
 	Stripes []int64
 	Lock    bool
 	Owner   uint64
+	LeaseMS uint32
 }
 
 // UnlockParity force-releases the parity locks of the listed stripes if —
@@ -280,10 +328,70 @@ type ReadParity struct {
 // Section 5.1 releases locks with WriteParity{Unlock}, but a client that
 // never saw its locked-read response cannot know whether it holds the lock,
 // and sends this instead. A token that matches nothing is a no-op.
+//
+// Dirty tells the server how far the canceling client got. False — the
+// usual case — means no data write was ever issued: the stripe is
+// untouched, so the server retires the acquisition's intent and hands the
+// lock to the next waiter. True means data writes were already in flight
+// when the update was given up on, so the stripe may be torn: the server
+// abandons the intent and fail-stops the stripe (lock revoked, queue
+// canceled, new acquisitions refused) until recovery replays it.
 type UnlockParity struct {
 	File    FileRef
 	Stripes []int64
 	Owner   uint64
+	Dirty   bool
+}
+
+// RenewLease extends the lease on parity locks held under Owner for the
+// listed stripes of a file — the client heartbeat that keeps a long
+// read-modify-write alive. Each matching, still-held, non-abandoned
+// acquisition has its deadline pushed LeaseMS past now.
+type RenewLease struct {
+	File    FileRef
+	Stripes []int64
+	Owner   uint64
+	LeaseMS uint32
+}
+
+// RenewLeaseResp reports how many of the requested stripes were actually
+// renewed. Renewed < len(Stripes) means some lease already expired (the
+// lock was revoked and the intent abandoned); the writer must treat its
+// update as fenced off.
+type RenewLeaseResp struct {
+	Renewed uint32
+}
+
+// Intent is one stripe write intent in a ListIntentsResp. Abandoned
+// intents (lease expired, crash-restart load, explicit UnlockParity)
+// mark possibly-torn stripes awaiting replay; open intents belong to an
+// in-flight read-modify-write and must be left alone.
+type Intent struct {
+	Stripe    int64
+	Owner     uint64
+	Abandoned bool
+}
+
+// ListIntents asks a server for the write intents it holds for a file —
+// exactly the set of stripes whose parity may not match their data.
+// Recovery replays the abandoned ones; the scrubber skips all of them so
+// it never "repairs" a stripe mid-update.
+type ListIntents struct{ File FileRef }
+
+// ListIntentsResp is the reply to ListIntents.
+type ListIntentsResp struct{ Intents []Intent }
+
+// ResolveIntent retires an abandoned intent by installing parity
+// recomputed from the stripe's data units. Data must be one full parity
+// unit. Owner zero resolves regardless of which token abandoned the
+// intent; a non-zero Owner resolves only its own. The server refuses to
+// touch an intent that is still open (the update is live), and treats a
+// missing intent as already resolved.
+type ResolveIntent struct {
+	File   FileRef
+	Stripe int64
+	Owner  uint64
+	Data   []byte
 }
 
 // Health asks a server for a liveness/health report; the client's circuit

@@ -36,8 +36,13 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&WriteData{File: ref, Spans: spans, Data: data, Raw: true},
 		&WriteMirror{File: ref, Spans: spans, Data: data},
 		&ReadMirror{File: ref, Spans: spans},
-		&ReadParity{File: ref, Stripes: []int64{3, 9}, Lock: true, Owner: 77},
-		&UnlockParity{File: ref, Stripes: []int64{3, 9}, Owner: 77},
+		&ReadParity{File: ref, Stripes: []int64{3, 9}, Lock: true, Owner: 77, LeaseMS: 10000},
+		&UnlockParity{File: ref, Stripes: []int64{3, 9}, Owner: 77, Dirty: true},
+		&RenewLease{File: ref, Stripes: []int64{3, 9}, Owner: 77, LeaseMS: 10000},
+		&RenewLeaseResp{Renewed: 2},
+		&ListIntents{File: ref},
+		&ListIntentsResp{Intents: []Intent{{Stripe: 3, Owner: 77, Abandoned: true}}},
+		&ResolveIntent{File: ref, Stripe: 3, Owner: 77, Data: data},
 		&Health{},
 		&HealthResp{Index: 3, Requests: 12345},
 		&WriteParity{File: ref, Stripes: []int64{3}, Data: data, Unlock: true, Owner: 77},
@@ -179,6 +184,27 @@ func TestErrorCodeClassification(t *testing.T) {
 	}
 	if ErrorCodeOf(errors.New("app error")) != CodeGeneric {
 		t.Fatal("ErrorCodeOf misclassified an app error")
+	}
+	for _, c := range []struct {
+		code     uint8
+		sentinel error
+	}{
+		{CodeLeaseExpired, ErrLeaseExpired},
+		{CodeStripeTorn, ErrStripeTorn},
+	} {
+		e := &Error{Text: "x", Code: c.code}
+		if !errors.Is(e, c.sentinel) {
+			t.Fatalf("code %d error does not unwrap to its sentinel", c.code)
+		}
+		if errors.Is(e, ErrUnavailable) {
+			t.Fatalf("code %d error classified unavailable", c.code)
+		}
+		if ErrorCodeOf(fmt.Errorf("wrapped: %w", c.sentinel)) != c.code {
+			t.Fatalf("ErrorCodeOf missed a wrapped sentinel for code %d", c.code)
+		}
+		if got := roundTrip(t, e).(*Error); !errors.Is(got, c.sentinel) {
+			t.Fatalf("code %d classification lost in round trip", c.code)
+		}
 	}
 }
 

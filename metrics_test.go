@@ -1,9 +1,13 @@
 package csar_test
 
 import (
+	"errors"
 	"testing"
+	"time"
 
 	"csar"
+	"csar/internal/cluster"
+	"csar/internal/wire"
 )
 
 func TestMetricsTrackSchemeDecisions(t *testing.T) {
@@ -96,5 +100,131 @@ func TestMetricsCompaction(t *testing.T) {
 	}
 	if m := cl.Metrics(); m.Compactions != 1 {
 		t.Fatalf("compactions=%d", m.Compactions)
+	}
+}
+
+// TestMetricsLeaseAndIntent drives the write-hole machinery end to end and
+// checks the four crash-consistency counters. Phase one stalls an RMW while
+// the heartbeat keeps its parity-lock lease alive (LeaseRenewals). Phase
+// two stalls an RMW with the heartbeat off so the server expires the lease
+// (LeaseExpiries), then replays the abandoned stripe intent
+// (IntentsAbandoned, IntentsReplayed).
+func TestMetricsLeaseAndIntent(t *testing.T) {
+	c := newTestCluster(t, 4)
+	cl := c.NewClient()
+	ic := c.Internal()
+
+	// Phase 1: a healthy heartbeat over a stalled RMW.
+	p := csar.DefaultPolicy()
+	p.CallTimeout = 0 // hangs must block, not time out
+	p.Retries = 2     // the hung read succeeds on its post-release retry
+	p.BackoffBase = time.Millisecond
+	p.BackoffMax = 2 * time.Millisecond
+	p.LockLease = 500 * time.Millisecond
+	p.LeaseRenewEvery = 20 * time.Millisecond
+	p.CrashSafeRMW = true
+	cl.SetResilience(p)
+
+	fa, err := cl.Create("lease-a", csar.FileOptions{Scheme: csar.Raid5, StripeUnit: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga := fa.Internal().Geometry()
+	if _, err := fa.WriteAt(make([]byte, 3*64), 0); err != nil {
+		t.Fatal(err)
+	}
+	firstA, _ := ga.DataUnitsOf(0)
+	hang := ic.Inject(cluster.FaultPoint{
+		Server: ga.ServerOf(firstA), Kind: wire.KRead, Action: cluster.FaultHang,
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, werr := fa.WriteAt(make([]byte, 10), 0)
+		done <- werr
+	}()
+	<-hang.Triggered()
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.Metrics().LeaseRenewals < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("leaseRenewals stuck at %d", cl.Metrics().LeaseRenewals)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	hang.Release()
+	if werr := <-done; werr != nil {
+		t.Fatalf("RMW failed despite live heartbeat: %v", werr)
+	}
+	m := cl.Metrics()
+	if m.LeaseRenewals < 2 || m.LeaseExpiries != 0 {
+		t.Fatalf("after phase 1: renewals=%d expiries=%d", m.LeaseRenewals, m.LeaseExpiries)
+	}
+
+	// Phase 2: heartbeat off, short lease — the server revokes the lock
+	// under the stalled RMW and the unlocking parity write is fenced.
+	p.LockLease = 40 * time.Millisecond
+	p.LeaseRenewEvery = -1
+	cl.SetResilience(p)
+
+	fb, err := cl.Create("lease-b", csar.FileOptions{Scheme: csar.Raid5, StripeUnit: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := fb.Internal().Geometry()
+	if _, err := fb.WriteAt(make([]byte, 3*64), 0); err != nil {
+		t.Fatal(err)
+	}
+	firstB, _ := gb.DataUnitsOf(0)
+	hang = ic.Inject(cluster.FaultPoint{
+		Server: gb.ServerOf(firstB), Kind: wire.KRead, Action: cluster.FaultHang,
+	})
+	go func() {
+		_, werr := fb.WriteAt(make([]byte, 10), 0)
+		done <- werr
+	}()
+	<-hang.Triggered()
+	// Wait for the server-side expiry (the intent flips to abandoned).
+	ps := gb.ParityServerOf(0)
+	for {
+		resp, lerr := cl.InternalClient().ServerCaller(ps).Call(&wire.ListIntents{File: fb.Internal().Ref()})
+		if lerr != nil {
+			t.Fatal(lerr)
+		}
+		ints := resp.(*wire.ListIntentsResp).Intents
+		if len(ints) == 1 && ints[0].Abandoned {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lease never expired server-side: %+v", ints)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	hang.Release()
+	if werr := <-done; !errors.Is(werr, csar.ErrLeaseExpired) {
+		t.Fatalf("stalled RMW returned %v, want ErrLeaseExpired", werr)
+	}
+	if m := cl.Metrics(); m.LeaseExpiries != 1 {
+		t.Fatalf("leaseExpiries=%d, want 1", m.LeaseExpiries)
+	}
+
+	// The stripe is fail-stopped until replay reconciles it.
+	if _, werr := fb.WriteAt(make([]byte, 10), 0); !errors.Is(werr, csar.ErrStripeTorn) {
+		t.Fatalf("RMW on torn stripe: %v, want ErrStripeTorn", werr)
+	}
+	rep, err := cl.ReplayIntents(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replayed != 1 || rep.Abandoned != 1 {
+		t.Fatalf("replay report: %+v", rep)
+	}
+	m = cl.Metrics()
+	if m.IntentsReplayed != 1 || m.IntentsAbandoned != 1 {
+		t.Fatalf("intent metrics: replayed=%d abandoned=%d", m.IntentsReplayed, m.IntentsAbandoned)
+	}
+	if problems, err := cl.Verify(fb); err != nil || len(problems) != 0 {
+		t.Fatalf("verify after replay: %v %v", problems, err)
+	}
+	if _, err := fb.WriteAt(make([]byte, 10), 0); err != nil {
+		t.Fatalf("RMW after replay: %v", err)
 	}
 }
