@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz-seeds faults crash staticcheck ci
+.PHONY: build vet test race fuzz-seeds faults crash resync staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,15 @@ crash:
 	$(GO) test -race -count=2 -run 'TestCrashClientMidRMW|TestCrashServerMidParityWrite|TestLeaseRenewalKeepsLock' ./internal/cluster
 	$(GO) test -race -count=2 -run 'TestMetricsLeaseAndIntent|TestRestartedIODReadmission' .
 
+# The online-resync suite: dirty-region tracking by degraded writes, delta
+# replay with a concurrent foreground writer, cursor forwarding, the
+# epoch-mismatch full-rebuild fallback, abort/rerun convergence, and
+# dirty-log durability across a replica crash — run twice under the race
+# detector because the delta scenario is genuinely concurrent.
+resync:
+	$(GO) test -race -count=2 -run 'TestResync|TestDirtyLog|TestRebuildAbort' ./internal/cluster
+	$(GO) test -race -count=2 -run 'TestMetricsResyncCounters' .
+
 # Static analysis beyond go vet, when the tool is installed (CI images
 # that lack it skip the target rather than fail it — nothing is
 # downloaded at build time).
@@ -44,4 +53,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-ci: vet staticcheck build race fuzz-seeds faults crash
+ci: vet staticcheck build race fuzz-seeds faults crash resync

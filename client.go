@@ -70,6 +70,48 @@ func (c *Client) Rebuild(f *File, dead int) error {
 	return recovery.Rebuild(c.inner, f.inner, dead)
 }
 
+// ResyncOptions tunes an online incremental resync pass.
+type ResyncOptions = recovery.ResyncOptions
+
+// ResyncReport describes what a resync pass replayed (or, dry, would
+// replay).
+type ResyncReport = recovery.ResyncReport
+
+// ErrResyncAborted is returned when a resync pass could not finish; the
+// dirty log is left intact and re-running Resync will converge.
+var ErrResyncAborted = recovery.ErrResyncAborted
+
+// Resync brings a returning server back up to date for the file by
+// replaying only the regions degraded writes damaged while it was out
+// (recorded in the dirty-region log on its neighbours), falling back to a
+// full Rebuild when the log cannot be trusted. It runs online — foreground
+// writes through this client are coordinated with the replay — and, unlike
+// Rebuild, targets a server that came back with its pre-outage stores
+// intact. Call MarkUp once it returns nil.
+func (c *Client) Resync(f *File, dead int, opts ResyncOptions) (ResyncReport, error) {
+	return recovery.Resync(c.inner, f.inner, dead, opts)
+}
+
+// DirtyServers returns the servers with outstanding dirty-region logs for
+// the file — those that missed degraded writes and need Resync (or Rebuild)
+// before re-admission. The answer comes from the surviving servers' logs,
+// not client memory, so it works from a freshly started process.
+func (c *Client) DirtyServers(f *File) []int {
+	return recovery.DirtyServers(c.inner, f.inner)
+}
+
+// ServerHealthy reports whether server idx currently answers a liveness
+// probe, bypassing the client's circuit breaker: the recovery orchestrator
+// uses it to notice a returned-but-stale server that normal traffic is
+// routing around.
+func (c *Client) ServerHealthy(idx int) bool {
+	if idx < 0 || idx >= c.inner.NumServers() {
+		return false
+	}
+	_, err := c.inner.ServerCaller(idx).Call(&wire.Health{})
+	return err == nil
+}
+
 // Verify checks the file's redundancy invariants (mirror equality, parity
 // correctness, overflow-mirror agreement) and returns a description of
 // each violation. An empty result means the file is consistent.

@@ -33,6 +33,9 @@ func main() {
 		scrubEvery      = flag.Duration("scrub-every", 0, "period of the background integrity scrub over all files (0 = disabled)")
 		scrubRate       = flag.Float64("scrub-rate", 0, "scrub I/O rate limit in bytes/sec per pass (0 = unlimited)")
 		scrubRepairData = flag.Bool("scrub-repair-data", false, "let the background scrub overwrite primary data when evidence says it is the corrupt copy")
+		resyncEvery     = flag.Duration("resync-every", 0, "period of the recovery loop that resyncs returned-but-stale servers (0 = disabled)")
+		resyncRate      = flag.Float64("resync-rate", 0, "resync replay I/O rate limit in bytes/sec (0 = unlimited)")
+		resyncDry       = flag.Bool("resync-dry-run", false, "recovery loop only reports what it would resync, without writing or re-admitting")
 
 		def         = csar.DefaultPolicy()
 		callTimeout = flag.Duration("call-timeout", def.CallTimeout, "per-RPC deadline for the scrub client (0 = none)")
@@ -72,17 +75,21 @@ func main() {
 		log.Fatalf("csar-mgr: %v", err)
 	}
 	fmt.Printf("csar-mgr: serving metadata on %s for %d I/O servers\n", ln.Addr(), len(addrs))
+	pol := def
+	pol.CallTimeout = *callTimeout
+	pol.Retries = *retries
+	pol.BackoffBase = *backoff
+	pol.BreakerThreshold = *breakerAt
+	pol.ProbeAfter = *probeAfter
+	pol.LockLease = *lockLease
+	pol.LeaseRenewEvery = *leaseRenew
 	if *scrubEvery > 0 {
-		pol := def
-		pol.CallTimeout = *callTimeout
-		pol.Retries = *retries
-		pol.BackoffBase = *backoff
-		pol.BreakerThreshold = *breakerAt
-		pol.ProbeAfter = *probeAfter
-		pol.LockLease = *lockLease
-		pol.LeaseRenewEvery = *leaseRenew
 		fmt.Printf("csar-mgr: background scrub every %v\n", *scrubEvery)
 		go scrubLoop(ln.Addr().String(), *scrubEvery, *scrubRate, *scrubRepairData, pol)
+	}
+	if *resyncEvery > 0 {
+		fmt.Printf("csar-mgr: recovery loop every %v\n", *resyncEvery)
+		go resyncLoop(ln.Addr().String(), *resyncEvery, *resyncRate, *resyncDry, pol)
 	}
 	for {
 		conn, err := ln.Accept()
@@ -149,6 +156,67 @@ func scrubLoop(addr string, every time.Duration, rate float64, repairData bool, 
 		for name := range journals {
 			if !live[name] {
 				delete(journals, name)
+			}
+		}
+	}
+}
+
+// resyncLoop is the automatic re-admission path: each tick it asks the
+// surviving servers which peers hold un-replayed degraded writes (the
+// dirty-region logs), health-probes those peers, and resyncs each one that
+// has come back — replaying only the damaged regions, or falling back to a
+// full rebuild when the log cannot be trusted — then re-admits it.
+func resyncLoop(addr string, every time.Duration, rate float64, dry bool, pol csar.Policy) {
+	for range time.Tick(every) {
+		cl, err := csar.Dial(addr)
+		if err != nil {
+			log.Printf("csar-mgr: resync: dial: %v", err)
+			continue
+		}
+		cl.SetResilience(pol)
+		names, err := cl.List()
+		if err != nil {
+			log.Printf("csar-mgr: resync: list: %v", err)
+			continue
+		}
+		for _, name := range names {
+			f, err := cl.Open(name)
+			if err != nil {
+				log.Printf("csar-mgr: resync %s: %v", name, err)
+				continue
+			}
+			for _, dead := range cl.DirtyServers(f) {
+				if !cl.ServerHealthy(dead) {
+					continue // still out; leave the dirty log growing
+				}
+				if dry {
+					rep, err := cl.Resync(f, dead, csar.ResyncOptions{RateLimit: rate, DryRun: true})
+					if err != nil {
+						log.Printf("csar-mgr: resync %s server %d (dry): %v", name, dead, err)
+						continue
+					}
+					log.Printf("csar-mgr: resync %s server %d (dry): would replay %d units, %d mirrors, %d stripes (full rebuild: %v)",
+						name, dead, rep.Units, rep.Mirrors, rep.Stripes, rep.FullRebuild)
+					continue
+				}
+				// Plan around the stale server while we replay: its data
+				// is out of date until the resync finishes.
+				cl.MarkDown(dead)
+				rep, err := cl.Resync(f, dead, csar.ResyncOptions{RateLimit: rate})
+				if err != nil {
+					// ErrResyncAborted leaves the dirty log intact; the
+					// next tick re-runs and converges.
+					log.Printf("csar-mgr: resync %s server %d: %v", name, dead, err)
+					continue
+				}
+				cl.MarkUp(dead)
+				if rep.FullRebuild {
+					log.Printf("csar-mgr: resync %s server %d: dirty log untrusted, full rebuild done; re-admitted",
+						name, dead)
+					continue
+				}
+				log.Printf("csar-mgr: resync %s server %d: %d units, %d mirrors, %d stripes, %d overflow bytes in %d rounds; re-admitted",
+					name, dead, rep.Units, rep.Mirrors, rep.Stripes, rep.OverflowBytes, rep.Rounds)
 			}
 		}
 	}

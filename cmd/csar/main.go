@@ -17,7 +17,11 @@
 //	verify <name>              check redundancy invariants (fsck)
 //	scrub <name>               verify and repair redundancy online
 //	                           (-scrub-rate, -repair-data)
-//	rebuild <name> <server>    rebuild a replaced server's stores
+//	rebuild <name> <server>    rebuild a replaced server's stores and
+//	                           re-admit it
+//	resync <name> <server>     replay only the regions degraded writes
+//	                           damaged onto a returned server, then
+//	                           re-admit it (-resync-rate, -resync-dry-run)
 package main
 
 import (
@@ -39,6 +43,8 @@ func main() {
 		su         = flag.Int64("su", csar.DefaultStripeUnit, "stripe unit in bytes")
 		scrubRate  = flag.Float64("scrub-rate", 0, "scrub I/O rate limit in bytes/sec (0 = unlimited)")
 		repairData = flag.Bool("repair-data", false, "let scrub overwrite primary data when evidence says it is the corrupt copy")
+		resyncRate = flag.Float64("resync-rate", 0, "resync replay I/O rate limit in bytes/sec (0 = unlimited)")
+		resyncDry  = flag.Bool("resync-dry-run", false, "report what resync would replay without writing")
 
 		callTimeout = flag.Duration("call-timeout", def.CallTimeout, "per-RPC deadline (0 = none)")
 		retries     = flag.Int("retries", def.Retries, "retry attempts for idempotent RPCs after the first try")
@@ -198,10 +204,40 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		fmt.Printf("server %d before: %v\n", idx, cl.BreakerStates()[idx])
 		if err := cl.Rebuild(f, idx); err != nil {
 			fail(err)
 		}
-		fmt.Printf("rebuilt server %d for %s\n", idx, rest[0])
+		// The rebuild restored the server's stores; without MarkUp the
+		// client would keep treating it as failed (and its breaker as
+		// stale) forever.
+		cl.MarkUp(idx)
+		fmt.Printf("server %d after:  %v\n", idx, cl.BreakerStates()[idx])
+		fmt.Printf("rebuilt and re-admitted server %d for %s\n", idx, rest[0])
+	case "resync":
+		need(rest, 2, "resync <name> <server-index>")
+		f, err := cl.Open(rest[0])
+		if err != nil {
+			fail(err)
+		}
+		idx, err := strconv.Atoi(rest[1])
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("server %d before: %v\n", idx, cl.BreakerStates()[idx])
+		rep, err := cl.Resync(f, idx, csar.ResyncOptions{RateLimit: *resyncRate, DryRun: *resyncDry})
+		if err != nil {
+			fail(err)
+		}
+		if *resyncDry {
+			fmt.Printf("dry run: would replay %d units, %d mirrors, %d stripes (full rebuild: %v)\n",
+				rep.Units, rep.Mirrors, rep.Stripes, rep.FullRebuild)
+			return
+		}
+		cl.MarkUp(idx)
+		fmt.Printf("server %d after:  %v\n", idx, cl.BreakerStates()[idx])
+		fmt.Printf("resynced server %d for %s: %d units, %d mirrors, %d stripes, %d overflow bytes in %d rounds (full rebuild: %v)\n",
+			idx, rest[0], rep.Units, rep.Mirrors, rep.Stripes, rep.OverflowBytes, rep.Rounds, rep.FullRebuild)
 	default:
 		fmt.Fprintf(os.Stderr, "csar: unknown command %q\n", cmd)
 		os.Exit(2)

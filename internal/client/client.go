@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"csar/internal/raid"
@@ -65,18 +66,29 @@ type Client struct {
 	down   map[int]bool
 	policy Policy
 	rng    *rand.Rand
+
+	// Online-resync coordination (dirty.go): per-outage epochs, active
+	// resync cursors, the replay gate, and the degraded-write drain counter.
+	dmu              sync.Mutex
+	outages          map[outageKey]uint64
+	resyncs          map[outageKey]*resyncState
+	resyncActive     atomic.Int32
+	resyncGate       sync.RWMutex
+	degradedInFlight atomic.Int64
 }
 
 // New creates a client talking to the manager and the I/O servers. The
 // resilience layer starts disabled; SetPolicy turns it on.
 func New(mgr Caller, servers []Caller) *Client {
 	return &Client{
-		mgr:    mgr,
-		srv:    servers,
-		down:   make(map[int]bool),
-		health: make([]serverHealth, len(servers)),
-		leases: make(map[uint64]leaseEntry),
-		rng:    rand.New(rand.NewSource(1)),
+		mgr:     mgr,
+		srv:     servers,
+		down:    make(map[int]bool),
+		health:  make([]serverHealth, len(servers)),
+		leases:  make(map[uint64]leaseEntry),
+		outages: make(map[outageKey]uint64),
+		resyncs: make(map[outageKey]*resyncState),
+		rng:     rand.New(rand.NewSource(1)),
 	}
 }
 
@@ -159,13 +171,16 @@ func (c *Client) MarkDown(idx int) {
 	c.down[idx] = true
 }
 
-// MarkUp clears a server's failed flag (after rebuild), including any
-// breaker and staleness state the resilience layer accumulated for it.
+// MarkUp clears a server's failed flag (after rebuild or resync), including
+// any breaker and staleness state the resilience layer accumulated for it
+// and the outage epochs of its dirty-region logs (a future outage is a new
+// epoch).
 func (c *Client) MarkUp(idx int) {
 	c.mu.Lock()
 	delete(c.down, idx)
 	c.mu.Unlock()
 	c.resetHealth(idx)
+	c.clearOutages(idx)
 }
 
 // Down reports whether a server is unusable right now: manually marked

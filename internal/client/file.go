@@ -60,15 +60,45 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		}
 	}
 	plan := core.PlanWrite(f.geom, f.ref.Scheme, off, int64(len(p)))
-	if err := f.execute(plan, off, p, dead); err != nil {
+	execDead := dead
+	forwarded := false
+	if dead >= 0 {
+		// Decide-and-execute runs under the resync replay gate (shared side)
+		// so an item replay never interleaves with a foreground write; see
+		// Client.ResyncExclusive.
+		f.c.resyncGate.RLock()
+		defer f.c.resyncGate.RUnlock()
+		f.c.degradedInFlight.Add(1)
+		if cur, ok := f.c.resyncCursor(f.ref.ID, dead); ok &&
+			syncExtentEnd(f.geom, f.ref.Scheme, plan, off, int64(len(p))) <= cur {
+			// The whole extent is behind the resync cursor: the recovering
+			// server is current there, so write to it directly instead of
+			// re-dirtying the log.
+			f.c.degradedInFlight.Add(-1)
+			forwarded = true
+			execDead = -1
+		} else {
+			defer f.c.degradedInFlight.Add(-1)
+			// Dirty-then-write: the damage goes on the replicated log before
+			// any data lands, so a crash in between costs a spurious replay,
+			// never a missed one.
+			if err := f.c.recordDirty(f.ref, f.geom, plan, dead); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := f.execute(plan, off, p, execDead); err != nil {
 		return 0, err
 	}
 	f.c.metrics.writes.Add(1)
 	f.c.metrics.writeBytes.Add(int64(len(p)))
-	if dead >= 0 {
+	switch {
+	case forwarded:
+		f.c.metrics.resyncForwards.Add(1)
+	case dead >= 0:
 		f.c.metrics.degradedWrites.Add(1)
 		// The dead server missed this write: its stores are stale, so the
-		// breaker must not re-admit it before Rebuild + MarkUp.
+		// breaker must not re-admit it before rebuild/resync + MarkUp.
 		f.c.markStale(dead)
 	}
 	for {

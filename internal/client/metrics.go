@@ -37,6 +37,11 @@ type Metrics struct {
 	LeaseExpiries    int64 // leases the server revoked before we released them
 	IntentsReplayed  int64 // abandoned stripe intents repaired by replay
 	IntentsAbandoned int64 // abandoned intents seen by replay (incl. skipped)
+
+	DirtyUnits           int64 // dirty-log items recorded by degraded writes
+	ResyncedUnits        int64 // dirty-log items replayed by online resync
+	ResyncForwards       int64 // degraded writes forwarded to a resyncing server
+	FullRebuildFallbacks int64 // resyncs that fell back to a full rebuild
 }
 
 // metrics is the internal atomic representation.
@@ -53,6 +58,9 @@ type metrics struct {
 
 	leaseRenewals, leaseExpiries       atomic.Int64
 	intentsReplayed, intentsAbandoned  atomic.Int64
+
+	dirtyUnits, resyncedUnits                  atomic.Int64
+	resyncForwards, fullRebuildFallbacks       atomic.Int64
 }
 
 func (m *metrics) snapshot() Metrics {
@@ -86,6 +94,11 @@ func (m *metrics) snapshot() Metrics {
 		LeaseExpiries:    m.leaseExpiries.Load(),
 		IntentsReplayed:  m.intentsReplayed.Load(),
 		IntentsAbandoned: m.intentsAbandoned.Load(),
+
+		DirtyUnits:           m.dirtyUnits.Load(),
+		ResyncedUnits:        m.resyncedUnits.Load(),
+		ResyncForwards:       m.resyncForwards.Load(),
+		FullRebuildFallbacks: m.fullRebuildFallbacks.Load(),
 	}
 }
 
@@ -106,4 +119,16 @@ func (c *Client) NoteScrub(bytes, found, repaired, unrepairable int64) {
 func (c *Client) NoteReplay(replayed, abandoned int64) {
 	c.metrics.intentsReplayed.Add(replayed)
 	c.metrics.intentsAbandoned.Add(abandoned)
+}
+
+// NoteResync records dirty-log items replayed by an online resync pass
+// (called by internal/recovery, which the client cannot import).
+func (c *Client) NoteResync(items int64) {
+	c.metrics.resyncedUnits.Add(items)
+}
+
+// NoteFullRebuildFallback records a resync that found its dirty log
+// untrustworthy and fell back to a full rebuild.
+func (c *Client) NoteFullRebuildFallback() {
+	c.metrics.fullRebuildFallbacks.Add(1)
 }

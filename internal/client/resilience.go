@@ -253,7 +253,11 @@ func isIdempotent(m wire.Msg) bool {
 	switch m := m.(type) {
 	case *wire.Read, *wire.ReadMirror, *wire.Ping, *wire.Health,
 		*wire.StorageStat, *wire.ChecksumRange, *wire.OverflowDump,
-		*wire.RenewLease, *wire.ListIntents:
+		*wire.RenewLease, *wire.ListIntents, *wire.DirtyDump:
+		return true
+	case *wire.MarkDirty:
+		// Re-delivery only bumps the marked items' generation counters; the
+		// log contents are a set, so a duplicate record is absorbed.
 		return true
 	case *wire.ReadParity:
 		return !m.Lock
@@ -319,8 +323,13 @@ func (c *Client) backoff(attempt int, p Policy) {
 }
 
 // admit is the breaker's gate on one call: closed passes, open fails fast
-// (probing first when a probe is due).
+// (probing first when a probe is due). A server under active resync passes
+// unconditionally: its breaker is rightly open-and-stale, but the replay
+// traffic and forwarded foreground writes must reach it.
 func (c *Client) admit(idx int, p Policy) error {
+	if c.resyncingServer(idx) {
+		return nil
+	}
 	h := &c.health[idx]
 	h.mu.Lock()
 	switch h.state {

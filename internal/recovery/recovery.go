@@ -24,12 +24,96 @@ package recovery
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"csar/internal/client"
 	"csar/internal/raid"
 	"csar/internal/wire"
 )
+
+const (
+	// rebuildBatch is how many units (or parity stripes) one reconstruction
+	// RPC batch carries: instead of one read and one write per unit, a batch
+	// costs one multi-span read per source server and one multi-span write
+	// to the replacement.
+	rebuildBatch = 32
+	// rebuildWorkers bounds how many batches are reconstructed concurrently.
+	rebuildWorkers = 4
+)
+
+// runBatches runs fn for batch indices [0, n) on a bounded worker pool and
+// joins the errors.
+func runBatches(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := rebuildWorkers
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// chunkInt64 splits vals into batches of rebuildBatch.
+func chunkInt64(vals []int64) [][]int64 {
+	var out [][]int64
+	for len(vals) > rebuildBatch {
+		out = append(out, vals[:rebuildBatch])
+		vals = vals[rebuildBatch:]
+	}
+	if len(vals) > 0 {
+		out = append(out, vals)
+	}
+	return out
+}
+
+// ownedUnits collects the data units server srv owns within size.
+func ownedUnits(g raid.Geometry, srv int, size int64) []int64 {
+	var units []int64
+	g.UnitsOwnedBy(srv, size, func(b int64) error { //nolint:errcheck // fn never fails
+		units = append(units, b)
+		return nil
+	})
+	return units
+}
+
+// unitSpans returns each unit's logical span, in order.
+func unitSpans(g raid.Geometry, units []int64) []wire.Span {
+	spans := make([]wire.Span, len(units))
+	for i, b := range units {
+		spans[i] = wire.Span{Off: g.UnitStart(b), Len: g.StripeUnit}
+	}
+	return spans
+}
+
+// stripeSpans returns each stripe's whole logical span, in order.
+func stripeSpans(g raid.Geometry, stripes []int64) []wire.Span {
+	spans := make([]wire.Span, len(stripes))
+	for i, s := range stripes {
+		spans[i] = wire.Span{Off: g.StripeStart(s), Len: g.StripeSize()}
+	}
+	return spans
+}
 
 // Rebuild reconstructs server dead's stores for file f onto the replacement
 // server now occupying the same slot. The caller must have already replaced
@@ -73,40 +157,43 @@ func Rebuild(c *client.Client, f *client.File, dead int) error {
 }
 
 // rebuildDataFromMirror restores a RAID1 data file from the mirror copies
-// on the next server.
+// on the next server, a batch of units per round trip.
 func rebuildDataFromMirror(c *client.Client, f *client.File, dead int, size int64) error {
 	g := f.Geometry()
 	ref := f.Ref()
 	mirrorSrv := (dead + 1) % g.Servers
-	return g.UnitsOwnedBy(dead, size, func(b int64) error {
-		span := wire.Span{Off: g.UnitStart(b), Len: g.StripeUnit}
-		resp, err := c.ServerCaller(mirrorSrv).Call(&wire.ReadMirror{File: ref, Spans: []wire.Span{span}})
+	batches := chunkInt64(ownedUnits(g, dead, size))
+	return runBatches(len(batches), func(i int) error {
+		spans := unitSpans(g, batches[i])
+		resp, err := c.ServerCaller(mirrorSrv).Call(&wire.ReadMirror{File: ref, Spans: spans})
 		if err != nil {
 			return err
 		}
 		data := resp.(*wire.ReadResp).Data
-		if int64(len(data)) != span.Len {
-			return fmt.Errorf("recovery: short mirror read for unit %d", b)
+		if int64(len(data)) != int64(len(spans))*g.StripeUnit {
+			return fmt.Errorf("recovery: short mirror read (units %v)", batches[i])
 		}
-		_, err = c.ServerCaller(dead).Call(&wire.WriteData{File: ref, Spans: []wire.Span{span}, Data: data, Raw: true})
+		_, err = c.ServerCaller(dead).Call(&wire.WriteData{File: ref, Spans: spans, Data: data, Raw: true})
 		return err
 	})
 }
 
 // rebuildMirror restores the mirror file on the dead server: it holds the
-// mirror copies of the previous server's units, re-read from their primary.
+// mirror copies of the previous server's units, re-read from their primary
+// a batch at a time.
 func rebuildMirror(c *client.Client, f *client.File, dead int, size int64) error {
 	g := f.Geometry()
 	ref := f.Ref()
 	prev := (dead - 1 + g.Servers) % g.Servers
-	return g.UnitsOwnedBy(prev, size, func(b int64) error {
-		span := wire.Span{Off: g.UnitStart(b), Len: g.StripeUnit}
-		resp, err := c.ServerCaller(prev).Call(&wire.Read{File: ref, Spans: []wire.Span{span}, Raw: true})
+	batches := chunkInt64(ownedUnits(g, prev, size))
+	return runBatches(len(batches), func(i int) error {
+		spans := unitSpans(g, batches[i])
+		resp, err := c.ServerCaller(prev).Call(&wire.Read{File: ref, Spans: spans, Raw: true})
 		if err != nil {
 			return err
 		}
 		data := resp.(*wire.ReadResp).Data
-		_, err = c.ServerCaller(dead).Call(&wire.WriteMirror{File: ref, Spans: []wire.Span{span}, Data: data})
+		_, err = c.ServerCaller(dead).Call(&wire.WriteMirror{File: ref, Spans: spans, Data: data})
 		return err
 	})
 }
@@ -125,56 +212,111 @@ func readUnitRaw(c *client.Client, ref wire.FileRef, g raid.Geometry, b int64) (
 	return data, nil
 }
 
-// rebuildDataFromParity restores a data file from each affected stripe's
-// surviving units and parity.
+// rebuildDataFromParity restores a data file from the surviving units and
+// parity of each affected stripe. Work proceeds in batches: every unit the
+// dead server owns sits in a distinct stripe, so one batch costs one
+// multi-stripe ReadParity per parity server, one multi-span raw Read per
+// surviving server (each contributes exactly one unit per non-parity
+// stripe), a local XOR, and one multi-span write to the replacement.
 func rebuildDataFromParity(c *client.Client, f *client.File, dead int, size int64) error {
 	g := f.Geometry()
 	ref := f.Ref()
-	return g.UnitsOwnedBy(dead, size, func(b int64) error {
-		stripe := b / int64(g.DataWidth())
-		first, count := g.DataUnitsOf(stripe)
-		acc := make([]byte, g.StripeUnit)
-
-		presp, err := c.ServerCaller(g.ParityServerOf(stripe)).Call(
-			&wire.ReadParity{File: ref, Stripes: []int64{stripe}})
-		if err != nil {
-			return err
+	su := g.StripeUnit
+	batches := chunkInt64(ownedUnits(g, dead, size))
+	return runBatches(len(batches), func(i int) error {
+		batch := batches[i]
+		accs := make([]byte, int64(len(batch))*su)
+		stripeOf := make([]int64, len(batch))
+		pos := make(map[int64]int, len(batch)) // stripe -> index in batch
+		byPS := make(map[int][]int64)
+		for j, b := range batch {
+			s := b / int64(g.DataWidth())
+			stripeOf[j] = s
+			pos[s] = j
+			ps := g.ParityServerOf(s)
+			byPS[ps] = append(byPS[ps], s)
 		}
-		copy(acc, presp.(*wire.ReadResp).Data)
 
-		for j := 0; j < count; j++ {
-			u := first + int64(j)
-			if u == b {
-				continue
-			}
-			data, err := readUnitRaw(c, ref, g, u)
+		// Seed each accumulator with the stripe's parity.
+		for ps, stripes := range byPS {
+			resp, err := c.ServerCaller(ps).Call(&wire.ReadParity{File: ref, Stripes: stripes})
 			if err != nil {
 				return err
 			}
-			raid.XORInto(acc, data)
+			data := resp.(*wire.ReadResp).Data
+			if int64(len(data)) != int64(len(stripes))*su {
+				return fmt.Errorf("recovery: short parity read from server %d", ps)
+			}
+			for k, s := range stripes {
+				copy(accs[int64(pos[s])*su:], data[int64(k)*su:int64(k+1)*su])
+			}
 		}
-		span := wire.Span{Off: g.UnitStart(b), Len: g.StripeUnit}
-		_, err = c.ServerCaller(dead).Call(&wire.WriteData{File: ref, Spans: []wire.Span{span}, Data: acc, Raw: true})
+
+		// Fold in every survivor's units across the batch's stripes.
+		spans := stripeSpans(g, stripeOf)
+		for srv := 0; srv < g.Servers; srv++ {
+			if srv == dead {
+				continue
+			}
+			resp, err := c.ServerCaller(srv).Call(&wire.Read{File: ref, Spans: spans, Raw: true})
+			if err != nil {
+				return err
+			}
+			data := resp.(*wire.ReadResp).Data
+			cur := int64(0)
+			for j, s := range stripeOf {
+				if g.ParityServerOf(s) == srv {
+					continue // srv holds this stripe's parity, no data unit
+				}
+				if cur+su > int64(len(data)) {
+					return fmt.Errorf("recovery: short unit read from server %d", srv)
+				}
+				raid.XORInto(accs[int64(j)*su:int64(j+1)*su], data[cur:cur+su])
+				cur += su
+			}
+		}
+		_, err := c.ServerCaller(dead).Call(&wire.WriteData{
+			File: ref, Spans: unitSpans(g, batch), Data: accs, Raw: true})
 		return err
 	})
 }
 
-// rebuildParity recomputes every parity unit owned by the dead server.
+// rebuildParity recomputes the parity units owned by the dead server, a
+// batch of stripes per round: one multi-span raw Read per surviving server
+// (each owns exactly one data unit of every stripe whose parity the dead
+// server holds), a local XOR, and one multi-stripe parity write.
 func rebuildParity(c *client.Client, f *client.File, dead int, size int64) error {
 	g := f.Geometry()
 	ref := f.Ref()
-	return g.ParityStripesOwnedBy(dead, size, func(s int64) error {
-		first, count := g.DataUnitsOf(s)
-		acc := make([]byte, g.StripeUnit)
-		for j := 0; j < count; j++ {
-			data, err := readUnitRaw(c, ref, g, first+int64(j))
+	su := g.StripeUnit
+	var stripes []int64
+	g.ParityStripesOwnedBy(dead, size, func(s int64) error { //nolint:errcheck // fn never fails
+		stripes = append(stripes, s)
+		return nil
+	})
+	batches := chunkInt64(stripes)
+	return runBatches(len(batches), func(i int) error {
+		batch := batches[i]
+		accs := make([]byte, int64(len(batch))*su)
+		spans := stripeSpans(g, batch)
+		for srv := 0; srv < g.Servers; srv++ {
+			if srv == dead {
+				continue
+			}
+			resp, err := c.ServerCaller(srv).Call(&wire.Read{File: ref, Spans: spans, Raw: true})
 			if err != nil {
 				return err
 			}
-			raid.XORInto(acc, data)
+			data := resp.(*wire.ReadResp).Data
+			if int64(len(data)) != int64(len(batch))*su {
+				return fmt.Errorf("recovery: short unit read from server %d", srv)
+			}
+			for j := range batch {
+				raid.XORInto(accs[int64(j)*su:int64(j+1)*su], data[int64(j)*su:int64(j+1)*su])
+			}
 		}
 		_, err := c.ServerCaller(dead).Call(&wire.WriteParity{
-			File: ref, Stripes: []int64{s}, Data: acc,
+			File: ref, Stripes: batch, Data: accs,
 		})
 		return err
 	})

@@ -1,0 +1,341 @@
+// Dirty-region log — the server half of online incremental resync.
+//
+// While a server is dead, every degraded write records the regions the
+// absentee missed onto its two neighbours (MarkDirty), each of which keeps
+// a durable per-(file, dead-server) log next to the intent journal. When
+// the server returns, recovery dumps both replicas (DirtyDump), replays
+// only the union of their entries, and retires exactly what it read
+// (ClearDirty) — entries re-dirtied by concurrent foreground writes keep a
+// newer generation and survive the clear, so the next resync round picks
+// them up instead of losing them.
+//
+// The log is journaled with the same discipline as the stripe intents:
+// length-prefixed records, fsync per append batch, full rewrite on clear
+// (the log shrinks at exactly the moments it is cheap to rewrite), torn
+// tails ignored at load. A crash-restart of a surviving server therefore
+// preserves the outage's damage records; only a blank replacement disk
+// loses them, which resync detects through the epoch set and answers with
+// a full rebuild.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"csar/internal/storage"
+	"csar/internal/wire"
+)
+
+// dirtyJournalName is the server-wide dirty-region journal on the local
+// backend.
+const dirtyJournalName = "dirty.journal"
+
+// Journal record kinds. Every record carries the outage epoch so the load
+// path can rebuild the epoch set from any record mix.
+const (
+	dirtyKindEpoch    uint8 = iota + 1 // epoch sighting only; value unused
+	dirtyKindUnit                      // data unit owned by the dead server
+	dirtyKindMirror                    // unit whose mirror copy lives on it
+	dirtyKindStripe                    // parity stripe it owns
+	dirtyKindOverflow                  // its overflow stores diverged; value unused
+)
+
+// dirtyRecordLen is the encoded body length of one journal record:
+// kind (1) + file ID (8) + dead server (2) + epoch (8) + value (8).
+const dirtyRecordLen = 1 + 8 + 2 + 8 + 8
+
+// dirtyKey addresses one log: the damage a specific dead server missed for
+// a specific file.
+type dirtyKey struct {
+	file uint64
+	dead uint16
+}
+
+// dirtyLog is the in-memory state of one (file, dead server) log. Each
+// entry remembers the generation of its last MarkDirty; generations are
+// not persisted — after a restart they start over, which only makes a
+// concurrent ClearDirty more conservative (stale generations never match,
+// so entries survive and are replayed again).
+type dirtyLog struct {
+	epochs      map[uint64]struct{}
+	units       map[int64]uint64 // unit -> generation
+	mirrors     map[int64]uint64
+	stripes     map[int64]uint64
+	overflow    bool
+	overflowGen uint64
+	gen         uint64
+}
+
+func newDirtyLog() *dirtyLog {
+	return &dirtyLog{
+		epochs:  make(map[uint64]struct{}),
+		units:   make(map[int64]uint64),
+		mirrors: make(map[int64]uint64),
+		stripes: make(map[int64]uint64),
+	}
+}
+
+func (dl *dirtyLog) empty() bool {
+	return len(dl.units) == 0 && len(dl.mirrors) == 0 && len(dl.stripes) == 0 && !dl.overflow
+}
+
+// dirtyState is the server's dirty-log table plus its journal cursor,
+// guarded by its own mutex (independent of mu/jmu; handlers take only it).
+type dirtyState struct {
+	mu      sync.Mutex
+	logs    map[dirtyKey]*dirtyLog
+	journal storage.File
+	off     int64
+}
+
+func dirtyRecord(e *wire.Encoder, kind uint8, fileID uint64, dead uint16, epoch uint64, val int64) {
+	e.U32(dirtyRecordLen)
+	e.U8(kind)
+	e.U64(fileID)
+	e.U16(dead)
+	e.U64(epoch)
+	e.I64(val)
+}
+
+// loadDirty replays the dirty journal at startup, so a surviving server's
+// damage records outlive its own crash-restarts. The state is rewritten
+// once after load to drop any torn tail.
+func (s *Server) loadDirty() {
+	s.dirty.logs = make(map[dirtyKey]*dirtyLog)
+	f := s.disk.Open(dirtyJournalName)
+	s.dirty.journal = f
+	size := f.Size()
+	if size == 0 {
+		return
+	}
+	buf := make([]byte, size)
+	f.ReadAt(buf, 0) //nolint:errcheck // zero-fill semantics
+	d := wire.Decoder{Buf: buf}
+	torn := false
+	for {
+		n := d.U32()
+		if d.Err() != nil || n != dirtyRecordLen {
+			torn = d.Err() == nil && n != 0 // trailing garbage vs clean end
+			break
+		}
+		kind := d.U8()
+		fileID := d.U64()
+		dead := d.U16()
+		epoch := d.U64()
+		val := d.I64()
+		if d.Err() != nil {
+			torn = true
+			break
+		}
+		k := dirtyKey{fileID, dead}
+		dl := s.dirty.logs[k]
+		if dl == nil {
+			dl = newDirtyLog()
+			s.dirty.logs[k] = dl
+		}
+		dl.epochs[epoch] = struct{}{}
+		dl.gen++
+		switch kind {
+		case dirtyKindUnit:
+			dl.units[val] = dl.gen
+		case dirtyKindMirror:
+			dl.mirrors[val] = dl.gen
+		case dirtyKindStripe:
+			dl.stripes[val] = dl.gen
+		case dirtyKindOverflow:
+			dl.overflow = true
+			dl.overflowGen = dl.gen
+		}
+	}
+	s.dirty.off = size
+	if torn {
+		s.rewriteDirtyLocked()
+	}
+}
+
+// rewriteDirtyLocked compacts the journal to the current state: one epoch
+// record per epoch sighting, one record per live entry. Caller holds
+// dirty.mu.
+func (s *Server) rewriteDirtyLocked() {
+	e := wire.Encoder{Buf: make([]byte, 0, 256)}
+	for k, dl := range s.dirty.logs {
+		// Item records carry an arbitrary member of the epoch set; the
+		// set itself is reconstructed from the dedicated epoch records.
+		var anyEpoch uint64
+		for ep := range dl.epochs {
+			anyEpoch = ep
+			break
+		}
+		for ep := range dl.epochs {
+			dirtyRecord(&e, dirtyKindEpoch, k.file, k.dead, ep, 0)
+		}
+		for v := range dl.units {
+			dirtyRecord(&e, dirtyKindUnit, k.file, k.dead, anyEpoch, v)
+		}
+		for v := range dl.mirrors {
+			dirtyRecord(&e, dirtyKindMirror, k.file, k.dead, anyEpoch, v)
+		}
+		for v := range dl.stripes {
+			dirtyRecord(&e, dirtyKindStripe, k.file, k.dead, anyEpoch, v)
+		}
+		if dl.overflow {
+			dirtyRecord(&e, dirtyKindOverflow, k.file, k.dead, anyEpoch, 0)
+		}
+	}
+	if s.dirty.journal == nil {
+		s.dirty.journal = s.disk.Open(dirtyJournalName)
+	}
+	s.dirty.journal.Truncate(0)
+	if len(e.Buf) > 0 {
+		s.dirty.journal.WriteAt(e.Buf, 0) //nolint:errcheck // local store
+	}
+	s.dirty.off = int64(len(e.Buf))
+	s.dirty.journal.Sync()
+}
+
+// dirtyAppendLocked durably appends an encoded record batch. Caller holds
+// dirty.mu.
+func (s *Server) dirtyAppendLocked(buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	if s.dirty.journal == nil {
+		s.dirty.journal = s.disk.Open(dirtyJournalName)
+		s.dirty.off = s.dirty.journal.Size()
+	}
+	s.dirty.journal.WriteAt(buf, s.dirty.off) //nolint:errcheck // local store
+	s.dirty.off += int64(len(buf))
+	s.dirty.journal.Sync()
+}
+
+// handleMarkDirty merges one degraded write's damage into the log. Every
+// mentioned entry gets a fresh generation even when it is already logged —
+// that is what makes a re-dirty during resync visible to the clear — but
+// only genuinely new entries cost a journal record, so hammering the same
+// region does not grow the log.
+func (s *Server) handleMarkDirty(m *wire.MarkDirty) (wire.Msg, error) {
+	if int(m.Dead) >= int(m.File.Servers) {
+		return nil, fmt.Errorf("server: MarkDirty for server %d of a %d-server layout", m.Dead, m.File.Servers)
+	}
+	k := dirtyKey{m.File.ID, m.Dead}
+	s.dirty.mu.Lock()
+	defer s.dirty.mu.Unlock()
+	dl := s.dirty.logs[k]
+	if dl == nil {
+		dl = newDirtyLog()
+		s.dirty.logs[k] = dl
+	}
+	e := wire.Encoder{Buf: make([]byte, 0, 4 + dirtyRecordLen)}
+	if _, ok := dl.epochs[m.Epoch]; !ok {
+		dl.epochs[m.Epoch] = struct{}{}
+		dirtyRecord(&e, dirtyKindEpoch, k.file, k.dead, m.Epoch, 0)
+	}
+	mark := func(set map[int64]uint64, kind uint8, vals []int64) {
+		for _, v := range vals {
+			dl.gen++
+			if _, ok := set[v]; !ok {
+				dirtyRecord(&e, kind, k.file, k.dead, m.Epoch, v)
+			}
+			set[v] = dl.gen
+		}
+	}
+	mark(dl.units, dirtyKindUnit, m.Units)
+	mark(dl.mirrors, dirtyKindMirror, m.Mirrors)
+	mark(dl.stripes, dirtyKindStripe, m.Stripes)
+	if m.Overflow {
+		dl.gen++
+		if !dl.overflow {
+			dirtyRecord(&e, dirtyKindOverflow, k.file, k.dead, m.Epoch, 0)
+		}
+		dl.overflow = true
+		dl.overflowGen = dl.gen
+	}
+	s.dirtyAppendLocked(e.Buf)
+	return &wire.OK{}, nil
+}
+
+// handleDirtyDump snapshots one log. Lists are sorted so dumps are
+// deterministic; an absent log answers with an empty epoch set, which is
+// how resync distinguishes "nothing happened" from "log present".
+func (s *Server) handleDirtyDump(m *wire.DirtyDump) (wire.Msg, error) {
+	k := dirtyKey{m.File.ID, m.Dead}
+	resp := &wire.DirtyDumpResp{}
+	s.dirty.mu.Lock()
+	defer s.dirty.mu.Unlock()
+	dl := s.dirty.logs[k]
+	if dl == nil {
+		return resp, nil
+	}
+	for ep := range dl.epochs {
+		resp.Epochs = append(resp.Epochs, ep)
+	}
+	sort.Slice(resp.Epochs, func(i, j int) bool { return resp.Epochs[i] < resp.Epochs[j] })
+	items := func(set map[int64]uint64) []wire.DirtyItem {
+		out := make([]wire.DirtyItem, 0, len(set))
+		for v, g := range set {
+			out = append(out, wire.DirtyItem{Val: v, Gen: g})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Val < out[j].Val })
+		return out
+	}
+	resp.Units = items(dl.units)
+	resp.Mirrors = items(dl.mirrors)
+	resp.Stripes = items(dl.stripes)
+	resp.Overflow = dl.overflow
+	resp.OverflowGen = dl.overflowGen
+	return resp, nil
+}
+
+// handleClearDirty retires replayed entries: each one only if its
+// generation still matches the dump it was replayed from. A fully drained
+// log disappears, epochs included — the outage is over. The journal is
+// rewritten rather than appended to, so clears are also compactions.
+func (s *Server) handleClearDirty(m *wire.ClearDirty) (wire.Msg, error) {
+	k := dirtyKey{m.File.ID, m.Dead}
+	s.dirty.mu.Lock()
+	defer s.dirty.mu.Unlock()
+	dl := s.dirty.logs[k]
+	if dl == nil {
+		return &wire.OK{}, nil
+	}
+	if m.All {
+		delete(s.dirty.logs, k)
+		s.rewriteDirtyLocked()
+		return &wire.OK{}, nil
+	}
+	retire := func(set map[int64]uint64, items []wire.DirtyItem) {
+		for _, it := range items {
+			if g, ok := set[it.Val]; ok && g == it.Gen {
+				delete(set, it.Val)
+			}
+		}
+	}
+	retire(dl.units, m.Units)
+	retire(dl.mirrors, m.Mirrors)
+	retire(dl.stripes, m.Stripes)
+	if m.Overflow && dl.overflow && dl.overflowGen == m.OverflowGen {
+		dl.overflow = false
+	}
+	if dl.empty() {
+		delete(s.dirty.logs, k)
+	}
+	s.rewriteDirtyLocked()
+	return &wire.OK{}, nil
+}
+
+// dropFileDirty removes every dirty log of a deleted file.
+func (s *Server) dropFileDirty(fileID uint64) {
+	s.dirty.mu.Lock()
+	defer s.dirty.mu.Unlock()
+	changed := false
+	for k := range s.dirty.logs {
+		if k.file == fileID {
+			delete(s.dirty.logs, k)
+			changed = true
+		}
+	}
+	if changed {
+		s.rewriteDirtyLocked()
+	}
+}

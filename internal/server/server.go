@@ -95,6 +95,10 @@ type Server struct {
 	// owner) not yet adopted by a serverFile record. Guarded by mu.
 	pendingIntents map[uint64]map[int64]uint64
 
+	// Dirty-region logs of outages this server witnessed as a survivor
+	// (see dirty.go). Self-locking; independent of mu and jmu.
+	dirty dirtyState
+
 	intOpened     atomic.Int64
 	intRetired    atomic.Int64
 	intAbandoned  atomic.Int64
@@ -170,6 +174,7 @@ func New(idx int, disk storage.Backend, opts Options) *Server {
 		files: make(map[uint64]*serverFile),
 	}
 	s.loadIntents()
+	s.loadDirty()
 	return s
 }
 
@@ -235,6 +240,12 @@ func (s *Server) Handle(req wire.Msg) (wire.Msg, error) {
 		return s.handleListIntents(m)
 	case *wire.ResolveIntent:
 		return s.handleResolveIntent(m)
+	case *wire.MarkDirty:
+		return s.handleMarkDirty(m)
+	case *wire.DirtyDump:
+		return s.handleDirtyDump(m)
+	case *wire.ClearDirty:
+		return s.handleClearDirty(m)
 	case *wire.Read:
 		return s.handleRead(m)
 	case *wire.WriteData:
@@ -725,6 +736,7 @@ func (s *Server) handleRemoveFile(m *wire.RemoveFile) (wire.Msg, error) {
 			s.disk.Remove(fmt.Sprintf("f%06d.%s", m.File.ID, storeSuffix[k]))
 		}
 	}
+	s.dropFileDirty(m.File.ID)
 	return &wire.OK{}, nil
 }
 

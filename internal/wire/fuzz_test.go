@@ -56,6 +56,12 @@ func fuzzSeeds() []Msg {
 		&ListIntents{File: ref},
 		&ListIntentsResp{Intents: []Intent{{Stripe: 7, Owner: 42, Abandoned: true}, {Stripe: 9, Owner: 43}}},
 		&ResolveIntent{File: ref, Stripe: 7, Owner: 42, Data: []byte{0xAA, 0xBB}},
+		&MarkDirty{File: ref, Dead: 2, Epoch: 99, Units: []int64{2, 7}, Mirrors: []int64{1}, Stripes: []int64{3}, Overflow: true},
+		&MarkDirty{File: ref, Dead: 0, Epoch: 0}, // poison record
+		&DirtyDump{File: ref, Dead: 2},
+		&DirtyDumpResp{Epochs: []uint64{99}, Units: []DirtyItem{{Val: 2, Gen: 1}, {Val: 7, Gen: 3}}, Stripes: []DirtyItem{{Val: 3, Gen: 1}}, Overflow: true, OverflowGen: 2},
+		&ClearDirty{File: ref, Dead: 2, Units: []DirtyItem{{Val: 2, Gen: 1}}, Mirrors: []DirtyItem{{Val: 1, Gen: 1}}, Overflow: true, OverflowGen: 2},
+		&ClearDirty{File: ref, Dead: 2, All: true},
 	}
 }
 

@@ -69,6 +69,10 @@ var registry = map[Kind]func() Msg{
 	KListIntents:        func() Msg { return &ListIntents{} },
 	KListIntentsResp:    func() Msg { return &ListIntentsResp{} },
 	KResolveIntent:      func() Msg { return &ResolveIntent{} },
+	KMarkDirty:          func() Msg { return &MarkDirty{} },
+	KDirtyDump:          func() Msg { return &DirtyDump{} },
+	KDirtyDumpResp:      func() Msg { return &DirtyDumpResp{} },
+	KClearDirty:         func() Msg { return &ClearDirty{} },
 }
 
 func (m *Error) Kind() Kind { return KError }
@@ -215,6 +219,76 @@ func (m *ResolveIntent) decode(d *Decoder) {
 	m.Stripe = d.I64()
 	m.Owner = d.U64()
 	m.Data = d.BytesCopy()
+}
+
+func (m *MarkDirty) Kind() Kind { return KMarkDirty }
+func (m *MarkDirty) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.U16(m.Dead)
+	e.U64(m.Epoch)
+	e.I64s(m.Units)
+	e.I64s(m.Mirrors)
+	e.I64s(m.Stripes)
+	e.Bool(m.Overflow)
+}
+func (m *MarkDirty) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Dead = d.U16()
+	m.Epoch = d.U64()
+	m.Units = d.I64sDec()
+	m.Mirrors = d.I64sDec()
+	m.Stripes = d.I64sDec()
+	m.Overflow = d.Bool()
+}
+
+func (m *DirtyDump) Kind() Kind { return KDirtyDump }
+func (m *DirtyDump) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.U16(m.Dead)
+}
+func (m *DirtyDump) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Dead = d.U16()
+}
+
+func (m *DirtyDumpResp) Kind() Kind { return KDirtyDumpResp }
+func (m *DirtyDumpResp) encode(e *Encoder) {
+	e.U64s(m.Epochs)
+	e.DirtyItems(m.Units)
+	e.DirtyItems(m.Mirrors)
+	e.DirtyItems(m.Stripes)
+	e.Bool(m.Overflow)
+	e.U64(m.OverflowGen)
+}
+func (m *DirtyDumpResp) decode(d *Decoder) {
+	m.Epochs = d.U64sDec()
+	m.Units = d.DirtyItemsDec()
+	m.Mirrors = d.DirtyItemsDec()
+	m.Stripes = d.DirtyItemsDec()
+	m.Overflow = d.Bool()
+	m.OverflowGen = d.U64()
+}
+
+func (m *ClearDirty) Kind() Kind { return KClearDirty }
+func (m *ClearDirty) encode(e *Encoder) {
+	e.FileRef(m.File)
+	e.U16(m.Dead)
+	e.Bool(m.All)
+	e.DirtyItems(m.Units)
+	e.DirtyItems(m.Mirrors)
+	e.DirtyItems(m.Stripes)
+	e.Bool(m.Overflow)
+	e.U64(m.OverflowGen)
+}
+func (m *ClearDirty) decode(d *Decoder) {
+	m.File = d.FileRef()
+	m.Dead = d.U16()
+	m.All = d.Bool()
+	m.Units = d.DirtyItemsDec()
+	m.Mirrors = d.DirtyItemsDec()
+	m.Stripes = d.DirtyItemsDec()
+	m.Overflow = d.Bool()
+	m.OverflowGen = d.U64()
 }
 
 func (m *UnlockParity) Kind() Kind { return KUnlockParity }

@@ -160,6 +160,13 @@ const (
 	KListIntents
 	KListIntentsResp
 	KResolveIntent
+
+	// Online incremental resync: the dirty-region log of an outage
+	// (appended so earlier kinds keep their values).
+	KMarkDirty
+	KDirtyDump
+	KDirtyDumpResp
+	KClearDirty
 )
 
 // Store kinds addressable by ChecksumRange, in the order of
@@ -394,6 +401,84 @@ type ResolveIntent struct {
 	Data   []byte
 }
 
+// MarkDirty records, on a surviving server, which regions a degraded write
+// could not deliver to the dead server — the dirty-region log that lets
+// recovery resynchronize only what the outage actually touched instead of
+// rebuilding every store. Clients send it to the dead server's two
+// neighbours (its mirror partners) before issuing the degraded write
+// itself, so by the time any data lands the damage is already durably
+// logged.
+//
+// Units are stripe units owned by Dead whose in-place bytes it missed;
+// Mirrors are units whose RAID1 mirror copy on Dead is stale; Stripes are
+// parity stripes owned by Dead whose parity it missed; Overflow marks that
+// Dead's overflow or overflow-mirror store diverged (extents appended or
+// invalidated while it was away) and must be reconciled wholesale.
+//
+// Epoch identifies the outage: each client mints a random non-zero epoch at
+// its first degraded write per (file, dead server) and stamps every record
+// with it. A replica that lost its log (blank replacement disk) comes back
+// with a different epoch set than its peer, which resync detects and
+// answers with a full rebuild instead of a silent under-resync. An Epoch of
+// zero is the poison value: the sending client could not replicate some
+// earlier record, so the log must be considered incomplete.
+type MarkDirty struct {
+	File     FileRef
+	Dead     uint16
+	Epoch    uint64
+	Units    []int64
+	Mirrors  []int64
+	Stripes  []int64
+	Overflow bool
+}
+
+// DirtyDump asks a surviving server for its dirty-region log of (File,
+// Dead). Resync snapshots both replicas' logs, replays the union, and
+// clears exactly what it read.
+type DirtyDump struct {
+	File FileRef
+	Dead uint16
+}
+
+// DirtyItem is one logged dirty region (a unit or stripe index) together
+// with the generation at which it was last re-dirtied. Generations make the
+// dump→replay→clear cycle race-free under concurrent foreground writes: a
+// ClearDirty removes an item only if its generation still matches the dump,
+// so a region re-dirtied after the snapshot survives the clear and is
+// replayed in the next round.
+type DirtyItem struct {
+	Val int64
+	Gen uint64
+}
+
+// DirtyDumpResp is a surviving server's dirty-region log for one (file,
+// dead server) pair. An empty Epochs means the server holds no log at all.
+type DirtyDumpResp struct {
+	Epochs      []uint64
+	Units       []DirtyItem
+	Mirrors     []DirtyItem
+	Stripes     []DirtyItem
+	Overflow    bool
+	OverflowGen uint64
+}
+
+// ClearDirty retires replayed entries from a dirty-region log. With All
+// set the whole (File, Dead) log is dropped regardless of generations —
+// the full-rebuild fallback's unconditional clear. Otherwise each listed
+// item is removed only if its generation still matches, and the Overflow
+// flag only if OverflowGen matches; entries re-dirtied since the dump stay
+// logged. A log whose last entry is cleared disappears, epochs included.
+type ClearDirty struct {
+	File        FileRef
+	Dead        uint16
+	All         bool
+	Units       []DirtyItem
+	Mirrors     []DirtyItem
+	Stripes     []DirtyItem
+	Overflow    bool
+	OverflowGen uint64
+}
+
 // Health asks a server for a liveness/health report; the client's circuit
 // breaker probes with it before re-admitting a server.
 type Health struct{}
@@ -603,6 +688,21 @@ func (e *Encoder) I64s(v []int64) {
 	}
 }
 
+func (e *Encoder) U64s(v []uint64) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.U64(x)
+	}
+}
+
+func (e *Encoder) DirtyItems(v []DirtyItem) {
+	e.U32(uint32(len(v)))
+	for _, it := range v {
+		e.I64(it.Val)
+		e.U64(it.Gen)
+	}
+}
+
 func (e *Encoder) Strs(v []string) {
 	e.U32(uint32(len(v)))
 	for _, s := range v {
@@ -718,6 +818,33 @@ func (d *Decoder) U32sDec() []uint32 {
 	v := make([]uint32, n)
 	for i := range v {
 		v[i] = d.U32()
+	}
+	return v
+}
+
+func (d *Decoder) U64sDec() []uint64 {
+	n := int(d.U32())
+	if d.err != nil || n < 0 || n > len(d.Buf) {
+		d.fail()
+		return nil
+	}
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = d.U64()
+	}
+	return v
+}
+
+func (d *Decoder) DirtyItemsDec() []DirtyItem {
+	n := int(d.U32())
+	if d.err != nil || n < 0 || n > len(d.Buf) {
+		d.fail()
+		return nil
+	}
+	v := make([]DirtyItem, n)
+	for i := range v {
+		v[i].Val = d.I64()
+		v[i].Gen = d.U64()
 	}
 	return v
 }

@@ -2,10 +2,12 @@ package csar_test
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"time"
 
 	"csar"
+	"csar/internal/client"
 	"csar/internal/cluster"
 	"csar/internal/wire"
 )
@@ -100,6 +102,87 @@ func TestMetricsCompaction(t *testing.T) {
 	}
 	if m := cl.Metrics(); m.Compactions != 1 {
 		t.Fatalf("compactions=%d", m.Compactions)
+	}
+}
+
+// TestMetricsResyncCounters drives the dirty-log/resync machinery through
+// the public API and checks its four counters: DirtyUnits (damage logged by
+// degraded writes), ResyncedUnits (items replayed), ResyncForwards (writes
+// forwarded behind the sync-point cursor), and FullRebuildFallbacks (resyncs
+// that could not trust the log).
+func TestMetricsResyncCounters(t *testing.T) {
+	c := newTestCluster(t, 5)
+	cl := c.NewClient()
+	f, err := cl.Create("r", csar.FileOptions{Scheme: csar.Raid5, StripeUnit: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 8192), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const dead = 2
+	c.StopServer(dead)
+	cl.MarkDown(dead)
+	if _, err := f.WriteAt(make([]byte, 256), 0); err != nil {
+		t.Fatal(err)
+	}
+	if m := cl.Metrics(); m.DirtyUnits == 0 {
+		t.Fatalf("DirtyUnits = 0 after a degraded write: %+v", m)
+	}
+	c.RestartServer(dead)
+
+	// A write behind the sync-point cursor is forwarded, not re-logged.
+	ic := cl.InternalClient()
+	ref := f.Internal().Ref()
+	ic.BeginResync(ref.ID, dead)
+	ic.AdvanceResyncCursor(ref.ID, dead, math.MaxInt64)
+	if _, err := f.WriteAt(make([]byte, 256), 1024); err != nil {
+		t.Fatal(err)
+	}
+	ic.EndResync(ref.ID, dead)
+	if m := cl.Metrics(); m.ResyncForwards != 1 {
+		t.Fatalf("ResyncForwards = %d, want 1", m.ResyncForwards)
+	}
+
+	rep, err := cl.Resync(f, dead, csar.ResyncOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cl.Metrics()
+	if m.ResyncedUnits == 0 || m.ResyncedUnits != rep.Items() {
+		t.Fatalf("ResyncedUnits = %d, report items = %d", m.ResyncedUnits, rep.Items())
+	}
+	if m.FullRebuildFallbacks != 0 {
+		t.Fatalf("FullRebuildFallbacks = %d before any fallback", m.FullRebuildFallbacks)
+	}
+	cl.MarkUp(dead)
+
+	// Wipe one replica's log mid-outage: the next resync cannot trust the
+	// epochs and must fall back to a full rebuild.
+	c.StopServer(dead)
+	cl.MarkDown(dead)
+	if _, err := f.WriteAt(make([]byte, 256), 0); err != nil {
+		t.Fatal(err)
+	}
+	c.RestartServer(dead)
+	r := client.DirtyReplicas(c.Servers(), dead)[0]
+	if _, err := c.Internal().Server(r).Handle(&wire.ClearDirty{File: ref, Dead: uint16(dead), All: true}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = cl.Resync(f, dead, csar.ResyncOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullRebuild {
+		t.Fatalf("resync with a wiped replica did not fall back: %+v", rep)
+	}
+	if m := cl.Metrics(); m.FullRebuildFallbacks != 1 {
+		t.Fatalf("FullRebuildFallbacks = %d, want 1", m.FullRebuildFallbacks)
+	}
+	cl.MarkUp(dead)
+	if problems, err := cl.Verify(f); err != nil || len(problems) != 0 {
+		t.Fatalf("verify: %v %v", problems, err)
 	}
 }
 
