@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz-seeds faults crash resync staticcheck ci
+.PHONY: build vet test race fuzz-seeds faults crash resync obs staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,16 @@ resync:
 	$(GO) test -race -count=2 -run 'TestResync|TestDirtyLog|TestRebuildAbort' ./internal/cluster
 	$(GO) test -race -count=2 -run 'TestMetricsResyncCounters' .
 
+# The observability suite: the lock-free histogram's concurrency property
+# test under the race detector, the metrics/snapshot drift check, the
+# /metrics + /statusz endpoint tests, and the live-cluster stats and
+# fd-leak regressions over real TCP.
+obs:
+	$(GO) test -race ./internal/obs
+	$(GO) test -race -run 'TestMetricsSnapshotDrift' ./internal/client
+	$(GO) test -race -run 'TestDialCloseNoFDLeak|TestStatsOverLiveCluster' .
+	$(GO) test -race ./cmd/csar
+
 # Static analysis beyond go vet, when the tool is installed (CI images
 # that lack it skip the target rather than fail it — nothing is
 # downloaded at build time).
@@ -53,4 +63,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-ci: vet staticcheck build race fuzz-seeds faults crash resync
+ci: vet staticcheck build race fuzz-seeds faults crash resync obs

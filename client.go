@@ -6,6 +6,7 @@ import (
 
 	"csar/internal/client"
 	"csar/internal/cluster"
+	"csar/internal/obs"
 	"csar/internal/recovery"
 	"csar/internal/scrub"
 	"csar/internal/wire"
@@ -203,6 +204,42 @@ type Metrics = client.Metrics
 
 // Metrics returns the client's operation counters.
 func (c *Client) Metrics() Metrics { return c.inner.Metrics() }
+
+// Stats is a snapshot of an observability registry: named counters, gauges,
+// and latency histograms with count/sum/max and quantile estimation.
+type Stats = obs.Snapshot
+
+// KV is one named counter or gauge value inside a Stats snapshot.
+type KV = obs.KV
+
+// ServerStats is one I/O server's observability dump, fetched over the
+// Stats RPC: request totals, counters (bytes in/out, errors, slow ops),
+// gauges (locks held, live intents, dirty-log entries), and per-RPC-kind
+// latency histograms. Requests < 0 marks a server that did not answer.
+type ServerStats = wire.StatsResp
+
+// Stats snapshots this client's latency histograms and counters: per-op
+// latencies (op_read, op_write and its per-path splits), per-RPC-kind
+// latencies, parity-lock wait, and pass timings.
+func (c *Client) Stats() Stats { return c.inner.Stats() }
+
+// ServerStats collects every I/O server's observability snapshot over the
+// Stats RPC. Unreachable servers yield a marker entry (Requests < 0)
+// rather than an error, so a degraded cluster can still be inspected.
+func (c *Client) ServerStats() []ServerStats { return c.inner.ServerStats() }
+
+// StatsOfServer converts one server's Stats reply into a Stats snapshot so
+// it can be merged and rendered with the same code as client snapshots.
+func StatsOfServer(sr ServerStats) Stats { return client.SnapOfStatsResp(sr) }
+
+// MergeStats sums same-name counters, gauges, and histograms across
+// snapshots — e.g. one Stats view over several clients or servers.
+func MergeStats(snaps ...Stats) Stats { return obs.Merge(snaps...) }
+
+// Close releases the client's network connections (every I/O server plus
+// the manager). Programs that Dial in a loop must Close each client or leak
+// descriptors.
+func (c *Client) Close() error { return c.inner.Close() }
 
 // File is an open CSAR file. Reads and writes may be issued concurrently;
 // as in PVFS, concurrent writers to non-overlapping regions are consistent

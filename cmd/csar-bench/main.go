@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,11 +24,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment to run (see -list), or 'all'")
-		list  = flag.Bool("list", false, "list available experiments")
-		div   = flag.Int64("div", 16, "divide paper-scale data sizes by this factor")
-		scale = flag.Duration("scale", 2*time.Second, "wall-clock duration of one simulated second")
-		iods  = flag.Int("servers", 8, "maximum number of I/O servers")
+		exp      = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		div      = flag.Int64("div", 16, "divide paper-scale data sizes by this factor")
+		scale    = flag.Duration("scale", 2*time.Second, "wall-clock duration of one simulated second")
+		iods     = flag.Int("servers", 8, "maximum number of I/O servers")
+		jsonPath = flag.String("json", "", "also write machine-readable results (bandwidth + op latency percentiles) to this file")
 	)
 	flag.Parse()
 
@@ -44,10 +46,26 @@ func main() {
 	}
 
 	cfg := bench.Config{Scale: *scale, SizeDiv: *div, MaxServers: *iods}
+	if *jsonPath != "" {
+		cfg.Results = &bench.Results{SchemaVersion: bench.ResultsSchemaVersion}
+	}
 	start := time.Now()
 	if err := bench.Run(*exp, cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "csar-bench:", err)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(cfg.Results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csar-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "csar-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d result points to %s (schema v%d)\n",
+			len(cfg.Results.Points), *jsonPath, bench.ResultsSchemaVersion)
 	}
 	fmt.Printf("\n(%s in %.1fs wall; sizes 1/%d of paper scale, 1 sim-s = %v wall)\n",
 		*exp, time.Since(start).Seconds(), *div, *scale)

@@ -7,6 +7,12 @@
 // paper), surviving restarts; without it, contents live in memory and the
 // redundancy on the other servers is what protects them.
 // See csar-mgr for deployment wiring.
+//
+// Observability: -debug-addr starts an HTTP listener serving Prometheus
+// /metrics, /debug/pprof/*, and a JSON /statusz. It is off by default and
+// unauthenticated — bind it to localhost (see DESIGN.md, "Observability").
+// -slow-op logs every request that exceeds the threshold, with its
+// client-minted trace ID for correlation.
 package main
 
 import (
@@ -14,7 +20,9 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
+	"csar/internal/obs"
 	"csar/internal/rpc"
 	"csar/internal/server"
 	"csar/internal/simdisk"
@@ -23,11 +31,13 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":7101", "address to listen on")
-		index    = flag.Int("index", -1, "this server's position in the stripe layout (0-based)")
-		pageSize = flag.Int("pagesize", 4096, "local block size in bytes")
-		writeBuf = flag.Bool("writebuf", true, "enable Section 5.2 write buffering")
-		storeDir = flag.String("store", "", "directory for durable storage (default: in-memory)")
+		listen    = flag.String("listen", ":7101", "address to listen on")
+		index     = flag.Int("index", -1, "this server's position in the stripe layout (0-based)")
+		pageSize  = flag.Int("pagesize", 4096, "local block size in bytes")
+		writeBuf  = flag.Bool("writebuf", true, "enable Section 5.2 write buffering")
+		storeDir  = flag.String("store", "", "directory for durable storage (default: in-memory)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /statusz and /debug/pprof on this address (default: off; unauthenticated — bind to localhost)")
+		slowOp    = flag.Duration("slow-op", 0, "log requests slower than this, with their trace IDs (0 disables)")
 	)
 	flag.Parse()
 
@@ -48,7 +58,23 @@ func main() {
 	opts := server.DefaultOptions()
 	opts.WriteBuffering = *writeBuf
 	opts.PageSize = *pageSize
+	opts.SlowOp = *slowOp
 	srv := server.New(*index, backend, opts)
+
+	if *debugAddr != "" {
+		startedAt := time.Now()
+		closer, err := obs.ServeDebug(*debugAddr, srv.Obs(), func() map[string]any {
+			return map[string]any{
+				"index":          *index,
+				"uptime_seconds": int64(time.Since(startedAt).Seconds()),
+			}
+		})
+		if err != nil {
+			log.Fatalf("csar-iod: debug listener: %v", err)
+		}
+		defer closer.Close() //nolint:errcheck
+		fmt.Printf("csar-iod: debug endpoints on http://%s/metrics\n", *debugAddr)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -60,6 +86,6 @@ func main() {
 		if err != nil {
 			log.Fatalf("csar-iod: accept: %v", err)
 		}
-		go rpc.ServeConn(conn, srv.Handle, nil, nil) //nolint:errcheck
+		go rpc.ServeConnTraced(conn, srv.HandleTraced, nil, nil) //nolint:errcheck
 	}
 }

@@ -10,6 +10,10 @@
 //	csar-mgr -listen :7100 -iods localhost:7101,localhost:7102,localhost:7103
 //
 // Clients reach it with csar.Dial("localhost:7100") or the csar CLI.
+//
+// Observability: -debug-addr starts an HTTP listener serving Prometheus
+// /metrics, /debug/pprof/*, and a JSON /statusz. It is off by default and
+// unauthenticated — bind it to localhost (see DESIGN.md, "Observability").
 package main
 
 import (
@@ -22,7 +26,9 @@ import (
 
 	"csar"
 	"csar/internal/meta"
+	"csar/internal/obs"
 	"csar/internal/rpc"
+	"csar/internal/wire"
 )
 
 func main() {
@@ -30,6 +36,7 @@ func main() {
 		listen          = flag.String("listen", ":7100", "address to listen on")
 		iods            = flag.String("iods", "", "comma-separated I/O server addresses, in index order")
 		metaDB          = flag.String("meta", "", "metadata snapshot file for durable metadata (default: in-memory)")
+		debugAddr       = flag.String("debug-addr", "", "serve /metrics, /statusz and /debug/pprof on this address (default: off; unauthenticated — bind to localhost)")
 		scrubEvery      = flag.Duration("scrub-every", 0, "period of the background integrity scrub over all files (0 = disabled)")
 		scrubRate       = flag.Float64("scrub-rate", 0, "scrub I/O rate limit in bytes/sec per pass (0 = unlimited)")
 		scrubRepairData = flag.Bool("scrub-repair-data", false, "let the background scrub overwrite primary data when evidence says it is the corrupt copy")
@@ -75,6 +82,28 @@ func main() {
 		log.Fatalf("csar-mgr: %v", err)
 	}
 	fmt.Printf("csar-mgr: serving metadata on %s for %d I/O servers\n", ln.Addr(), len(addrs))
+
+	reg := obs.NewRegistry()
+	reqs := reg.Counter("requests")
+	handle := func(req wire.Msg) (wire.Msg, error) {
+		reqs.Add(1)
+		return m.Handle(req)
+	}
+	if *debugAddr != "" {
+		startedAt := time.Now()
+		closer, err := obs.ServeDebug(*debugAddr, reg, func() map[string]any {
+			return map[string]any{
+				"iods":           len(addrs),
+				"uptime_seconds": int64(time.Since(startedAt).Seconds()),
+			}
+		})
+		if err != nil {
+			log.Fatalf("csar-mgr: debug listener: %v", err)
+		}
+		defer closer.Close() //nolint:errcheck
+		fmt.Printf("csar-mgr: debug endpoints on http://%s/metrics\n", *debugAddr)
+	}
+
 	pol := def
 	pol.CallTimeout = *callTimeout
 	pol.Retries = *retries
@@ -85,139 +114,148 @@ func main() {
 	pol.LeaseRenewEvery = *leaseRenew
 	if *scrubEvery > 0 {
 		fmt.Printf("csar-mgr: background scrub every %v\n", *scrubEvery)
-		go scrubLoop(ln.Addr().String(), *scrubEvery, *scrubRate, *scrubRepairData, pol)
+		go func() {
+			journals := make(map[string]*csar.ScrubJournal)
+			for range time.Tick(*scrubEvery) {
+				scrubPass(ln.Addr().String(), journals, *scrubRate, *scrubRepairData, pol)
+			}
+		}()
 	}
 	if *resyncEvery > 0 {
 		fmt.Printf("csar-mgr: recovery loop every %v\n", *resyncEvery)
-		go resyncLoop(ln.Addr().String(), *resyncEvery, *resyncRate, *resyncDry, pol)
+		go func() {
+			for range time.Tick(*resyncEvery) {
+				resyncPass(ln.Addr().String(), *resyncRate, *resyncDry, pol)
+			}
+		}()
 	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			log.Fatalf("csar-mgr: accept: %v", err)
 		}
-		go rpc.ServeConn(conn, m.Handle, nil, nil) //nolint:errcheck
+		go rpc.ServeConn(conn, handle, nil, nil) //nolint:errcheck
 	}
 }
 
-// scrubLoop periodically scrubs every file through a client of this very
-// deployment, keeping one checksum journal per file so repeated passes can
-// attribute corruption to the right copy.
-func scrubLoop(addr string, every time.Duration, rate float64, repairData bool, pol csar.Policy) {
-	journals := make(map[string]*csar.ScrubJournal)
-	for range time.Tick(every) {
-		cl, err := csar.Dial(addr)
+// scrubPass runs one background scrub over every file through a short-lived
+// client of this very deployment, keeping one checksum journal per file so
+// repeated passes can attribute corruption to the right copy. The client is
+// closed on every return path: the loop used to leak one set of server
+// connections per tick, which on a long-lived manager exhausts descriptors.
+func scrubPass(addr string, journals map[string]*csar.ScrubJournal, rate float64, repairData bool, pol csar.Policy) {
+	cl, err := csar.Dial(addr)
+	if err != nil {
+		log.Printf("csar-mgr: scrub: dial: %v", err)
+		return
+	}
+	defer cl.Close() //nolint:errcheck
+	cl.SetResilience(pol)
+	names, err := cl.List()
+	if err != nil {
+		log.Printf("csar-mgr: scrub: list: %v", err)
+		return
+	}
+	live := make(map[string]bool, len(names))
+	for _, name := range names {
+		live[name] = true
+		f, err := cl.Open(name)
 		if err != nil {
-			log.Printf("csar-mgr: scrub: dial: %v", err)
+			log.Printf("csar-mgr: scrub %s: %v", name, err)
 			continue
 		}
-		cl.SetResilience(pol)
-		names, err := cl.List()
+		j := journals[name]
+		if j == nil {
+			j = csar.NewScrubJournal()
+			journals[name] = j
+		}
+		// Replay abandoned stripe intents first: a stripe fail-stopped
+		// by a crashed writer would otherwise be skipped by the scrub
+		// (it must not "repair" parity that replay still needs).
+		if rr, err := cl.ReplayIntents(f); err != nil {
+			log.Printf("csar-mgr: replay %s: %v", name, err)
+		} else if rr.Replayed > 0 || len(rr.Problems) > 0 {
+			log.Printf("csar-mgr: replay %s: %d stripes reconciled, %d deferred %v",
+				name, rr.Replayed, rr.Skipped, rr.Problems)
+		}
+		rep, err := cl.Scrub(f, csar.ScrubOptions{
+			RateLimit: rate, RepairData: repairData, Journal: j,
+		})
 		if err != nil {
-			log.Printf("csar-mgr: scrub: list: %v", err)
+			log.Printf("csar-mgr: scrub %s: %v", name, err)
 			continue
 		}
-		live := make(map[string]bool, len(names))
-		for _, name := range names {
-			live[name] = true
-			f, err := cl.Open(name)
-			if err != nil {
-				log.Printf("csar-mgr: scrub %s: %v", name, err)
-				continue
-			}
-			j := journals[name]
-			if j == nil {
-				j = csar.NewScrubJournal()
-				journals[name] = j
-			}
-			// Replay abandoned stripe intents first: a stripe fail-stopped
-			// by a crashed writer would otherwise be skipped by the scrub
-			// (it must not "repair" parity that replay still needs).
-			if rr, err := cl.ReplayIntents(f); err != nil {
-				log.Printf("csar-mgr: replay %s: %v", name, err)
-			} else if rr.Replayed > 0 || len(rr.Problems) > 0 {
-				log.Printf("csar-mgr: replay %s: %d stripes reconciled, %d deferred %v",
-					name, rr.Replayed, rr.Skipped, rr.Problems)
-			}
-			rep, err := cl.Scrub(f, csar.ScrubOptions{
-				RateLimit: rate, RepairData: repairData, Journal: j,
-			})
-			if err != nil {
-				log.Printf("csar-mgr: scrub %s: %v", name, err)
-				continue
-			}
-			if !rep.Clean() {
-				log.Printf("csar-mgr: scrub %s: %v", name, rep)
-				for _, p := range rep.Problems {
-					log.Printf("csar-mgr: scrub %s: %s", name, p)
-				}
+		if !rep.Clean() {
+			log.Printf("csar-mgr: scrub %s: %v", name, rep)
+			for _, p := range rep.Problems {
+				log.Printf("csar-mgr: scrub %s: %s", name, p)
 			}
 		}
-		for name := range journals {
-			if !live[name] {
-				delete(journals, name)
-			}
+	}
+	for name := range journals {
+		if !live[name] {
+			delete(journals, name)
 		}
 	}
 }
 
-// resyncLoop is the automatic re-admission path: each tick it asks the
+// resyncPass is one tick of the automatic re-admission path: it asks the
 // surviving servers which peers hold un-replayed degraded writes (the
 // dirty-region logs), health-probes those peers, and resyncs each one that
 // has come back — replaying only the damaged regions, or falling back to a
-// full rebuild when the log cannot be trusted — then re-admits it.
-func resyncLoop(addr string, every time.Duration, rate float64, dry bool, pol csar.Policy) {
-	for range time.Tick(every) {
-		cl, err := csar.Dial(addr)
+// full rebuild when the log cannot be trusted — then re-admits it. Like
+// scrubPass, it closes its client on every path.
+func resyncPass(addr string, rate float64, dry bool, pol csar.Policy) {
+	cl, err := csar.Dial(addr)
+	if err != nil {
+		log.Printf("csar-mgr: resync: dial: %v", err)
+		return
+	}
+	defer cl.Close() //nolint:errcheck
+	cl.SetResilience(pol)
+	names, err := cl.List()
+	if err != nil {
+		log.Printf("csar-mgr: resync: list: %v", err)
+		return
+	}
+	for _, name := range names {
+		f, err := cl.Open(name)
 		if err != nil {
-			log.Printf("csar-mgr: resync: dial: %v", err)
+			log.Printf("csar-mgr: resync %s: %v", name, err)
 			continue
 		}
-		cl.SetResilience(pol)
-		names, err := cl.List()
-		if err != nil {
-			log.Printf("csar-mgr: resync: list: %v", err)
-			continue
-		}
-		for _, name := range names {
-			f, err := cl.Open(name)
-			if err != nil {
-				log.Printf("csar-mgr: resync %s: %v", name, err)
+		for _, dead := range cl.DirtyServers(f) {
+			if !cl.ServerHealthy(dead) {
+				continue // still out; leave the dirty log growing
+			}
+			if dry {
+				rep, err := cl.Resync(f, dead, csar.ResyncOptions{RateLimit: rate, DryRun: true})
+				if err != nil {
+					log.Printf("csar-mgr: resync %s server %d (dry): %v", name, dead, err)
+					continue
+				}
+				log.Printf("csar-mgr: resync %s server %d (dry): would replay %d units, %d mirrors, %d stripes (full rebuild: %v)",
+					name, dead, rep.Units, rep.Mirrors, rep.Stripes, rep.FullRebuild)
 				continue
 			}
-			for _, dead := range cl.DirtyServers(f) {
-				if !cl.ServerHealthy(dead) {
-					continue // still out; leave the dirty log growing
-				}
-				if dry {
-					rep, err := cl.Resync(f, dead, csar.ResyncOptions{RateLimit: rate, DryRun: true})
-					if err != nil {
-						log.Printf("csar-mgr: resync %s server %d (dry): %v", name, dead, err)
-						continue
-					}
-					log.Printf("csar-mgr: resync %s server %d (dry): would replay %d units, %d mirrors, %d stripes (full rebuild: %v)",
-						name, dead, rep.Units, rep.Mirrors, rep.Stripes, rep.FullRebuild)
-					continue
-				}
-				// Plan around the stale server while we replay: its data
-				// is out of date until the resync finishes.
-				cl.MarkDown(dead)
-				rep, err := cl.Resync(f, dead, csar.ResyncOptions{RateLimit: rate})
-				if err != nil {
-					// ErrResyncAborted leaves the dirty log intact; the
-					// next tick re-runs and converges.
-					log.Printf("csar-mgr: resync %s server %d: %v", name, dead, err)
-					continue
-				}
-				cl.MarkUp(dead)
-				if rep.FullRebuild {
-					log.Printf("csar-mgr: resync %s server %d: dirty log untrusted, full rebuild done; re-admitted",
-						name, dead)
-					continue
-				}
-				log.Printf("csar-mgr: resync %s server %d: %d units, %d mirrors, %d stripes, %d overflow bytes in %d rounds; re-admitted",
-					name, dead, rep.Units, rep.Mirrors, rep.Stripes, rep.OverflowBytes, rep.Rounds)
+			// Plan around the stale server while we replay: its data
+			// is out of date until the resync finishes.
+			cl.MarkDown(dead)
+			rep, err := cl.Resync(f, dead, csar.ResyncOptions{RateLimit: rate})
+			if err != nil {
+				// ErrResyncAborted leaves the dirty log intact; the
+				// next tick re-runs and converges.
+				log.Printf("csar-mgr: resync %s server %d: %v", name, dead, err)
+				continue
 			}
+			cl.MarkUp(dead)
+			if rep.FullRebuild {
+				log.Printf("csar-mgr: resync %s server %d: dirty log untrusted, full rebuild done; re-admitted",
+					name, dead)
+				continue
+			}
+			log.Printf("csar-mgr: resync %s server %d: %d units, %d mirrors, %d stripes, %d overflow bytes in %d rounds; re-admitted",
+				name, dead, rep.Units, rep.Mirrors, rep.Stripes, rep.OverflowBytes, rep.Rounds)
 		}
 	}
 }

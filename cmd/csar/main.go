@@ -14,6 +14,9 @@
 //	rm <name>                  remove a file
 //	df                         per-server and total storage in use
 //	stat <name>                show size, scheme and per-store storage
+//	stats                      client + per-server observability dump:
+//	                           request counts, store gauges, latency
+//	                           histograms (p50/p95/p99)
 //	verify <name>              check redundancy invariants (fsck)
 //	scrub <name>               verify and repair redundancy online
 //	                           (-scrub-rate, -repair-data)
@@ -22,6 +25,10 @@
 //	resync <name> <server>     replay only the regions degraded writes
 //	                           damaged onto a returned server, then
 //	                           re-admit it (-resync-rate, -resync-dry-run)
+//
+// Exit status: 0 on success; 1 when the operation failed (unreachable
+// manager or servers, I/O error, unrepairable or inconsistent redundancy),
+// with a one-line cause on stderr; 2 on usage errors.
 package main
 
 import (
@@ -35,34 +42,55 @@ import (
 )
 
 func main() {
-	def := csar.DefaultPolicy()
-	var (
-		mgr        = flag.String("mgr", "localhost:7100", "manager address")
-		scheme     = flag.String("scheme", "hybrid", "redundancy scheme for create/put")
-		servers    = flag.Int("servers", 0, "servers to stripe over (0 = all)")
-		su         = flag.Int64("su", csar.DefaultStripeUnit, "stripe unit in bytes")
-		scrubRate  = flag.Float64("scrub-rate", 0, "scrub I/O rate limit in bytes/sec (0 = unlimited)")
-		repairData = flag.Bool("repair-data", false, "let scrub overwrite primary data when evidence says it is the corrupt copy")
-		resyncRate = flag.Float64("resync-rate", 0, "resync replay I/O rate limit in bytes/sec (0 = unlimited)")
-		resyncDry  = flag.Bool("resync-dry-run", false, "report what resync would replay without writing")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-		callTimeout = flag.Duration("call-timeout", def.CallTimeout, "per-RPC deadline (0 = none)")
-		retries     = flag.Int("retries", def.Retries, "retry attempts for idempotent RPCs after the first try")
-		backoff     = flag.Duration("retry-backoff", def.BackoffBase, "base retry backoff, doubled per attempt")
-		breakerAt   = flag.Int("breaker-failures", def.BreakerThreshold, "consecutive failures that open a server's circuit breaker (0 = breaker off)")
-		probeAfter  = flag.Duration("probe-after", def.ProbeAfter, "how long an open breaker waits before probing the server")
+// run is the whole CLI with main's side effects abstracted away: argv
+// without the program name, the two output streams, and the exit code as
+// the return value — so tests can drive every command and assert on codes.
+func run(argv []string, stdout, stderr io.Writer) int {
+	def := csar.DefaultPolicy()
+	fs := flag.NewFlagSet("csar", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		mgr        = fs.String("mgr", "localhost:7100", "manager address")
+		scheme     = fs.String("scheme", "hybrid", "redundancy scheme for create/put")
+		servers    = fs.Int("servers", 0, "servers to stripe over (0 = all)")
+		su         = fs.Int64("su", csar.DefaultStripeUnit, "stripe unit in bytes")
+		scrubRate  = fs.Float64("scrub-rate", 0, "scrub I/O rate limit in bytes/sec (0 = unlimited)")
+		repairData = fs.Bool("repair-data", false, "let scrub overwrite primary data when evidence says it is the corrupt copy")
+		resyncRate = fs.Float64("resync-rate", 0, "resync replay I/O rate limit in bytes/sec (0 = unlimited)")
+		resyncDry  = fs.Bool("resync-dry-run", false, "report what resync would replay without writing")
+
+		callTimeout = fs.Duration("call-timeout", def.CallTimeout, "per-RPC deadline (0 = none)")
+		retries     = fs.Int("retries", def.Retries, "retry attempts for idempotent RPCs after the first try")
+		backoff     = fs.Duration("retry-backoff", def.BackoffBase, "base retry backoff, doubled per attempt")
+		breakerAt   = fs.Int("breaker-failures", def.BreakerThreshold, "consecutive failures that open a server's circuit breaker (0 = breaker off)")
+		probeAfter  = fs.Duration("probe-after", def.ProbeAfter, "how long an open breaker waits before probing the server")
 	)
-	flag.Parse()
-	args := flag.Args()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	args := fs.Args()
 	if len(args) == 0 {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "csar:", err)
+		return 1
+	}
+	usage := func(u string) int {
+		fmt.Fprintf(stderr, "usage: csar %s\n", u)
+		return 2
 	}
 
 	cl, err := csar.Dial(*mgr)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
+	defer cl.Close() //nolint:errcheck
 	pol := def
 	pol.CallTimeout = *callTimeout
 	pol.Retries = *retries
@@ -73,7 +101,7 @@ func main() {
 
 	sch, err := csar.ParseScheme(*scheme)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	opts := csar.FileOptions{Servers: *servers, StripeUnit: *su, Scheme: sch}
 
@@ -81,177 +109,271 @@ func main() {
 	case "ls":
 		names, err := cl.List()
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		for _, n := range names {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
 	case "create":
-		need(rest, 1, "create <name>")
+		if len(rest) < 1 {
+			return usage("create <name>")
+		}
 		if _, err := cl.Create(rest[0], opts); err != nil {
-			fail(err)
+			return fail(err)
 		}
 	case "put":
-		need(rest, 2, "put <local> <name>")
+		if len(rest) < 2 {
+			return usage("put <local> <name>")
+		}
 		data, err := os.ReadFile(rest[0])
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		f, err := cl.Create(rest[1], opts)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if _, err := f.WriteAt(data, 0); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := f.Sync(); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Printf("wrote %d bytes to %s (%v)\n", len(data), rest[1], sch)
+		fmt.Fprintf(stdout, "wrote %d bytes to %s (%v)\n", len(data), rest[1], sch)
 	case "get", "cat":
-		need(rest, map[string]int{"get": 2, "cat": 1}[cmd], cmd+" <name> [local]")
+		if len(rest) < map[string]int{"get": 2, "cat": 1}[cmd] {
+			return usage(cmd + " <name> [local]")
+		}
 		f, err := cl.Open(rest[0])
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		buf := make([]byte, f.Size())
 		if _, err := f.ReadAt(buf, 0); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		var out io.Writer = os.Stdout
-		if cmd == "get" {
-			fh, err := os.Create(rest[1])
-			if err != nil {
-				fail(err)
+		if cmd == "cat" {
+			if _, err := stdout.Write(buf); err != nil {
+				return fail(err)
 			}
-			defer fh.Close()
-			out = fh
+			break
 		}
-		if _, err := out.Write(buf); err != nil {
-			fail(err)
+		fh, err := os.Create(rest[1])
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := fh.Write(buf); err != nil {
+			fh.Close() //nolint:errcheck // the write error is the cause
+			return fail(err)
+		}
+		// Close errors are real data-loss (deferred flush on a full disk):
+		// they must fail the command, not vanish in a defer.
+		if err := fh.Close(); err != nil {
+			return fail(err)
 		}
 	case "rm":
-		need(rest, 1, "rm <name>")
+		if len(rest) < 1 {
+			return usage("rm <name>")
+		}
 		if err := cl.Remove(rest[0]); err != nil {
-			fail(err)
+			return fail(err)
 		}
 	case "df":
 		totals, err := cl.StorageTotals()
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		var sum int64
 		for i, n := range totals {
-			fmt.Printf("iod %-3d %12d bytes\n", i, n)
+			fmt.Fprintf(stdout, "iod %-3d %12d bytes\n", i, n)
 			sum += n
 		}
-		fmt.Printf("total   %12d bytes\n", sum)
+		fmt.Fprintf(stdout, "total   %12d bytes\n", sum)
 	case "stat":
-		need(rest, 1, "stat <name>")
+		if len(rest) < 1 {
+			return usage("stat <name>")
+		}
 		f, err := cl.Open(rest[0])
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		total, by, err := f.StorageBytes()
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Printf("name:    %s\nsize:    %d bytes\nscheme:  %v\n", rest[0], f.Size(), f.Scheme())
-		fmt.Printf("storage: %d bytes total (data %d, mirror %d, parity %d, overflow %d, ov-mirror %d)\n",
+		fmt.Fprintf(stdout, "name:    %s\nsize:    %d bytes\nscheme:  %v\n", rest[0], f.Size(), f.Scheme())
+		fmt.Fprintf(stdout, "storage: %d bytes total (data %d, mirror %d, parity %d, overflow %d, ov-mirror %d)\n",
 			total, by[0], by[1], by[2], by[3], by[4])
+	case "stats":
+		return statsCmd(cl, stdout, stderr)
 	case "verify":
-		need(rest, 1, "verify <name>")
+		if len(rest) < 1 {
+			return usage("verify <name>")
+		}
 		f, err := cl.Open(rest[0])
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		problems, err := cl.Verify(f)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if len(problems) == 0 {
-			fmt.Println("consistent")
-			return
+			fmt.Fprintln(stdout, "consistent")
+			return 0
 		}
 		for _, p := range problems {
-			fmt.Println("PROBLEM:", p)
+			fmt.Fprintln(stdout, "PROBLEM:", p)
 		}
-		os.Exit(1)
+		return fail(fmt.Errorf("%s: %d redundancy violations", rest[0], len(problems)))
 	case "scrub":
-		need(rest, 1, "scrub <name>")
+		if len(rest) < 1 {
+			return usage("scrub <name>")
+		}
 		f, err := cl.Open(rest[0])
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		rep, err := cl.Scrub(f, csar.ScrubOptions{RateLimit: *scrubRate, RepairData: *repairData})
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Println(rep)
+		fmt.Fprintln(stdout, rep)
 		for _, p := range rep.Problems {
-			fmt.Println("PROBLEM:", p)
+			fmt.Fprintln(stdout, "PROBLEM:", p)
 		}
-		if rep.Totals().Unrepairable > 0 {
-			os.Exit(1)
+		if n := rep.Totals().Unrepairable; n > 0 {
+			return fail(fmt.Errorf("%s: %d mismatches left unrepaired", rest[0], n))
 		}
 	case "rebuild":
-		need(rest, 2, "rebuild <name> <server-index>")
+		if len(rest) < 2 {
+			return usage("rebuild <name> <server-index>")
+		}
 		f, err := cl.Open(rest[0])
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		idx, err := strconv.Atoi(rest[1])
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Printf("server %d before: %v\n", idx, cl.BreakerStates()[idx])
+		fmt.Fprintf(stdout, "server %d before: %v\n", idx, cl.BreakerStates()[idx])
 		if err := cl.Rebuild(f, idx); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		// The rebuild restored the server's stores; without MarkUp the
 		// client would keep treating it as failed (and its breaker as
 		// stale) forever.
 		cl.MarkUp(idx)
-		fmt.Printf("server %d after:  %v\n", idx, cl.BreakerStates()[idx])
-		fmt.Printf("rebuilt and re-admitted server %d for %s\n", idx, rest[0])
+		fmt.Fprintf(stdout, "server %d after:  %v\n", idx, cl.BreakerStates()[idx])
+		fmt.Fprintf(stdout, "rebuilt and re-admitted server %d for %s\n", idx, rest[0])
 	case "resync":
-		need(rest, 2, "resync <name> <server-index>")
+		if len(rest) < 2 {
+			return usage("resync <name> <server-index>")
+		}
 		f, err := cl.Open(rest[0])
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		idx, err := strconv.Atoi(rest[1])
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Printf("server %d before: %v\n", idx, cl.BreakerStates()[idx])
+		fmt.Fprintf(stdout, "server %d before: %v\n", idx, cl.BreakerStates()[idx])
 		rep, err := cl.Resync(f, idx, csar.ResyncOptions{RateLimit: *resyncRate, DryRun: *resyncDry})
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if *resyncDry {
-			fmt.Printf("dry run: would replay %d units, %d mirrors, %d stripes (full rebuild: %v)\n",
+			fmt.Fprintf(stdout, "dry run: would replay %d units, %d mirrors, %d stripes (full rebuild: %v)\n",
 				rep.Units, rep.Mirrors, rep.Stripes, rep.FullRebuild)
-			return
+			return 0
 		}
 		cl.MarkUp(idx)
-		fmt.Printf("server %d after:  %v\n", idx, cl.BreakerStates()[idx])
-		fmt.Printf("resynced server %d for %s: %d units, %d mirrors, %d stripes, %d overflow bytes in %d rounds (full rebuild: %v)\n",
+		fmt.Fprintf(stdout, "server %d after:  %v\n", idx, cl.BreakerStates()[idx])
+		fmt.Fprintf(stdout, "resynced server %d for %s: %d units, %d mirrors, %d stripes, %d overflow bytes in %d rounds (full rebuild: %v)\n",
 			idx, rest[0], rep.Units, rep.Mirrors, rep.Stripes, rep.OverflowBytes, rep.Rounds, rep.FullRebuild)
 	default:
-		fmt.Fprintf(os.Stderr, "csar: unknown command %q\n", cmd)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "csar: unknown command %q\n", cmd)
+		return 2
 	}
+	return 0
 }
 
-func need(args []string, n int, usage string) {
-	if len(args) < n {
-		fmt.Fprintf(os.Stderr, "usage: csar %s\n", usage)
-		os.Exit(2)
+// statsCmd renders the combined observability table: this client's own
+// snapshot (mostly interesting after put/get in the same process — here it
+// shows the RPCs stats itself issued) and every I/O server's dump over the
+// Stats RPC. Unreachable servers are reported by line, and make the command
+// exit non-zero: an operator scripting health checks should see the partial
+// failure, not a clean zero.
+func statsCmd(cl *csar.Client, stdout, stderr io.Writer) int {
+	srvStats := cl.ServerStats()
+
+	fmt.Fprintf(stdout, "servers: %d\n\n", len(srvStats))
+	fmt.Fprintf(stdout, "%-4s %10s %14s %14s %11s %13s %10s %9s\n",
+		"iod", "requests", "bytes_in", "bytes_out", "locks_held", "intents_live", "dirty_log", "slow_ops")
+	unreachable := 0
+	for _, sr := range srvStats {
+		if sr.Requests < 0 {
+			unreachable++
+			fmt.Fprintf(stdout, "%-4d unreachable\n", sr.Index)
+			continue
+		}
+		snap := csar.StatsOfServer(sr)
+		fmt.Fprintf(stdout, "%-4d %10d %14d %14d %11d %13d %10d %9d\n",
+			sr.Index, sr.Requests,
+			statValue(snap.Counters, "bytes_in"), statValue(snap.Counters, "bytes_out"),
+			statValue(snap.Gauges, "locks_held"), statValue(snap.Gauges, "intents_live"),
+			statValue(snap.Gauges, "dirty_log_entries"), statValue(snap.Counters, "slow_ops"))
 	}
+
+	// Merge every reachable server's histograms into one latency table.
+	var snaps []csar.Stats
+	for _, sr := range srvStats {
+		if sr.Requests >= 0 {
+			snaps = append(snaps, csar.StatsOfServer(sr))
+		}
+	}
+	merged := csar.MergeStats(snaps...)
+	if len(merged.Hists) > 0 {
+		fmt.Fprintf(stdout, "\nserver rpc latencies (all reachable servers):\n")
+		writeHistTable(stdout, merged)
+	}
+
+	if own := cl.Stats(); len(own.Hists) > 0 {
+		fmt.Fprintf(stdout, "\nthis client:\n")
+		writeHistTable(stdout, own)
+	}
+
+	if unreachable > 0 {
+		fmt.Fprintf(stderr, "csar: %d of %d servers unreachable\n", unreachable, len(srvStats))
+		return 1
+	}
+	return 0
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "csar:", err)
-	os.Exit(1)
+// statValue finds one named counter/gauge in a snapshot list; absent → 0.
+func statValue(kvs []csar.KV, name string) int64 {
+	for _, kv := range kvs {
+		if kv.Name == name {
+			return kv.Value
+		}
+	}
+	return 0
+}
+
+// writeHistTable prints a snapshot's histograms as one row per name with
+// count and microsecond percentiles.
+func writeHistTable(w io.Writer, s csar.Stats) {
+	fmt.Fprintf(w, "  %-28s %10s %10s %10s %10s %10s\n",
+		"histogram", "count", "p50_us", "p95_us", "p99_us", "max_us")
+	for _, h := range s.Hists {
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-28s %10d %10d %10d %10d %10d\n",
+			h.Name, h.Count,
+			h.P50().Microseconds(), h.P95().Microseconds(),
+			h.P99().Microseconds(), h.Max.Microseconds())
+	}
 }

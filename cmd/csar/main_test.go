@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"csar/internal/meta"
+	"csar/internal/rpc"
+	"csar/internal/server"
+	"csar/internal/simdisk"
+)
+
+// testCluster is an in-process TCP deployment: n iods plus a manager, the
+// same shape `csar-iod` and `csar-mgr` serve, so run() exercises the real
+// dial/RPC path.
+type testCluster struct {
+	mgrAddr string
+	iodLns  []net.Listener
+}
+
+func startCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		tc.iodLns = append(tc.iodLns, ln)
+		addrs[i] = ln.Addr().String()
+		srv := server.New(i, simdisk.New(nil, simdisk.Params{PageSize: 4096}), server.DefaultOptions())
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go rpc.ServeConnTraced(conn, srv.HandleTraced, nil, nil) //nolint:errcheck
+			}
+		}()
+	}
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mln.Close() })
+	tc.mgrAddr = mln.Addr().String()
+	mgr := meta.New(n, addrs)
+	go func() {
+		for {
+			conn, err := mln.Accept()
+			if err != nil {
+				return
+			}
+			go rpc.ServeConn(conn, mgr.Handle, nil, nil) //nolint:errcheck
+		}
+	}()
+	return tc
+}
+
+// deadAddr returns an address nothing listens on (bound, then released).
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// fastFlags makes failure paths fail fast instead of riding the default
+// retry/backoff schedule.
+func fastFlags(mgr string) []string {
+	return []string{"-mgr", mgr, "-retries", "0", "-retry-backoff", "1ms", "-probe-after", "1ms"}
+}
+
+// TestRunExitCodes audits the CLI contract: 0 on success, 1 on operational
+// failure with a one-line `csar: ...` cause on stderr, 2 on usage errors.
+func TestRunExitCodes(t *testing.T) {
+	tc := startCluster(t, 4)
+	live := tc.mgrAddr
+	dead := deadAddr(t)
+
+	local := filepath.Join(t.TempDir(), "in.bin")
+	if err := os.WriteFile(local, bytes.Repeat([]byte("x"), 10000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		args       []string
+		want       int
+		wantStderr string // substring; "" = no requirement
+	}{
+		{"no command", []string{}, 2, "Usage"},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2, ""},
+		{"unknown command", append(fastFlags(live), "frobnicate"), 2, "unknown command"},
+		{"create missing args", append(fastFlags(live), "create"), 2, "usage: csar create"},
+		{"get missing args", append(fastFlags(live), "get", "only-one"), 2, "usage: csar get"},
+		{"rebuild missing args", append(fastFlags(live), "rebuild", "f"), 2, "usage: csar rebuild"},
+		{"unreachable manager", append(fastFlags(dead), "ls"), 1, "csar: "},
+		{"open nonexistent", append(fastFlags(live), "cat", "no-such-file"), 1, "csar: "},
+		{"put then ls", append(fastFlags(live), "put", local, "f1"), 0, ""},
+		{"ls ok", append(fastFlags(live), "ls"), 0, ""},
+		{"df ok", append(fastFlags(live), "df"), 0, ""},
+		{"verify ok", append(fastFlags(live), "verify", "f1"), 0, ""},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			got := run(tt.args, &out, &errBuf)
+			if got != tt.want {
+				t.Fatalf("run(%v) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					tt.args, got, tt.want, out.String(), errBuf.String())
+			}
+			if tt.wantStderr != "" && !strings.Contains(errBuf.String(), tt.wantStderr) {
+				t.Fatalf("stderr %q does not contain %q", errBuf.String(), tt.wantStderr)
+			}
+			if tt.want == 1 {
+				// Failure causes must be one line, not a dump.
+				if n := strings.Count(strings.TrimRight(errBuf.String(), "\n"), "\n"); n > 0 {
+					t.Fatalf("want one-line cause on stderr, got %d lines:\n%s", n+1, errBuf.String())
+				}
+			}
+		})
+	}
+}
+
+// TestStatsCommand checks `csar stats` against a live 4-iod cluster: exit 0,
+// a row per server with nonzero requests, and the latency table — then exit
+// 1 with a cause once a server stops answering.
+func TestStatsCommand(t *testing.T) {
+	tc := startCluster(t, 4)
+
+	// Drive some I/O so the tables have content.
+	local := filepath.Join(t.TempDir(), "in.bin")
+	if err := os.WriteFile(local, bytes.Repeat([]byte("y"), 64<<10), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if got := run(append(fastFlags(tc.mgrAddr), "-scheme", "raid5", "put", local, "f"), &out, &errBuf); got != 0 {
+		t.Fatalf("put failed (%d): %s", got, errBuf.String())
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	if got := run(append(fastFlags(tc.mgrAddr), "stats"), &out, &errBuf); got != 0 {
+		t.Fatalf("stats = %d, want 0; stderr: %s", got, errBuf.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "servers: 4") {
+		t.Errorf("stats output missing server count:\n%s", text)
+	}
+	for _, col := range []string{"requests", "bytes_in", "bytes_out", "locks_held"} {
+		if !strings.Contains(text, col) {
+			t.Errorf("stats output missing column %q", col)
+		}
+	}
+	if !strings.Contains(text, "server rpc latencies") {
+		t.Errorf("stats output missing merged latency table:\n%s", text)
+	}
+	if !strings.Contains(text, "rpc_") || !strings.Contains(text, "p95_us") {
+		t.Errorf("stats output missing histogram rows:\n%s", text)
+	}
+
+	// Stop one iod; stats must report it by line and exit non-zero.
+	tc.iodLns[2].Close()
+	out.Reset()
+	errBuf.Reset()
+	if got := run(append(fastFlags(tc.mgrAddr), "stats"), &out, &errBuf); got != 1 {
+		t.Fatalf("stats with a dead iod = %d, want 1\nstdout:\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "unreachable") {
+		t.Errorf("stats output does not flag the dead server:\n%s", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "1 of 4 servers unreachable") {
+		t.Errorf("stderr cause missing: %q", errBuf.String())
+	}
+}

@@ -34,6 +34,7 @@
 package csar
 
 import (
+	"sync"
 	"time"
 
 	"csar/internal/cluster"
@@ -132,6 +133,9 @@ type ClusterOptions struct {
 type Cluster struct {
 	inner *cluster.Cluster
 	clock *simtime.Clock
+
+	mu      sync.Mutex
+	clients []*Client
 }
 
 // NewCluster starts a cluster.
@@ -201,7 +205,24 @@ func (c *Cluster) Servers() int { return c.inner.Servers() }
 // NewClient attaches a new client (its own NIC under the performance
 // model).
 func (c *Cluster) NewClient() *Client {
-	return &Client{inner: c.inner.NewClient()}
+	cl := &Client{inner: c.inner.NewClient()}
+	c.mu.Lock()
+	c.clients = append(c.clients, cl)
+	c.mu.Unlock()
+	return cl
+}
+
+// ClientStats merges the observability snapshots of every client this
+// cluster has handed out: one view of op latencies and counters across the
+// whole run, however many clients the workload used.
+func (c *Cluster) ClientStats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snaps := make([]Stats, len(c.clients))
+	for i, cl := range c.clients {
+		snaps[i] = cl.Stats()
+	}
+	return MergeStats(snaps...)
 }
 
 // StopServer simulates the failure of server i: all requests to it fail

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"csar"
@@ -32,6 +33,68 @@ type Config struct {
 	// MaxServers caps the I/O server counts swept by the microbenchmarks.
 	// Default 8, the size of the paper's first testbed.
 	MaxServers int
+	// Results, when non-nil, collects every measured data point (with its
+	// op-latency percentiles) for machine-readable output alongside the
+	// printed tables. csar-bench wires it to the -json flag.
+	Results *Results
+}
+
+// ResultsSchemaVersion identifies the bench JSON layout. Version 1 carried
+// bandwidth only; version 2 adds per-op latency percentiles.
+const ResultsSchemaVersion = 2
+
+// Results is the machine-readable output of a bench run.
+type Results struct {
+	SchemaVersion int      `json:"schema_version"`
+	Points        []Result `json:"results"`
+}
+
+// Result is one measured data point: an experiment cell's bandwidth plus
+// the latency distribution of every logical op path the workload exercised
+// (op_write, op_write_full_stripe, op_write_rmw, parity_lock_wait, ...),
+// merged over all clients the workload used.
+type Result struct {
+	Experiment    string                    `json:"experiment"`
+	Scheme        string                    `json:"scheme,omitempty"`
+	Servers       int                       `json:"servers,omitempty"`
+	MBps          float64                   `json:"mbps"`
+	OpLatenciesUS map[string]LatencySummary `json:"op_latencies_us,omitempty"`
+}
+
+// LatencySummary compresses one histogram into count + microsecond
+// percentiles. Percentiles are upper bounds of the power-of-two bucket the
+// rank falls in — within one bucket of exact.
+type LatencySummary struct {
+	Count int64 `json:"count"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+	Max   int64 `json:"max"`
+}
+
+// opLatencies extracts the op-path and lock-wait histograms from a merged
+// client snapshot (simulated time under the model, like the MB/s figures).
+func opLatencies(s csar.Stats) map[string]LatencySummary {
+	out := make(map[string]LatencySummary)
+	for _, h := range s.Hists {
+		if h.Count == 0 {
+			continue
+		}
+		if !strings.HasPrefix(h.Name, "op_") && h.Name != "parity_lock_wait" {
+			continue
+		}
+		out[h.Name] = LatencySummary{
+			Count: h.Count,
+			P50:   h.P50().Microseconds(),
+			P95:   h.P95().Microseconds(),
+			P99:   h.P99().Microseconds(),
+			Max:   h.Max.Microseconds(),
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // DefaultConfig returns the standard experiment scaling.
@@ -90,6 +153,14 @@ func (c Config) scaled(bytes, min int64) int64 {
 // runTimed executes fn against a fresh timed cluster and returns the
 // modeled bandwidth in MB/s.
 func (c Config) runTimed(servers int, fn func(cl *csar.Cluster) (int64, error)) (float64, error) {
+	return c.runTimedPoint("", "", servers, fn)
+}
+
+// runTimedPoint is runTimed plus result collection: when Config.Results is
+// set and experiment is non-empty, the data point — bandwidth and the
+// latency percentiles of every client op the workload ran — is appended to
+// the machine-readable output.
+func (c Config) runTimedPoint(experiment, scheme string, servers int, fn func(cl *csar.Cluster) (int64, error)) (float64, error) {
 	cl, err := c.newCluster(servers)
 	if err != nil {
 		return 0, err
@@ -104,7 +175,17 @@ func (c Config) runTimed(servers int, fn func(cl *csar.Cluster) (int64, error)) 
 	if sim <= 0 {
 		return 0, fmt.Errorf("bench: no simulated time elapsed")
 	}
-	return float64(bytes) / 1e6 / sim.Seconds(), nil
+	mbps := float64(bytes) / 1e6 / sim.Seconds()
+	if c.Results != nil && experiment != "" {
+		c.Results.Points = append(c.Results.Points, Result{
+			Experiment:    experiment,
+			Scheme:        scheme,
+			Servers:       servers,
+			MBps:          mbps,
+			OpLatenciesUS: opLatencies(cl.ClientStats()),
+		})
+	}
+	return mbps, nil
 }
 
 // Experiment is one regenerable figure or table.

@@ -72,7 +72,7 @@ func fig3(cfg Config, w io.Writer) error {
 	}
 	var r5, nolock float64
 	for _, scheme := range []csar.Scheme{csar.Raid0, csar.Raid5NoLock, csar.Raid5} {
-		bw, err := cfg.runTimed(servers, func(cl *csar.Cluster) (int64, error) {
+		bw, err := cfg.runTimedPoint("fig3", scheme.String(), servers, func(cl *csar.Cluster) (int64, error) {
 			return workload.Contention(env(cl, scheme, su), "f", clients, rounds)
 		})
 		if err != nil {
@@ -99,7 +99,7 @@ func fig3(cfg Config, w io.Writer) error {
 // sweepServers runs one single-client workload across server counts and
 // schemes and renders the Figure 4 style table (rows = #iod, columns =
 // schemes).
-func sweepServers(cfg Config, w io.Writer, title string, schemes []csar.Scheme,
+func sweepServers(cfg Config, w io.Writer, name, title string, schemes []csar.Scheme,
 	run func(e workload.Env) (int64, error)) error {
 	t := &Table{Title: title, Header: []string{"#iod"}}
 	for _, s := range schemes {
@@ -119,7 +119,7 @@ func sweepServers(cfg Config, w io.Writer, title string, schemes []csar.Scheme,
 				row = append(row, "-")
 				continue
 			}
-			bw, err := cfg.runTimed(n, func(cl *csar.Cluster) (int64, error) {
+			bw, err := cfg.runTimedPoint(name, scheme.String(), n, func(cl *csar.Cluster) (int64, error) {
 				return run(env(cl, scheme, 64<<10))
 			})
 			if err != nil {
@@ -139,7 +139,7 @@ func sweepServers(cfg Config, w io.Writer, title string, schemes []csar.Scheme,
 func fig4a(cfg Config, w io.Writer) error {
 	total := cfg.scaled(1<<30, 8<<20) // 1 GB of paper-scale traffic
 	schemes := []csar.Scheme{csar.Raid0, csar.Raid1, csar.Raid5, csar.Hybrid, csar.Raid5NPC}
-	return sweepServers(cfg, w,
+	return sweepServers(cfg, w, "fig4a",
 		"Figure 4a: full-stripe writes, single client (MB/s)",
 		schemes,
 		func(e workload.Env) (int64, error) {
@@ -156,7 +156,7 @@ func fig4a(cfg Config, w io.Writer) error {
 func fig4b(cfg Config, w io.Writer) error {
 	total := cfg.scaled(256<<20, 4<<20)
 	schemes := []csar.Scheme{csar.Raid0, csar.Raid1, csar.Raid5, csar.Hybrid}
-	return sweepServers(cfg, w,
+	return sweepServers(cfg, w, "fig4b",
 		"Figure 4b: one-block writes, single client (MB/s)",
 		schemes,
 		func(e workload.Env) (int64, error) {

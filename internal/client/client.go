@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"csar/internal/obs"
 	"csar/internal/raid"
 	"csar/internal/simtime"
 	"csar/internal/wire"
@@ -53,6 +54,10 @@ type Client struct {
 
 	metrics metrics
 
+	// obs holds the client's latency histograms: one per logical op and
+	// write path, one per RPC kind, plus the parity-lock wait (stats.go).
+	obs *obs.Registry
+
 	// health is the per-server circuit-breaker state (resilience.go).
 	health []serverHealth
 
@@ -83,6 +88,7 @@ func New(mgr Caller, servers []Caller) *Client {
 	return &Client{
 		mgr:     mgr,
 		srv:     servers,
+		obs:     obs.NewRegistry(),
 		down:    make(map[int]bool),
 		health:  make([]serverHealth, len(servers)),
 		leases:  make(map[uint64]leaseEntry),
@@ -118,9 +124,23 @@ func (c *Client) chargeXOR(n int64) {
 // unavailability-class failure comes back as a *ServerError carrying the
 // server index, which the read path uses to fail over to reconstruction.
 func (c *Client) callSrv(idx int, m wire.Msg) (wire.Msg, error) {
+	return c.callSrvT(idx, m, 0)
+}
+
+// callSrvT is callSrv with an operation trace ID (zero = untraced): the ID
+// rides every attempt's wire header, and the whole call — retries, backoff
+// and all — is timed into the per-RPC-kind histogram.
+func (c *Client) callSrvT(idx int, m wire.Msg, trace uint64) (wire.Msg, error) {
 	if c.clock.Timed() && c.callCPU > 0 {
 		c.cpu.AcquireDur(c.callCPU)
 	}
+	start := time.Now()
+	resp, err := c.callSrvInner(idx, m, trace)
+	c.Observe("rpc_"+m.Kind().String(), c.sinceStart(start))
+	return resp, err
+}
+
+func (c *Client) callSrvInner(idx int, m wire.Msg, trace uint64) (wire.Msg, error) {
 	p := c.getPolicy()
 	if p.BreakerThreshold > 0 {
 		if err := c.admit(idx, p); err != nil {
@@ -137,7 +157,7 @@ func (c *Client) callSrv(idx int, m wire.Msg) (wire.Msg, error) {
 			c.metrics.retries.Add(1)
 			c.backoff(a, p)
 		}
-		resp, err := c.callOnce(idx, m, p.CallTimeout)
+		resp, err := c.callOnceT(idx, m, p.CallTimeout, trace)
 		if err == nil {
 			c.noteSuccess(idx)
 			return resp, nil

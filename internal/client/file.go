@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"csar/internal/core"
+	"csar/internal/obs"
 	"csar/internal/raid"
 	"csar/internal/wire"
 )
@@ -50,6 +52,11 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
+	// One trace ID per logical operation: it rides the wire header of every
+	// RPC this write issues, so server-side slow-op logs correlate back here.
+	tr := obs.NewTraceID()
+	opStart := time.Now()
+	defer func() { f.c.Observe("op_write", f.c.sinceStart(opStart)) }()
 	dead := -1
 	if d, down := f.c.anyDown(f.ref); down {
 		switch f.ref.Scheme {
@@ -87,7 +94,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 			}
 		}
 	}
-	if err := f.execute(plan, off, p, execDead); err != nil {
+	if err := f.execute(plan, off, p, execDead, tr); err != nil {
 		return 0, err
 	}
 	f.c.metrics.writes.Add(1)
@@ -116,7 +123,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 // read-modify-write portion therefore starts first, and the remaining
 // portions launch as soon as its parity read has returned, overlapping its
 // write phase.
-func (f *File) execute(plan core.Plan, off int64, p []byte, dead int) error {
+func (f *File) execute(plan core.Plan, off int64, p []byte, dead int, tr uint64) error {
 	data := func(s raid.Span) []byte { return p[s.Off-off : s.End()-off] }
 
 	var headErr error
@@ -129,7 +136,8 @@ func (f *File) execute(plan core.Plan, off int64, p []byte, dead int) error {
 		lockHeld := make(chan struct{})
 		go func() {
 			defer close(headDone)
-			headErr = f.writeRMW(head.Span, data(head.Span), func() { close(lockHeld) }, dead)
+			defer f.timePath("op_write_rmw")()
+			headErr = f.writeRMW(head.Span, data(head.Span), func() { close(lockHeld) }, dead, tr)
 		}()
 		<-lockHeld // head's parity read has completed (or failed)
 	} else {
@@ -144,19 +152,24 @@ func (f *File) execute(plan core.Plan, off int64, p []byte, dead int) error {
 			defer wg.Done()
 			switch pt.Mode {
 			case core.ModePlain:
-				errs[i] = f.writePlain(pt.Span, data(pt.Span))
+				defer f.timePath("op_write_plain")()
+				errs[i] = f.writePlain(pt.Span, data(pt.Span), tr)
 			case core.ModeMirrored:
 				f.c.metrics.mirrors.Add(1)
-				errs[i] = f.writeMirrored(pt.Span, data(pt.Span), dead)
+				defer f.timePath("op_write_mirror")()
+				errs[i] = f.writeMirrored(pt.Span, data(pt.Span), dead, tr)
 			case core.ModeFullStripe:
 				f.c.metrics.fullStripes.Add(1)
-				errs[i] = f.writeFullStripes(pt.Span, data(pt.Span), dead)
+				defer f.timePath("op_write_full_stripe")()
+				errs[i] = f.writeFullStripes(pt.Span, data(pt.Span), dead, tr)
 			case core.ModeRMW:
 				f.c.metrics.rmws.Add(1)
-				errs[i] = f.writeRMW(pt.Span, data(pt.Span), nil, dead)
+				defer f.timePath("op_write_rmw")()
+				errs[i] = f.writeRMW(pt.Span, data(pt.Span), nil, dead, tr)
 			case core.ModeOverflow:
 				f.c.metrics.overflowWrites.Add(1)
-				errs[i] = f.writeOverflow(pt.Span, data(pt.Span), dead)
+				defer f.timePath("op_write_overflow")()
+				errs[i] = f.writeOverflow(pt.Span, data(pt.Span), dead, tr)
 			default:
 				errs[i] = fmt.Errorf("client: unknown portion mode %v", pt.Mode)
 			}
@@ -175,28 +188,35 @@ func (f *File) execute(plan core.Plan, off int64, p []byte, dead int) error {
 	return nil
 }
 
+// timePath starts a timer for one per-path histogram and returns the stop
+// function; meant for defer at the top of each write-path branch.
+func (f *File) timePath(name string) func() {
+	start := time.Now()
+	return func() { f.c.Observe(name, f.c.sinceStart(start)) }
+}
+
 // sendWriteData ships per-server payloads of span to the data files,
 // skipping the dead server (whose contents the redundancy carries) when
 // dead >= 0.
-func (f *File) sendWriteData(span raid.Span, payloads [][]byte, dead int) error {
+func (f *File) sendWriteData(span raid.Span, payloads [][]byte, dead int, tr uint64) error {
 	return f.c.eachServer(f.geom.Servers, func(i int) error {
 		if len(payloads[i]) == 0 || i == dead {
 			return nil
 		}
-		_, err := f.c.callSrv(i, &wire.WriteData{
+		_, err := f.c.callSrvT(i, &wire.WriteData{
 			File:  f.ref,
 			Spans: []wire.Span{{Off: span.Off, Len: span.Len}},
 			Data:  payloads[i],
-		})
+		}, tr)
 		return err
 	})
 }
 
-func (f *File) writePlain(span raid.Span, p []byte) error {
-	return f.sendWriteData(span, splitByServer(f.geom, span.Off, p), -1)
+func (f *File) writePlain(span raid.Span, p []byte, tr uint64) error {
+	return f.sendWriteData(span, splitByServer(f.geom, span.Off, p), -1, tr)
 }
 
-func (f *File) writeMirrored(span raid.Span, p []byte, dead int) error {
+func (f *File) writeMirrored(span raid.Span, p []byte, dead int, tr uint64) error {
 	dataPayloads := splitByServer(f.geom, span.Off, p)
 	mirrorPayloads := splitByMirror(f.geom, span.Off, p)
 	var wg sync.WaitGroup
@@ -204,7 +224,7 @@ func (f *File) writeMirrored(span raid.Span, p []byte, dead int) error {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		dErr = f.sendWriteData(span, dataPayloads, dead)
+		dErr = f.sendWriteData(span, dataPayloads, dead, tr)
 	}()
 	go func() {
 		defer wg.Done()
@@ -212,11 +232,11 @@ func (f *File) writeMirrored(span raid.Span, p []byte, dead int) error {
 			if len(mirrorPayloads[i]) == 0 || i == dead {
 				return nil
 			}
-			_, err := f.c.callSrv(i, &wire.WriteMirror{
+			_, err := f.c.callSrvT(i, &wire.WriteMirror{
 				File:  f.ref,
 				Spans: []wire.Span{{Off: span.Off, Len: span.Len}},
 				Data:  mirrorPayloads[i],
-			})
+			}, tr)
 			return err
 		})
 	}()
@@ -231,7 +251,7 @@ func (f *File) writeMirrored(span raid.Span, p []byte, dead int) error {
 // computed parity, with no locks and no reads (the RAID5 best case). Under
 // the Hybrid scheme it additionally invalidates any overflow extents the
 // stripes previously had, migrating that data back to RAID5 (Section 4).
-func (f *File) writeFullStripes(span raid.Span, p []byte, dead int) error {
+func (f *File) writeFullStripes(span raid.Span, p []byte, dead int, tr uint64) error {
 	g := f.geom
 	ss := g.StripeSize()
 	su := g.StripeUnit
@@ -267,7 +287,7 @@ func (f *File) writeFullStripes(span raid.Span, p []byte, dead int) error {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		dErr = f.sendWriteData(span, payloads, dead)
+		dErr = f.sendWriteData(span, payloads, dead, tr)
 	}()
 	go func() {
 		defer wg.Done()
@@ -275,11 +295,11 @@ func (f *File) writeFullStripes(span raid.Span, p []byte, dead int) error {
 			if len(stripes[i]) == 0 || i == dead {
 				return nil
 			}
-			_, err := f.c.callSrv(i, &wire.WriteParity{
+			_, err := f.c.callSrvT(i, &wire.WriteParity{
 				File:    f.ref,
 				Stripes: stripes[i],
 				Data:    parity[i],
-			})
+			}, tr)
 			return err
 		})
 	}()
@@ -312,7 +332,7 @@ func (f *File) writeFullStripes(span raid.Span, p []byte, dead int) error {
 //     are reconstructed from the survivors and the parity before the delta
 //     is applied, so the updated parity encodes the new bytes and the next
 //     rebuild materializes them.
-func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int) error {
+func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int, tr uint64) error {
 	g := f.geom
 	stripe := g.StripeOf(span.Off)
 	lock := f.ref.Scheme.UsesLocking()
@@ -324,7 +344,7 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 		if onParityRead != nil {
 			onParityRead()
 		}
-		return f.sendWriteData(span, splitByServer(g, span.Off, p), dead)
+		return f.sendWriteData(span, splitByServer(g, span.Off, p), dead, tr)
 	}
 
 	// 1. Old-parity read (lock acquisition) and old-data read, in parallel.
@@ -349,10 +369,15 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 		if onParityRead != nil {
 			defer onParityRead()
 		}
-		presp, err := f.c.callSrv(ps, &wire.ReadParity{
+		// parity_lock_wait: how long the locked parity read took end to end —
+		// queueing behind another holder of this stripe's lock included.
+		if lock {
+			defer f.timePath("parity_lock_wait")()
+		}
+		presp, err := f.c.callSrvT(ps, &wire.ReadParity{
 			File: f.ref, Stripes: []int64{stripe}, Lock: lock, Owner: token,
 			LeaseMS: leaseMS(pol),
-		})
+		}, tr)
 		if err != nil {
 			pErr = err
 			if lock && isUnavailable(err) {
@@ -381,7 +406,7 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 	old := make([]byte, span.Len)
 	var dErr error
 	if dead < 0 {
-		dErr = f.readRaw(span, old)
+		dErr = f.readRaw(span, old, tr)
 	} else {
 		// Live pieces read normally; the dead server's pieces are
 		// reconstructed below, once the parity is in hand.
@@ -402,9 +427,9 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 			// server, fall back to the token-scoped release. No data write
 			// has started, so the stripe is untouched (non-dirty).
 			f.c.untrackLease(token)
-			_, uerr := f.c.callSrv(ps, &wire.WriteParity{
+			_, uerr := f.c.callSrvT(ps, &wire.WriteParity{
 				File: f.ref, Stripes: []int64{stripe}, Data: parity, Unlock: true, Owner: token,
-			})
+			}, tr)
 			if uerr != nil && isUnavailable(uerr) {
 				f.c.releaseParityLock(ps, f.ref, stripe, token, false)
 			}
@@ -427,7 +452,7 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 	// another client's delta never involves this range's data, and the
 	// parity block itself is serialized by the lock. Crash consistency is a
 	// different matter — see writeRMWCommit for the two orderings.
-	return f.writeRMWCommit(pol, span, p, stripe, ps, parity, lock, token, dead)
+	return f.writeRMWCommit(pol, span, p, stripe, ps, parity, lock, token, dead, tr)
 }
 
 // writeRMWCommit runs the write phase of a read-modify-write.
@@ -446,17 +471,17 @@ func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int)
 // Without CrashSafeRMW the two run concurrently — the paper's layout, which
 // keeps the lock-hold window to the write phase (Figure 3) but reopens the
 // write hole if a client can crash between them.
-func (f *File) writeRMWCommit(pol Policy, span raid.Span, p []byte, stripe int64, ps int, parity []byte, lock bool, token uint64, dead int) error {
+func (f *File) writeRMWCommit(pol Policy, span raid.Span, p []byte, stripe int64, ps int, parity []byte, lock bool, token uint64, dead int, tr uint64) error {
 	g := f.geom
 	if lock && pol.CrashSafeRMW {
-		if dErr := f.sendWriteData(span, splitByServer(g, span.Off, p), dead); dErr != nil {
+		if dErr := f.sendWriteData(span, splitByServer(g, span.Off, p), dead, tr); dErr != nil {
 			f.c.untrackLease(token)
 			f.c.releaseParityLock(ps, f.ref, stripe, token, true)
 			return dErr
 		}
-		_, pwErr := f.c.callSrv(ps, &wire.WriteParity{
+		_, pwErr := f.c.callSrvT(ps, &wire.WriteParity{
 			File: f.ref, Stripes: []int64{stripe}, Data: parity, Unlock: true, Owner: token,
-		})
+		}, tr)
 		f.c.untrackLease(token)
 		if pwErr != nil {
 			if errors.Is(pwErr, wire.ErrLeaseExpired) {
@@ -481,11 +506,11 @@ func (f *File) writeRMWCommit(pol Policy, span raid.Span, p []byte, stripe int64
 	wdone := make(chan struct{})
 	go func() {
 		defer close(wdone)
-		wErr = f.sendWriteData(span, splitByServer(g, span.Off, p), dead)
+		wErr = f.sendWriteData(span, splitByServer(g, span.Off, p), dead, tr)
 	}()
-	_, pwErr := f.c.callSrv(ps, &wire.WriteParity{
+	_, pwErr := f.c.callSrvT(ps, &wire.WriteParity{
 		File: f.ref, Stripes: []int64{stripe}, Data: parity, Unlock: lock, Owner: token,
-	})
+	}, tr)
 	<-wdone
 	if lock {
 		f.c.untrackLease(token)
@@ -507,7 +532,7 @@ func (f *File) writeRMWCommit(pol Policy, span raid.Span, p []byte, stripe int64
 // copy goes to the overflow-mirror region of the unit's mirror server. No
 // locks, no reads — the in-place data and parity stay untouched so the
 // stripe remains reconstructable.
-func (f *File) writeOverflow(span raid.Span, p []byte, dead int) error {
+func (f *File) writeOverflow(span raid.Span, p []byte, dead int, tr uint64) error {
 	g := f.geom
 	prim := serverPieces(g, span.Off, span.Len)
 	mirr := mirrorPieces(g, span.Off, span.Len)
@@ -523,9 +548,9 @@ func (f *File) writeOverflow(span raid.Span, p []byte, dead int) error {
 			if len(prim[i]) == 0 || i == dead {
 				return nil
 			}
-			_, err := f.c.callSrv(i, &wire.WriteOverflow{
+			_, err := f.c.callSrvT(i, &wire.WriteOverflow{
 				File: f.ref, Extents: prim[i], Data: primPayload[i],
-			})
+			}, tr)
 			return err
 		})
 	}()
@@ -535,9 +560,9 @@ func (f *File) writeOverflow(span raid.Span, p []byte, dead int) error {
 			if len(mirr[i]) == 0 || i == dead {
 				return nil
 			}
-			_, err := f.c.callSrv(i, &wire.WriteOverflow{
+			_, err := f.c.callSrvT(i, &wire.WriteOverflow{
 				File: f.ref, Extents: mirr[i], Data: mirrPayload[i], Mirror: true,
-			})
+			}, tr)
 			return err
 		})
 	}()
@@ -558,6 +583,9 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
+	tr := obs.NewTraceID()
+	opStart := time.Now()
+	defer func() { f.c.Observe("op_read", f.c.sinceStart(opStart)) }()
 	if idx, down := f.c.anyDown(f.ref); down {
 		f.c.metrics.degradedReads.Add(1)
 		n, err := f.readDegraded(p, off, idx)
@@ -568,7 +596,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		return n, err
 	}
 	span := raid.Span{Off: off, Len: int64(len(p))}
-	perServer, err := f.fetchSpans(span, false)
+	perServer, err := f.fetchSpansT(span, false, tr)
 	if err != nil {
 		// A server died mid-read. For redundant schemes, fail over to the
 		// reconstruction paths on the spot rather than surfacing an error
@@ -595,6 +623,10 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 // fetchSpans reads one span from all servers and returns the per-server
 // piece payloads. raw skips server-side overflow patching.
 func (f *File) fetchSpans(span raid.Span, raw bool) ([][]byte, error) {
+	return f.fetchSpansT(span, raw, 0)
+}
+
+func (f *File) fetchSpansT(span raid.Span, raw bool, tr uint64) ([][]byte, error) {
 	g := f.geom
 	pieces := serverPieces(g, span.Off, span.Len)
 	perServer := make([][]byte, g.Servers)
@@ -603,11 +635,11 @@ func (f *File) fetchSpans(span raid.Span, raw bool) ([][]byte, error) {
 		if want == 0 {
 			return nil
 		}
-		resp, err := f.c.callSrv(i, &wire.Read{
+		resp, err := f.c.callSrvT(i, &wire.Read{
 			File:  f.ref,
 			Spans: []wire.Span{{Off: span.Off, Len: span.Len}},
 			Raw:   raw,
-		})
+		}, tr)
 		if err != nil {
 			return err
 		}
@@ -624,8 +656,8 @@ func (f *File) fetchSpans(span raid.Span, raw bool) ([][]byte, error) {
 // readRaw fills dst with the in-place (data file) contents of span,
 // bypassing overflow patching; the RMW path uses it because parity is
 // defined over the in-place data.
-func (f *File) readRaw(span raid.Span, dst []byte) error {
-	perServer, err := f.fetchSpans(span, true)
+func (f *File) readRaw(span raid.Span, dst []byte, tr uint64) error {
+	perServer, err := f.fetchSpansT(span, true, tr)
 	if err != nil {
 		return err
 	}

@@ -24,6 +24,7 @@ type Metrics struct {
 	ScrubFound        int64 // redundancy mismatches detected by scrubs
 	ScrubRepaired     int64 // mismatches repaired in place
 	ScrubUnrepairable int64 // mismatches scrub declined or failed to repair
+	IntentSkips       int64 // stripes scrub skipped because an intent was open
 
 	Retries         int64 // idempotent calls re-issued after a failure
 	Timeouts        int64 // calls that hit their deadline
@@ -51,6 +52,7 @@ type metrics struct {
 	degradedReads, degradedWrites, compactions atomic.Int64
 
 	scrubBytes, scrubFound, scrubRepaired, scrubUnrepairable atomic.Int64
+	intentSkips                                              atomic.Int64
 
 	retries, timeouts                           atomic.Int64
 	breakerTrips, breakerProbes, breakerReadmits atomic.Int64
@@ -81,6 +83,7 @@ func (m *metrics) snapshot() Metrics {
 		ScrubFound:        m.scrubFound.Load(),
 		ScrubRepaired:     m.scrubRepaired.Load(),
 		ScrubUnrepairable: m.scrubUnrepairable.Load(),
+		IntentSkips:       m.intentSkips.Load(),
 
 		Retries:         m.retries.Load(),
 		Timeouts:        m.timeouts.Load(),
@@ -112,6 +115,12 @@ func (c *Client) NoteScrub(bytes, found, repaired, unrepairable int64) {
 	c.metrics.scrubFound.Add(found)
 	c.metrics.scrubRepaired.Add(repaired)
 	c.metrics.scrubUnrepairable.Add(unrepairable)
+}
+
+// NoteIntentSkips records stripes a scrub pass left unexamined because
+// their intent records were open (in-flight RMWs, not corruption).
+func (c *Client) NoteIntentSkips(n int64) {
+	c.metrics.intentSkips.Add(n)
 }
 
 // NoteReplay records the outcome of one intent-replay pass in the client's

@@ -1,0 +1,82 @@
+package client
+
+import (
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+// TestMetricsSnapshotDrift guards the hand-maintained pair of structs in
+// metrics.go: every atomic counter in the internal `metrics` struct must
+// surface through snapshot() into the exported Metrics struct. It fails
+// when the field sets diverge — a counter added to one side but not the
+// other (the historical IntentSkips bug), or a snapshot() that forgets to
+// Load one of them.
+//
+// The check is name-agnostic on purpose (exported names legitimately differ
+// from internal ones, e.g. mirrors → MirrorWrites): each internal counter
+// is set to a distinct prime via reflection, and the multiset of values in
+// the snapshot must equal the multiset written. A missing snapshot line
+// yields a zero where a prime should be; a missing exported field shrinks
+// the struct; either breaks the multiset equality.
+func TestMetricsSnapshotDrift(t *testing.T) {
+	var m metrics
+	mv := reflect.ValueOf(&m).Elem()
+	mt := mv.Type()
+
+	var want []int64
+	prime := int64(2)
+	nextPrime := func() int64 {
+		p := prime
+	search:
+		for {
+			prime++
+			for d := int64(2); d*d <= prime; d++ {
+				if prime%d == 0 {
+					continue search
+				}
+			}
+			return p
+		}
+	}
+
+	atomicInt64 := reflect.TypeOf(atomic.Int64{})
+	for i := 0; i < mt.NumField(); i++ {
+		f := mt.Field(i)
+		if f.Type != atomicInt64 {
+			t.Fatalf("metrics field %s is %v; this test only understands atomic.Int64", f.Name, f.Type)
+		}
+		// The fields are unexported; write through the address instead of
+		// reflect.Value.Set (which refuses unexported fields).
+		p := (*atomic.Int64)(unsafe.Pointer(mv.Field(i).UnsafeAddr()))
+		v := nextPrime()
+		p.Store(v)
+		want = append(want, v)
+	}
+
+	snap := m.snapshot()
+	sv := reflect.ValueOf(snap)
+	st := sv.Type()
+	var got []int64
+	for i := 0; i < st.NumField(); i++ {
+		if st.Field(i).Type.Kind() != reflect.Int64 {
+			t.Fatalf("Metrics field %s is %v; this test only understands int64", st.Field(i).Name, st.Field(i).Type)
+		}
+		got = append(got, sv.Field(i).Int())
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("Metrics has %d fields, internal metrics has %d: the structs have drifted", len(got), len(want))
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot value multiset diverged at %d: got %v want %v\n"+
+				"some counter in `metrics` is not Loaded into `Metrics` by snapshot() (or two fields map to one)",
+				i, got, want)
+		}
+	}
+}

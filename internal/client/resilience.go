@@ -272,12 +272,29 @@ type timeoutCaller interface {
 	CallTimeout(m wire.Msg, timeout time.Duration) (wire.Msg, error)
 }
 
+// tracedCaller is the optional tracing path of a Caller: rpc.Client
+// satisfies it, sending the operation trace ID in the request frame's wire
+// header. Transports without it (direct in-process handlers) simply drop
+// the ID — tracing is best-effort correlation, never required for
+// correctness.
+type tracedCaller interface {
+	CallTraced(m wire.Msg, trace uint64, timeout time.Duration) (wire.Msg, error)
+}
+
 // callOnce issues one attempt with an optional deadline. When the transport
 // supports deadlines natively (rpc.Client), the timeout is threaded down so
 // an expired call is abandoned rather than left running; otherwise (direct
 // in-process handlers) the deadline is enforced by racing a goroutine, whose
 // result is dropped when it eventually finishes.
 func (c *Client) callOnce(idx int, m wire.Msg, timeout time.Duration) (wire.Msg, error) {
+	return c.callOnceT(idx, m, timeout, 0)
+}
+
+// callOnceT is callOnce carrying an operation trace ID (zero = untraced).
+func (c *Client) callOnceT(idx int, m wire.Msg, timeout time.Duration, trace uint64) (wire.Msg, error) {
+	if tc, ok := c.srv[idx].(tracedCaller); ok && trace != 0 {
+		return tc.CallTraced(m, trace, timeout)
+	}
 	if timeout <= 0 {
 		return c.srv[idx].Call(m)
 	}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// WriteProm renders a snapshot in the Prometheus text exposition format.
+// Every metric is prefixed "csar_"; histogram buckets use the power-of-two
+// nanosecond upper bounds converted to seconds, cumulatively, ending in
+// +Inf, with _sum in seconds and _count as usual. Empty buckets are elided
+// (64 le-lines per histogram would drown scrapes), except the +Inf line,
+// which is always present.
+func WriteProm(w io.Writer, s Snapshot) {
+	for _, kv := range s.Counters {
+		fmt.Fprintf(w, "# TYPE csar_%s counter\ncsar_%s %d\n", promName(kv.Name), promName(kv.Name), kv.Value)
+	}
+	for _, kv := range s.Gauges {
+		fmt.Fprintf(w, "# TYPE csar_%s gauge\ncsar_%s %d\n", promName(kv.Name), promName(kv.Name), kv.Value)
+	}
+	for _, h := range s.Hists {
+		name := promName(h.Name)
+		fmt.Fprintf(w, "# TYPE csar_%s histogram\n", name)
+		var cum int64
+		for i := 0; i < NumBuckets; i++ {
+			if h.Buckets[i] == 0 {
+				continue
+			}
+			cum += h.Buckets[i]
+			le := BucketUpper(i).Seconds()
+			fmt.Fprintf(w, "csar_%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", le), cum)
+		}
+		fmt.Fprintf(w, "csar_%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(w, "csar_%s_sum %g\n", name, h.Sum.Seconds())
+		fmt.Fprintf(w, "csar_%s_count %d\n", name, h.Count)
+	}
+}
+
+// promName maps an instrument name to a Prometheus-legal metric name.
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+// statuszHist is the JSON shape of one histogram on /statusz.
+type statuszHist struct {
+	Count int64 `json:"count"`
+	P50US int64 `json:"p50_us"`
+	P95US int64 `json:"p95_us"`
+	P99US int64 `json:"p99_us"`
+	MaxUS int64 `json:"max_us"`
+}
+
+// statuszBody renders a snapshot as the /statusz JSON document.
+func statuszBody(s Snapshot, extra map[string]any) map[string]any {
+	counters := map[string]int64{}
+	for _, kv := range s.Counters {
+		counters[kv.Name] = kv.Value
+	}
+	gauges := map[string]int64{}
+	for _, kv := range s.Gauges {
+		gauges[kv.Name] = kv.Value
+	}
+	hists := map[string]statuszHist{}
+	for _, h := range s.Hists {
+		hists[h.Name] = statuszHist{
+			Count: h.Count,
+			P50US: h.P50().Microseconds(),
+			P95US: h.P95().Microseconds(),
+			P99US: h.P99().Microseconds(),
+			MaxUS: h.Max.Microseconds(),
+		}
+	}
+	body := map[string]any{
+		"counters":   counters,
+		"gauges":     gauges,
+		"histograms": hists,
+	}
+	for k, v := range extra {
+		body[k] = v
+	}
+	return body
+}
+
+// ServeDebug starts the opt-in debug HTTP listener of a daemon: /metrics in
+// Prometheus text format, /statusz as JSON, and the Go pprof handlers under
+// /debug/pprof/. status, if non-nil, contributes extra top-level fields to
+// /statusz (the daemon's identity: index, listen address, uptime).
+//
+// The listener is meant for operators, not the public internet: it has no
+// authentication, and /debug/pprof can reveal memory contents. Daemons
+// default it off, and deployments should bind it to localhost or an
+// administrative network (see DESIGN.md, "Observability").
+//
+// Close the returned listener to stop serving.
+func ServeDebug(addr string, reg *Registry, status func() map[string]any) (io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		WriteProm(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		var extra map[string]any
+		if status != nil {
+			extra = status()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(statuszBody(reg.Snapshot(), extra)) //nolint:errcheck // best-effort debug endpoint
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // exits when the listener closes
+	return ln, nil
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"csar/internal/client"
 	"csar/internal/raid"
@@ -129,6 +130,7 @@ func Rebuild(c *client.Client, f *client.File, dead int) error {
 	if size == 0 {
 		return nil
 	}
+	defer c.ObserveSince("rebuild_pass", time.Now())
 
 	switch ref.Scheme {
 	case wire.Raid0:

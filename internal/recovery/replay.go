@@ -2,6 +2,7 @@ package recovery
 
 import (
 	"fmt"
+	"time"
 
 	"csar/internal/client"
 	"csar/internal/raid"
@@ -40,6 +41,7 @@ func ReplayIntents(c *client.Client, f *client.File) (*ReplayReport, error) {
 	if !ref.Scheme.UsesParity() {
 		return rep, nil
 	}
+	defer c.ObserveSince("replay_pass", time.Now())
 
 	for srv := 0; srv < g.Servers; srv++ {
 		resp, err := c.ServerCaller(srv).Call(&wire.ListIntents{File: ref})

@@ -206,6 +206,7 @@ func Resync(c *client.Client, f *client.File, dead int, opts ResyncOptions) (Res
 		return report, fmt.Errorf("recovery: %w", client.ErrNoRedundancy)
 	}
 	replicas := client.DirtyReplicas(g.Servers, dead)
+	defer c.ObserveSince("resync_pass", time.Now())
 
 	clk := opts.Clock
 	if clk == nil {

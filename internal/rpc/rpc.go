@@ -128,7 +128,7 @@ func (c *Client) failAll(err error) {
 
 // Call sends req and blocks for the matching response. A wire.Error response
 // is converted into a Go error.
-func (c *Client) Call(req wire.Msg) (wire.Msg, error) { return c.call(req, 0) }
+func (c *Client) Call(req wire.Msg) (wire.Msg, error) { return c.call(req, 0, 0) }
 
 // CallTimeout is Call with a per-call deadline. When the deadline expires
 // before the response arrives the call returns ErrTimeout and the sequence
@@ -136,11 +136,18 @@ func (c *Client) Call(req wire.Msg) (wire.Msg, error) { return c.call(req, 0) }
 // and the connection stays usable for other calls. A non-positive timeout
 // means no deadline.
 func (c *Client) CallTimeout(req wire.Msg, timeout time.Duration) (wire.Msg, error) {
-	return c.call(req, timeout)
+	return c.call(req, timeout, 0)
 }
 
-func (c *Client) call(req wire.Msg, timeout time.Duration) (wire.Msg, error) {
-	body := wire.Marshal(req)
+// CallTraced is CallTimeout with an operation trace ID riding the request
+// frame's wire header, so the server can correlate this RPC with the client
+// operation that issued it. A zero trace sends the plain untraced encoding.
+func (c *Client) CallTraced(req wire.Msg, trace uint64, timeout time.Duration) (wire.Msg, error) {
+	return c.call(req, timeout, trace)
+}
+
+func (c *Client) call(req wire.Msg, timeout time.Duration, trace uint64) (wire.Msg, error) {
+	body := wire.MarshalTraced(req, trace)
 
 	c.mu.Lock()
 	if c.closed {
@@ -227,11 +234,27 @@ func (c *Client) Close() error {
 // error sends a wire.Error to the caller.
 type Handler func(req wire.Msg) (wire.Msg, error)
 
+// TracedHandler is a Handler that also receives the request's operation
+// trace ID (zero for untraced frames), for per-op correlation in server
+// stats and slow-op logs.
+type TracedHandler func(req wire.Msg, trace uint64) (wire.Msg, error)
+
 // ServeConn reads requests from conn until it closes, dispatching each to h
 // in its own goroutine. If local and remote are non-nil simnet nodes,
 // responses charge the modeled transfer from local (the server) to remote
 // (the client). ServeConn returns when the connection fails or closes.
 func ServeConn(conn io.ReadWriteCloser, h Handler, local, remote *simnet.Node) error {
+	return ServeConnTraced(conn, func(req wire.Msg, _ uint64) (wire.Msg, error) {
+		return h(req)
+	}, local, remote)
+}
+
+// ServeConnTraced is ServeConn for handlers that consume the per-request
+// trace ID. It owns conn and closes it on return: without that, every
+// client that disconnects leaves its accepted descriptor open forever on
+// the server, and a long-lived daemon eventually runs out of fds.
+func ServeConnTraced(conn io.ReadWriteCloser, h TracedHandler, local, remote *simnet.Node) error {
+	defer conn.Close() //nolint:errcheck // already torn down; nothing to report
 	var wmu sync.Mutex
 	var wg sync.WaitGroup
 	defer wg.Wait()
@@ -240,19 +263,19 @@ func ServeConn(conn io.ReadWriteCloser, h Handler, local, remote *simnet.Node) e
 		if err != nil {
 			return err
 		}
-		req, err := wire.Unmarshal(body)
+		req, trace, err := wire.UnmarshalTraced(body)
 		if err != nil {
 			// Unknown or corrupt request: answer with an error frame.
 			req = nil
 		}
 		wg.Add(1)
-		go func(seq uint32, req wire.Msg, unmarshalErr error) {
+		go func(seq uint32, req wire.Msg, trace uint64, unmarshalErr error) {
 			defer wg.Done()
 			var resp wire.Msg
 			if unmarshalErr != nil {
 				resp = &wire.Error{Text: unmarshalErr.Error()}
 			} else {
-				r, herr := handleSafely(h, req)
+				r, herr := handleSafely(h, req, trace)
 				if herr != nil {
 					resp = &wire.Error{Text: herr.Error(), Code: wire.ErrorCodeOf(herr)}
 				} else {
@@ -268,17 +291,17 @@ func ServeConn(conn io.ReadWriteCloser, h Handler, local, remote *simnet.Node) e
 			wmu.Lock()
 			defer wmu.Unlock()
 			writeFrame(conn, seq, out) //nolint:errcheck // conn teardown is detected by readFrame
-		}(seq, req, err)
+		}(seq, req, trace, err)
 	}
 }
 
 // handleSafely converts a handler panic into an error response, so one bad
 // request cannot take down a server shared by many clients.
-func handleSafely(h Handler, req wire.Msg) (resp wire.Msg, err error) {
+func handleSafely(h TracedHandler, req wire.Msg, trace uint64) (resp wire.Msg, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("rpc: handler panic: %v", r)
 		}
 	}()
-	return h(req)
+	return h(req, trace)
 }

@@ -159,6 +159,7 @@ func Run(c *client.Client, f *client.File, opts Options) (*Report, error) {
 	if opts.BatchStripes <= 0 {
 		opts.BatchStripes = 4
 	}
+	defer c.ObserveSince("scrub_pass", time.Now())
 	s := &scrubber{
 		c:    c,
 		g:    g,
@@ -185,6 +186,7 @@ func Run(c *client.Client, f *client.File, opts Options) (*Report, error) {
 	// Bytes were noted incrementally by throttle (so a long pass shows live
 	// progress in Metrics); only the outcome counts remain.
 	c.NoteScrub(0, t.Mismatched, t.Repaired, t.Unrepairable)
+	c.NoteIntentSkips(rep.IntentSkips)
 	return rep, err
 }
 

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"csar/internal/extent"
+	"csar/internal/obs"
 	"csar/internal/raid"
 	"csar/internal/simtime"
 	"csar/internal/storage"
@@ -67,6 +68,10 @@ type Options struct {
 	// PageSize is the local block size the write-buffering path aligns
 	// flushes to. Defaults to 4 KiB.
 	PageSize int
+	// SlowOp, when positive, logs every request whose handling takes longer
+	// (with its kind, duration and trace ID) — the server end of the
+	// client's operation tracing.
+	SlowOp time.Duration
 }
 
 // DefaultOptions returns the production configuration (write buffering on).
@@ -105,6 +110,11 @@ type Server struct {
 	intResolved   atomic.Int64
 	leaseRenewals atomic.Int64
 	leaseExpiries atomic.Int64
+
+	// obs holds the per-RPC-kind latency histograms and the store-level
+	// counters/gauges served by the Stats RPC and the /metrics endpoint
+	// (stats.go).
+	obs *obs.Registry
 }
 
 // Requests returns the number of requests handled since startup.
@@ -172,7 +182,9 @@ func New(idx int, disk storage.Backend, opts Options) *Server {
 		opts:  opts,
 		cpu:   simtime.NewLimiter(opts.Clock, 1), // durations only
 		files: make(map[uint64]*serverFile),
+		obs:   obs.NewRegistry(),
 	}
+	s.registerGauges()
 	s.loadIntents()
 	s.loadDirty()
 	return s
@@ -223,10 +235,10 @@ func (sf *serverFile) store(d storage.Backend, k Store) storage.File {
 
 // Handle dispatches one request. It satisfies rpc.Handler.
 func (s *Server) Handle(req wire.Msg) (wire.Msg, error) {
-	s.requests.Add(1)
-	if s.opts.Clock.Timed() && s.opts.RequestCPU > 0 {
-		s.cpu.AcquireDur(s.opts.RequestCPU)
-	}
+	return s.HandleTraced(req, 0)
+}
+
+func (s *Server) dispatch(req wire.Msg) (wire.Msg, error) {
 	switch m := req.(type) {
 	case *wire.Ping:
 		return &wire.OK{}, nil
@@ -277,6 +289,8 @@ func (s *Server) Handle(req wire.Msg) (wire.Msg, error) {
 		return s.handleCompactOverflow(m)
 	case *wire.ChecksumRange:
 		return s.handleChecksumRange(m)
+	case *wire.Stats:
+		return s.handleStats()
 	default:
 		return nil, fmt.Errorf("server: unsupported request %T", req)
 	}

@@ -62,6 +62,58 @@ func fuzzSeeds() []Msg {
 		&DirtyDumpResp{Epochs: []uint64{99}, Units: []DirtyItem{{Val: 2, Gen: 1}, {Val: 7, Gen: 3}}, Stripes: []DirtyItem{{Val: 3, Gen: 1}}, Overflow: true, OverflowGen: 2},
 		&ClearDirty{File: ref, Dead: 2, Units: []DirtyItem{{Val: 2, Gen: 1}}, Mirrors: []DirtyItem{{Val: 1, Gen: 1}}, Overflow: true, OverflowGen: 2},
 		&ClearDirty{File: ref, Dead: 2, All: true},
+		&Stats{},
+		&StatsResp{
+			Index:    2,
+			Requests: 123,
+			Counters: []StatKV{{Name: "bytes_in", Value: 4096}},
+			Gauges:   []StatKV{{Name: "locks_held", Value: 1}},
+			Hists: []HistDump{{
+				Name: "rpc_read", Count: 2, Sum: 3000, Max: 2000,
+				Buckets: []int64{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1},
+			}},
+		},
+	}
+}
+
+// TestKindsBelowTraceFlag keeps the kind space clear of the trace-flag bit:
+// a kind value at or above 0x80 would be indistinguishable from a traced
+// frame of kind value-0x80.
+func TestKindsBelowTraceFlag(t *testing.T) {
+	for k := range registry {
+		if uint8(k)&KindTraceFlag != 0 {
+			t.Errorf("message kind %d (%v) collides with KindTraceFlag", uint8(k), k)
+		}
+	}
+}
+
+// TestTracedRoundTrip covers the traced frame encoding: the trace ID rides
+// the header, the message body is unchanged, and zero-trace frames use the
+// untraced encoding byte-for-byte.
+func TestTracedRoundTrip(t *testing.T) {
+	ref := FileRef{ID: 3, Servers: 5, StripeUnit: 4096, Scheme: Hybrid}
+	msg := &Read{File: ref, Spans: []Span{{0, 10}}}
+
+	b := MarshalTraced(msg, 0xDEADBEEFCAFE)
+	m, trace, err := UnmarshalTraced(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace != 0xDEADBEEFCAFE {
+		t.Errorf("trace = %#x, want 0xDEADBEEFCAFE", trace)
+	}
+	if got := m.(*Read); got.File != ref || len(got.Spans) != 1 {
+		t.Errorf("traced body mismatch: %+v", got)
+	}
+	// Plain Unmarshal accepts traced frames too, discarding the ID.
+	if _, err := Unmarshal(b); err != nil {
+		t.Errorf("Unmarshal rejected traced frame: %v", err)
+	}
+	if !bytes.Equal(MarshalTraced(msg, 0), Marshal(msg)) {
+		t.Error("zero-trace MarshalTraced differs from Marshal")
+	}
+	if _, _, err := UnmarshalTraced([]byte{uint8(KRead) | KindTraceFlag, 1, 2}); err == nil {
+		t.Error("truncated trace header accepted")
 	}
 }
 
@@ -83,11 +135,17 @@ func TestFuzzSeedsCoverAllKinds(t *testing.T) {
 // panic, and anything it accepts must re-marshal and re-parse to an
 // equivalent message (a decode/encode/decode fixed point).
 func FuzzUnmarshal(f *testing.F) {
-	for _, m := range fuzzSeeds() {
+	for i, m := range fuzzSeeds() {
 		f.Add(Marshal(m))
+		// Every other seed also goes in traced form, so the fuzzer mutates
+		// the trace-ID header path as readily as the bodies.
+		if i%2 == 0 {
+			f.Add(MarshalTraced(m, 0x1234567890ABCDEF))
+		}
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0x00, 0x01})
+	f.Add([]byte{uint8(KPing) | KindTraceFlag, 1, 2, 3}) // truncated trace header
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Unmarshal(data)

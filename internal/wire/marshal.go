@@ -1,6 +1,9 @@
 package wire
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Marshal serializes a message as a kind byte followed by its body.
 func Marshal(m Msg) []byte {
@@ -10,22 +13,56 @@ func Marshal(m Msg) []byte {
 	return e.Buf
 }
 
-// Unmarshal parses a message produced by Marshal.
-func Unmarshal(b []byte) (Msg, error) {
-	if len(b) == 0 {
-		return nil, fmt.Errorf("wire: empty message")
+// MarshalTraced serializes a message with an operation trace ID: the kind
+// byte carries KindTraceFlag and an 8-byte little-endian trace ID precedes
+// the body. A zero trace falls back to the plain Marshal encoding, so
+// untraced callers pay nothing and old decoders never see the flag.
+func MarshalTraced(m Msg, trace uint64) []byte {
+	if trace == 0 {
+		return Marshal(m)
 	}
-	mk, ok := registry[Kind(b[0])]
+	e := Encoder{Buf: make([]byte, 0, 72)}
+	e.U8(uint8(m.Kind()) | KindTraceFlag)
+	e.U64(trace)
+	m.encode(&e)
+	return e.Buf
+}
+
+// Unmarshal parses a message produced by Marshal or MarshalTraced,
+// discarding any trace ID.
+func Unmarshal(b []byte) (Msg, error) {
+	m, _, err := UnmarshalTraced(b)
+	return m, err
+}
+
+// UnmarshalTraced parses a message produced by Marshal or MarshalTraced and
+// returns the trace ID it carried (zero for untraced frames).
+func UnmarshalTraced(b []byte) (Msg, uint64, error) {
+	if len(b) == 0 {
+		return nil, 0, fmt.Errorf("wire: empty message")
+	}
+	kind := b[0]
+	body := b[1:]
+	var trace uint64
+	if kind&KindTraceFlag != 0 {
+		if len(body) < 8 {
+			return nil, 0, fmt.Errorf("wire: truncated trace header")
+		}
+		trace = binary.LittleEndian.Uint64(body)
+		body = body[8:]
+		kind &^= KindTraceFlag
+	}
+	mk, ok := registry[Kind(kind)]
 	if !ok {
-		return nil, fmt.Errorf("wire: unknown message kind %d", b[0])
+		return nil, 0, fmt.Errorf("wire: unknown message kind %d", kind)
 	}
 	m := mk()
-	d := Decoder{Buf: b[1:]}
+	d := Decoder{Buf: body}
 	m.decode(&d)
 	if err := d.Err(); err != nil {
-		return nil, fmt.Errorf("wire: decoding %T: %w", m, err)
+		return nil, 0, fmt.Errorf("wire: decoding %T: %w", m, err)
 	}
-	return m, nil
+	return m, trace, nil
 }
 
 var registry = map[Kind]func() Msg{
@@ -73,6 +110,8 @@ var registry = map[Kind]func() Msg{
 	KDirtyDump:          func() Msg { return &DirtyDump{} },
 	KDirtyDumpResp:      func() Msg { return &DirtyDumpResp{} },
 	KClearDirty:         func() Msg { return &ClearDirty{} },
+	KStats:              func() Msg { return &Stats{} },
+	KStatsResp:          func() Msg { return &StatsResp{} },
 }
 
 func (m *Error) Kind() Kind { return KError }
@@ -497,6 +536,67 @@ func (m *ChecksumRange) decode(d *Decoder) {
 	m.Off = d.I64()
 	m.Len = d.I64()
 	m.Chunk = d.I64()
+}
+
+func (m *Stats) Kind() Kind      { return KStats }
+func (m *Stats) encode(*Encoder) {}
+func (m *Stats) decode(*Decoder) {}
+
+func (m *StatsResp) Kind() Kind { return KStatsResp }
+func (m *StatsResp) encode(e *Encoder) {
+	e.U16(m.Index)
+	e.I64(m.Requests)
+	e.U32(uint32(len(m.Counters)))
+	for _, kv := range m.Counters {
+		e.Str(kv.Name)
+		e.I64(kv.Value)
+	}
+	e.U32(uint32(len(m.Gauges)))
+	for _, kv := range m.Gauges {
+		e.Str(kv.Name)
+		e.I64(kv.Value)
+	}
+	e.U32(uint32(len(m.Hists)))
+	for _, h := range m.Hists {
+		e.Str(h.Name)
+		e.I64(h.Count)
+		e.I64(h.Sum)
+		e.I64(h.Max)
+		e.I64s(h.Buckets)
+	}
+}
+func (m *StatsResp) decode(d *Decoder) {
+	m.Index = d.U16()
+	m.Requests = d.I64()
+	m.Counters = d.statKVs()
+	m.Gauges = d.statKVs()
+	n := int(d.U32())
+	if d.err != nil || n < 0 || n > len(d.Buf) {
+		d.fail()
+		return
+	}
+	m.Hists = make([]HistDump, n)
+	for i := range m.Hists {
+		m.Hists[i].Name = d.Str()
+		m.Hists[i].Count = d.I64()
+		m.Hists[i].Sum = d.I64()
+		m.Hists[i].Max = d.I64()
+		m.Hists[i].Buckets = d.I64sDec()
+	}
+}
+
+func (d *Decoder) statKVs() []StatKV {
+	n := int(d.U32())
+	if d.err != nil || n < 0 || n > len(d.Buf) {
+		d.fail()
+		return nil
+	}
+	v := make([]StatKV, n)
+	for i := range v {
+		v[i].Name = d.Str()
+		v[i].Value = d.I64()
+	}
+	return v
 }
 
 func (m *ChecksumRangeResp) Kind() Kind { return KChecksumRangeResp }

@@ -167,7 +167,78 @@ const (
 	KDirtyDump
 	KDirtyDumpResp
 	KClearDirty
+
+	// Observability: the server-side stats dump
+	// (appended so earlier kinds keep their values).
+	KStats
+	KStatsResp
 )
+
+// KindTraceFlag is the high bit of the kind byte in a marshaled frame. Kinds
+// themselves stay below it (the iota above must never reach 0x80, which
+// TestKindsBelowTraceFlag enforces); a set flag means an 8-byte little-endian
+// trace ID follows the kind byte before the message body. Decoders that
+// predate the flag reject such frames as unknown kinds rather than
+// misparsing them.
+const KindTraceFlag uint8 = 0x80
+
+var kindNames = map[Kind]string{
+	KError:              "error",
+	KOK:                 "ok",
+	KPing:               "ping",
+	KRead:               "read",
+	KReadResp:           "read_resp",
+	KWriteData:          "write_data",
+	KWriteMirror:        "write_mirror",
+	KReadMirror:         "read_mirror",
+	KReadParity:         "read_parity",
+	KWriteParity:        "write_parity",
+	KWriteOverflow:      "write_overflow",
+	KInvalidateOverflow: "invalidate_overflow",
+	KOverflowDump:       "overflow_dump",
+	KOverflowDumpResp:   "overflow_dump_resp",
+	KSync:               "sync",
+	KDropCaches:         "drop_caches",
+	KStorageStat:        "storage_stat",
+	KStorageStatResp:    "storage_stat_resp",
+	KRemoveFile:         "remove_file",
+	KCompactOverflow:    "compact_overflow",
+	KCreate:             "create",
+	KCreateResp:         "create_resp",
+	KOpen:               "open",
+	KOpenResp:           "open_resp",
+	KSetSize:            "set_size",
+	KRemove:             "remove",
+	KList:               "list",
+	KListResp:           "list_resp",
+	KServerList:         "server_list",
+	KServerListResp:     "server_list_resp",
+	KChecksumRange:      "checksum_range",
+	KChecksumRangeResp:  "checksum_range_resp",
+	KHealth:             "health",
+	KHealthResp:         "health_resp",
+	KUnlockParity:       "unlock_parity",
+	KRenewLease:         "renew_lease",
+	KRenewLeaseResp:     "renew_lease_resp",
+	KListIntents:        "list_intents",
+	KListIntentsResp:    "list_intents_resp",
+	KResolveIntent:      "resolve_intent",
+	KMarkDirty:          "mark_dirty",
+	KDirtyDump:          "dirty_dump",
+	KDirtyDumpResp:      "dirty_dump_resp",
+	KClearDirty:         "clear_dirty",
+	KStats:              "stats",
+	KStatsResp:          "stats_resp",
+}
+
+// String names a kind for logs and metric labels (e.g. the per-RPC-kind
+// latency histograms are named "rpc_" + Kind.String()).
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
 
 // Store kinds addressable by ChecksumRange, in the order of
 // StorageStatResp.ByStore and the server's local store layout.
@@ -635,6 +706,39 @@ type ServerList struct{}
 
 // ServerListResp is the reply to ServerList.
 type ServerListResp struct{ Addrs []string }
+
+// Stats asks a server (an I/O daemon or the manager) for its observability
+// snapshot: per-RPC-kind latency histograms and store-level counters.
+type Stats struct{}
+
+// StatKV is one named counter or gauge value in a StatsResp.
+type StatKV struct {
+	Name  string
+	Value int64
+}
+
+// HistDump is one latency histogram in a StatsResp: power-of-two buckets
+// (Buckets[i] counts observations of bit length i nanoseconds), with Sum and
+// Max in nanoseconds. Zero-count trailing buckets may be elided; decoders
+// must accept any length up to the current bucket count.
+type HistDump struct {
+	Name    string
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets []int64
+}
+
+// StatsResp is a server's observability snapshot. Index is the server's
+// stripe position (or 0xFFFF for the manager); Requests is its lifetime
+// request count.
+type StatsResp struct {
+	Index    uint16
+	Requests int64
+	Counters []StatKV
+	Gauges   []StatKV
+	Hists    []HistDump
+}
 
 // --- encoding ---
 

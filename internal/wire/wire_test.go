@@ -72,6 +72,14 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&DirtyDump{File: ref, Dead: 3},
 		&DirtyDumpResp{Epochs: []uint64{99, 100}, Units: []DirtyItem{{Val: 3, Gen: 1}, {Val: 10, Gen: 4}}, Mirrors: []DirtyItem{{Val: 2, Gen: 2}}, Stripes: []DirtyItem{{Val: 1, Gen: 3}}, Overflow: true, OverflowGen: 5},
 		&ClearDirty{File: ref, Dead: 3, Units: []DirtyItem{{Val: 3, Gen: 1}}, Mirrors: []DirtyItem{{Val: 2, Gen: 2}}, Stripes: []DirtyItem{{Val: 1, Gen: 3}}, Overflow: true, OverflowGen: 5},
+		&Stats{},
+		&StatsResp{
+			Index:    3,
+			Requests: 9999,
+			Counters: []StatKV{{Name: "bytes_in", Value: 1 << 20}, {Name: "bytes_out", Value: 7}},
+			Gauges:   []StatKV{{Name: "locks_held", Value: 2}},
+			Hists:    []HistDump{{Name: "rpc_read", Count: 3, Sum: 4500, Max: 2000, Buckets: []int64{0, 1, 1, 1}}},
+		},
 	}
 	seen := map[Kind]bool{}
 	for _, m := range msgs {

@@ -73,6 +73,35 @@ func (r *redialCaller) CallTimeout(m wire.Msg, timeout time.Duration) (wire.Msg,
 	return resp, err
 }
 
+// CallTraced satisfies the resilience layer's tracedCaller fast path: the
+// request rides the wire with its operation's trace ID in the frame header,
+// so server-side slow-op logs can be correlated back to the client op.
+func (r *redialCaller) CallTraced(m wire.Msg, trace uint64, timeout time.Duration) (wire.Msg, error) {
+	cli, err := r.get()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cli.CallTraced(m, trace, timeout)
+	if err != nil && errors.Is(err, rpc.ErrClosed) {
+		r.drop(cli)
+	}
+	return resp, err
+}
+
+// Close drops the cached connection. The caller stays usable — a later call
+// re-dials — but a client being torn down releases its descriptor instead
+// of leaking it (periodic dial-work-exit loops depend on this).
+func (r *redialCaller) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cli == nil {
+		return nil
+	}
+	err := r.cli.Close()
+	r.cli = nil
+	return err
+}
+
 // Dial connects to a running CSAR deployment: it contacts the manager at
 // mgrAddr, asks it for the I/O server addresses, and wires up a connection
 // to every server. The returned client is ready for Create/Open, and has
