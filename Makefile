@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz-seeds faults crash resync obs staticcheck ci
+.PHONY: build vet test race fuzz-seeds faults crash resync rs obs staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,15 @@ resync:
 	$(GO) test -race -count=2 -run 'TestResync|TestDirtyLog|TestRebuildAbort' ./internal/cluster
 	$(GO) test -race -count=2 -run 'TestMetricsResyncCounters' .
 
+# The Reed-Solomon suite: the GF(256) field and RS(k,m) matrix unit and
+# property tests, and the RS(4,2) double-fault cluster scenarios —
+# degraded reads with any two servers dead, double rebuild, delta resync
+# and multi-parity crash-restart intent replay — under the race detector.
+rs:
+	$(GO) test -race -count=2 ./internal/gf256
+	$(GO) test -race -count=2 -run 'TestRS' ./internal/cluster
+	$(GO) test -race -count=2 -run 'TestMultiParityPlacement' ./internal/raid
+
 # The observability suite: the lock-free histogram's concurrency property
 # test under the race detector, the metrics/snapshot drift check, the
 # /metrics + /statusz endpoint tests, and the live-cluster stats and
@@ -63,4 +72,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-ci: vet staticcheck build race fuzz-seeds faults crash resync obs
+ci: vet staticcheck build race fuzz-seeds faults crash resync rs obs

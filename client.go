@@ -36,7 +36,7 @@ func (c *Client) Create(name string, opts FileOptions) (*File, error) {
 	if opts.StripeUnit == 0 {
 		opts.StripeUnit = DefaultStripeUnit
 	}
-	f, err := c.inner.Create(name, opts.Servers, opts.StripeUnit, opts.Scheme)
+	f, err := c.inner.CreateParity(name, opts.Servers, opts.StripeUnit, opts.Scheme, opts.ParityUnits)
 	if err != nil {
 		return nil, err
 	}

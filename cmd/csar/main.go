@@ -7,7 +7,8 @@
 // Commands:
 //
 //	ls                         list files
-//	create <name>              create a file (-scheme, -servers, -su)
+//	create <name>              create a file (-scheme, -servers, -su;
+//	                           scheme rs also takes -rs-k, -rs-m)
 //	put <local> <name>         copy a local file in (creates it)
 //	get <name> <local>         copy a file out
 //	cat <name>                 write a file's contents to stdout
@@ -37,6 +38,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 
 	"csar"
 )
@@ -54,9 +56,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		mgr        = fs.String("mgr", "localhost:7100", "manager address")
-		scheme     = fs.String("scheme", "hybrid", "redundancy scheme for create/put")
+		scheme     = fs.String("scheme", "hybrid", "redundancy scheme for create/put: "+strings.Join(csar.SchemeNames(), ", "))
 		servers    = fs.Int("servers", 0, "servers to stripe over (0 = all)")
 		su         = fs.Int64("su", csar.DefaultStripeUnit, "stripe unit in bytes")
+		rsK        = fs.Int("rs-k", 0, "rs data units per stripe; sets servers to k+m (0 = derive from -servers)")
+		rsM        = fs.Int("rs-m", 0, "rs parity units per stripe (0 = 2)")
 		scrubRate  = fs.Float64("scrub-rate", 0, "scrub I/O rate limit in bytes/sec (0 = unlimited)")
 		repairData = fs.Bool("repair-data", false, "let scrub overwrite primary data when evidence says it is the corrupt copy")
 		resyncRate = fs.Float64("resync-rate", 0, "resync replay I/O rate limit in bytes/sec (0 = unlimited)")
@@ -103,7 +107,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	opts := csar.FileOptions{Servers: *servers, StripeUnit: *su, Scheme: sch}
+	if (*rsK != 0 || *rsM != 0) && sch != csar.ReedSolomon {
+		return fail(fmt.Errorf("-rs-k/-rs-m only apply to -scheme rs, not %v", sch))
+	}
+	opts := csar.FileOptions{Servers: *servers, StripeUnit: *su, Scheme: sch, ParityUnits: *rsM}
+	if *rsK != 0 {
+		m := *rsM
+		if m == 0 {
+			m = 2
+		}
+		opts.Servers = *rsK + m
+		opts.ParityUnits = m
+	}
 
 	switch cmd, rest := args[0], args[1:]; cmd {
 	case "ls":

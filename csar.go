@@ -15,7 +15,10 @@
 //   - Hybrid: the paper's contribution — per-write adaptive redundancy
 //     that stores full stripes as RAID5 and partial-stripe portions as
 //     mirrored writes into an overflow region, giving RAID1 performance
-//     for small writes and RAID5 efficiency for large ones.
+//     for small writes and RAID5 efficiency for large ones;
+//   - ReedSolomon: RS(k, m) erasure coding over GF(256) — m rotating
+//     parity units per stripe, any-k-of-(k+m) reconstruction, tolerating
+//     m simultaneous server failures.
 //
 // # Quick start
 //
@@ -49,7 +52,9 @@ type Scheme = wire.Scheme
 
 // The redundancy schemes. Raid5NoLock and Raid5NPC are instrumented
 // variants used by the paper's microbenchmarks (lock overhead and parity
-// CPU cost); production files use the first four.
+// CPU cost); ReedSolomon generalizes Raid5's single XOR parity to RS(k, m)
+// erasure coding over GF(256), tolerating FileOptions.ParityUnits
+// simultaneous failures.
 const (
 	Raid0       = wire.Raid0
 	Raid1       = wire.Raid1
@@ -57,11 +62,15 @@ const (
 	Hybrid      = wire.Hybrid
 	Raid5NoLock = wire.Raid5NoLock
 	Raid5NPC    = wire.Raid5NPC
+	ReedSolomon = wire.ReedSolomon
 )
 
-// ParseScheme converts a scheme name ("raid0", "raid1", "raid5", "hybrid",
-// "raid5-nolock", "raid5-npc") to a Scheme.
+// ParseScheme converts a scheme name to a Scheme; SchemeNames lists the
+// accepted names.
 func ParseScheme(name string) (Scheme, error) { return wire.ParseScheme(name) }
+
+// SchemeNames returns every scheme's parseable name, in scheme order.
+func SchemeNames() []string { return wire.SchemeNames() }
 
 // Model configures the performance model of an in-process cluster.
 type Model struct {
@@ -279,6 +288,11 @@ type FileOptions struct {
 	StripeUnit int64
 	// Scheme is the redundancy scheme (default Raid0).
 	Scheme Scheme
+	// ParityUnits is the number of parity units per stripe for the
+	// ReedSolomon scheme — the m of RS(k, m), with k = Servers - m data
+	// units. Zero means 2 (double-fault tolerance). Other schemes reject a
+	// non-zero value.
+	ParityUnits int
 }
 
 // ServerRequests returns the number of requests I/O server i has handled.

@@ -115,6 +115,9 @@ func sweepServers(cfg Config, w io.Writer, name, title string, schemes []csar.Sc
 			if scheme.UsesParity() {
 				minServers = 3
 			}
+			if scheme == csar.ReedSolomon {
+				minServers = 4 // RS(k, 2) needs at least 2 data units
+			}
 			if n < minServers {
 				row = append(row, "-")
 				continue
@@ -138,7 +141,7 @@ func sweepServers(cfg Config, w io.Writer, name, title string, schemes []csar.Sc
 // the parity fraction, and RAID5-npc isolates the parity-computation cost.
 func fig4a(cfg Config, w io.Writer) error {
 	total := cfg.scaled(1<<30, 8<<20) // 1 GB of paper-scale traffic
-	schemes := []csar.Scheme{csar.Raid0, csar.Raid1, csar.Raid5, csar.Hybrid, csar.Raid5NPC}
+	schemes := []csar.Scheme{csar.Raid0, csar.Raid1, csar.Raid5, csar.Hybrid, csar.Raid5NPC, csar.ReedSolomon}
 	return sweepServers(cfg, w, "fig4a",
 		"Figure 4a: full-stripe writes, single client (MB/s)",
 		schemes,
@@ -155,7 +158,7 @@ func fig4a(cfg Config, w io.Writer) error {
 // read-modify-write (from cache here), RAID1 and Hybrid just write twice.
 func fig4b(cfg Config, w io.Writer) error {
 	total := cfg.scaled(256<<20, 4<<20)
-	schemes := []csar.Scheme{csar.Raid0, csar.Raid1, csar.Raid5, csar.Hybrid}
+	schemes := []csar.Scheme{csar.Raid0, csar.Raid1, csar.Raid5, csar.Hybrid, csar.ReedSolomon}
 	return sweepServers(cfg, w, "fig4b",
 		"Figure 4b: one-block writes, single client (MB/s)",
 		schemes,

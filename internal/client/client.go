@@ -118,6 +118,12 @@ func (c *Client) chargeXOR(n int64) {
 	}
 }
 
+// chargeGF models the client CPU time of a GF(256) multiply-accumulate pass
+// over n bytes. The table-driven word-at-a-time kernel runs at roughly half
+// the XOR bandwidth (see internal/gf256's benchmarks), so it is charged as
+// two XOR passes rather than through a separate model knob.
+func (c *Client) chargeGF(n int64) { c.chargeXOR(2 * n) }
+
 // callSrv issues one request to server idx, charging the modeled client CPU
 // first and applying the resilience policy: the breaker's admission gate, a
 // per-call deadline, and retries with backoff for idempotent requests. An
@@ -235,6 +241,42 @@ func (c *Client) anyDown(ref wire.FileRef) (int, bool) {
 	return -1, false
 }
 
+// allDown returns every unusable server of the file's stripe set, in
+// ascending order. Reed-Solomon files tolerate up to ParityUnits
+// simultaneous failures, so their degraded paths need the full list where
+// the single-failure schemes need only anyDown's first hit.
+func (c *Client) allDown(ref wire.FileRef) []int {
+	n := int(ref.Servers)
+	var out []int
+	c.mu.Lock()
+	for i := 0; i < n; i++ {
+		if c.down[i] {
+			out = append(out, i)
+		}
+	}
+	c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if c.breakerDown(i) {
+			found := false
+			for _, d := range out {
+				if d == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out = append(out, i)
+			}
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
 // server returns the caller for server idx.
 func (c *Client) server(idx int) Caller { return c.srv[idx] }
 
@@ -243,13 +285,24 @@ func (c *Client) server(idx int) Caller { return c.srv[idx] }
 func (c *Client) ServerCaller(idx int) Caller { return c.srv[idx] }
 
 // Create makes a new file striped over `servers` I/O servers with the given
-// stripe unit and redundancy scheme.
+// stripe unit and redundancy scheme. Reed-Solomon files get the manager's
+// default parity-unit count; CreateParity chooses it explicitly.
 func (c *Client) Create(name string, servers int, stripeUnit int64, scheme wire.Scheme) (*File, error) {
+	return c.CreateParity(name, servers, stripeUnit, scheme, 0)
+}
+
+// CreateParity is Create with an explicit parity-unit count: a Reed-Solomon
+// RS(k, m) file striped over servers = k+m I/O servers carries parity = m
+// parity units per stripe and survives any m simultaneous server failures.
+// parity 0 applies the manager's default (2 for Reed-Solomon); non-RS
+// schemes reject an explicit count.
+func (c *Client) CreateParity(name string, servers int, stripeUnit int64, scheme wire.Scheme, parity int) (*File, error) {
 	resp, err := c.mgr.Call(&wire.Create{
 		Name:       name,
 		Servers:    uint16(servers),
 		StripeUnit: uint32(stripeUnit),
 		Scheme:     scheme,
+		Parity:     uint8(parity),
 	})
 	if err != nil {
 		return nil, err
@@ -276,7 +329,12 @@ func (c *Client) Open(name string) (*File, error) {
 
 func (c *Client) fileFor(ref wire.FileRef, size int64) (*File, error) {
 	g := raid.Geometry{Servers: int(ref.Servers), StripeUnit: int64(ref.StripeUnit)}
-	if err := g.Validate(); err != nil {
+	if ref.Scheme == wire.ReedSolomon {
+		g.ParityUnits = ref.ParityUnits()
+		if err := g.ValidateParity(); err != nil {
+			return nil, err
+		}
+	} else if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	if g.Servers > len(c.srv) {

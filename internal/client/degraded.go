@@ -31,6 +31,13 @@ func (f *File) readDegraded(p []byte, off int64, dead int) (int, error) {
 			return 0, err
 		}
 		return len(p), nil
+	case wire.ReedSolomon:
+		// Up to the file's ParityUnits servers may be down at once; the
+		// RS path unions every down server with the one just reported.
+		if err := f.readDegradedRS(p, off, dead); err != nil {
+			return 0, err
+		}
+		return len(p), nil
 	default:
 		return 0, fmt.Errorf("client: degraded read unsupported for scheme %v", f.ref.Scheme)
 	}

@@ -102,7 +102,7 @@ func dirtyDamage(g raid.Geometry, scheme wire.Scheme, plan core.Plan, dead int) 
 	}
 	addStripes := func(sp raid.Span) {
 		for s := g.StripeOf(sp.Off); s <= g.StripeOf(sp.End() - 1); s++ {
-			if g.ParityServerOf(s) == dead && !seenS[s] {
+			if _, ok := g.ParityUnitOn(dead, s); ok && !seenS[s] {
 				seenS[s] = true
 				stripes = append(stripes, s)
 			}

@@ -62,6 +62,14 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		switch f.ref.Scheme {
 		case wire.Raid1, wire.Raid5, wire.Hybrid:
 			dead = d
+		case wire.ReedSolomon:
+			// Degraded writes carry one failure (the dirty-region log and
+			// delta resync are per-outage); with several servers out the
+			// file stays readable but rejects writes until rebuild.
+			if len(f.c.allDown(f.ref)) > 1 {
+				return 0, ErrDegradedWrite
+			}
+			dead = d
 		default:
 			return 0, ErrDegradedWrite
 		}
@@ -136,7 +144,7 @@ func (f *File) execute(plan core.Plan, off int64, p []byte, dead int, tr uint64)
 		lockHeld := make(chan struct{})
 		go func() {
 			defer close(headDone)
-			defer f.timePath("op_write_rmw")()
+			defer f.timePath(f.writePathName("rmw"))()
 			headErr = f.writeRMW(head.Span, data(head.Span), func() { close(lockHeld) }, dead, tr)
 		}()
 		<-lockHeld // head's parity read has completed (or failed)
@@ -160,11 +168,11 @@ func (f *File) execute(plan core.Plan, off int64, p []byte, dead int, tr uint64)
 				errs[i] = f.writeMirrored(pt.Span, data(pt.Span), dead, tr)
 			case core.ModeFullStripe:
 				f.c.metrics.fullStripes.Add(1)
-				defer f.timePath("op_write_full_stripe")()
+				defer f.timePath(f.writePathName("full_stripe"))()
 				errs[i] = f.writeFullStripes(pt.Span, data(pt.Span), dead, tr)
 			case core.ModeRMW:
 				f.c.metrics.rmws.Add(1)
-				defer f.timePath("op_write_rmw")()
+				defer f.timePath(f.writePathName("rmw"))()
 				errs[i] = f.writeRMW(pt.Span, data(pt.Span), nil, dead, tr)
 			case core.ModeOverflow:
 				f.c.metrics.overflowWrites.Add(1)
@@ -193,6 +201,16 @@ func (f *File) execute(plan core.Plan, off int64, p []byte, dead int, tr uint64)
 func (f *File) timePath(name string) func() {
 	start := time.Now()
 	return func() { f.c.Observe(name, f.c.sinceStart(start)) }
+}
+
+// writePathName returns the histogram name of one write-path branch:
+// Reed-Solomon files get their own op_write_rs_* series so the GF(256)
+// coding paths are visible separately from the XOR-parity ones.
+func (f *File) writePathName(base string) string {
+	if f.ref.Scheme == wire.ReedSolomon {
+		return "op_write_rs_" + base
+	}
+	return "op_write_" + base
 }
 
 // sendWriteData ships per-server payloads of span to the data files,
@@ -252,6 +270,9 @@ func (f *File) writeMirrored(span raid.Span, p []byte, dead int, tr uint64) erro
 // the Hybrid scheme it additionally invalidates any overflow extents the
 // stripes previously had, migrating that data back to RAID5 (Section 4).
 func (f *File) writeFullStripes(span raid.Span, p []byte, dead int, tr uint64) error {
+	if f.ref.Scheme == wire.ReedSolomon {
+		return f.writeFullStripesRS(span, p, dead, tr)
+	}
 	g := f.geom
 	ss := g.StripeSize()
 	su := g.StripeUnit
@@ -333,6 +354,9 @@ func (f *File) writeFullStripes(span raid.Span, p []byte, dead int, tr uint64) e
 //     is applied, so the updated parity encodes the new bytes and the next
 //     rebuild materializes them.
 func (f *File) writeRMW(span raid.Span, p []byte, onParityRead func(), dead int, tr uint64) error {
+	if f.ref.Scheme == wire.ReedSolomon {
+		return f.writeRMWRS(span, p, onParityRead, dead, tr)
+	}
 	g := f.geom
 	stripe := g.StripeOf(span.Off)
 	lock := f.ref.Scheme.UsesLocking()

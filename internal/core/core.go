@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 
+	"csar/internal/gf256"
 	"csar/internal/raid"
 	"csar/internal/wire"
 )
@@ -89,7 +90,7 @@ func PlanWrite(g raid.Geometry, scheme wire.Scheme, off, length int64) Plan {
 		p.Portions = []Portion{{whole, ModePlain}}
 	case wire.Raid1:
 		p.Portions = []Portion{{whole, ModeMirrored}}
-	case wire.Raid5, wire.Raid5NoLock, wire.Raid5NPC:
+	case wire.Raid5, wire.Raid5NoLock, wire.Raid5NPC, wire.ReedSolomon:
 		head, body, tail := g.Decompose(off, length)
 		p.add(head, ModeRMW)
 		p.add(body, ModeFullStripe)
@@ -162,6 +163,68 @@ func ApplyParityDelta(g raid.Geometry, off int64, oldData, newData, parity []byt
 		n := pieceEnd - cur
 		raid.XORInto(parity[pos:pos+n], oldData[cur-off:cur-off+n])
 		raid.XORInto(parity[pos:pos+n], newData[cur-off:cur-off+n])
+		cur = pieceEnd
+	}
+}
+
+// RSOf returns the Reed-Solomon code matching the geometry's stripe shape
+// (k = DataWidth data units, m = ParityUnits parity units).
+func RSOf(g raid.Geometry) (*gf256.RS, error) {
+	return gf256.NewRS(g.DataWidth(), g.PU())
+}
+
+// StripeRSParity computes every Reed-Solomon parity unit of one full stripe
+// from its data. stripeData holds the stripe's k consecutive data units;
+// parity holds m buffers of one stripe unit each, zeroed and overwritten.
+func StripeRSParity(g raid.Geometry, code *gf256.RS, stripeData []byte, parity [][]byte) {
+	su := g.StripeUnit
+	if int64(len(stripeData)) != g.StripeSize() {
+		panic(fmt.Sprintf("core: stripe data is %d bytes, want %d", len(stripeData), g.StripeSize()))
+	}
+	if len(parity) != g.PU() {
+		panic(fmt.Sprintf("core: %d parity buffers, want %d", len(parity), g.PU()))
+	}
+	data := make([][]byte, g.DataWidth())
+	for u := range data {
+		data[u] = stripeData[int64(u)*su : int64(u+1)*su]
+	}
+	code.EncodeInto(parity, data)
+}
+
+// ApplyRSParityDelta folds a partial-stripe update into one existing
+// Reed-Solomon parity unit: the ApplyParityDelta identity generalized to
+// coefficient rows, parity_j ^= Coef(j,i)*(old_i XOR new_i) for each data
+// unit i the range [off, off+len(oldData)) touches. The range must lie
+// within one stripe; parity is parity unit j of that stripe, updated in
+// place.
+func ApplyRSParityDelta(g raid.Geometry, code *gf256.RS, j int, off int64, oldData, newData, parity []byte) {
+	if len(oldData) != len(newData) {
+		panic(fmt.Sprintf("core: old/new length mismatch %d != %d", len(oldData), len(newData)))
+	}
+	if int64(len(parity)) != g.StripeUnit {
+		panic(fmt.Sprintf("core: parity buffer is %d bytes, want %d", len(parity), g.StripeUnit))
+	}
+	length := int64(len(oldData))
+	if length == 0 {
+		return
+	}
+	if g.StripeOf(off) != g.StripeOf(off+length-1) {
+		panic(fmt.Sprintf("core: range [%d,%d) crosses a stripe boundary", off, off+length))
+	}
+	k := int64(g.DataWidth())
+	end := off + length
+	for cur := off; cur < end; {
+		b := g.UnitOf(cur)
+		unitStart := g.UnitStart(b)
+		pieceEnd := unitStart + g.StripeUnit
+		if pieceEnd > end {
+			pieceEnd = end
+		}
+		pos := cur - unitStart // within-unit == within-parity position
+		n := pieceEnd - cur
+		c := code.Coef(j, int(b%k))
+		gf256.MulAddSlice(c, parity[pos:pos+n], oldData[cur-off:cur-off+n])
+		gf256.MulAddSlice(c, parity[pos:pos+n], newData[cur-off:cur-off+n])
 		cur = pieceEnd
 	}
 }

@@ -1,0 +1,172 @@
+package gf256
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RS is a systematic Reed-Solomon code over GF(256) with k data units and m
+// parity units per stripe. Any k of the k+m units suffice to recover the
+// rest, so the code tolerates any m simultaneous erasures.
+//
+// The coding matrix is [I; C]: identity on top (data is stored verbatim),
+// and an m×k Cauchy matrix C[j][i] = 1/(x_j+y_i) over distinct field points
+// below. Every square submatrix of a Cauchy matrix is invertible, which is
+// exactly the MDS condition for the systematic code: losing any d data and
+// p parity units (d+p <= m) leaves a decodable system because the d×d
+// Cauchy submatrix pairing the surviving parity rows with the lost data
+// columns is invertible. Each column is then scaled (submatrix
+// invertibility survives nonzero row/column scaling) so parity row 0 is
+// all ones — parity unit 0 of RS(k,m) is byte-identical to the RAID5 XOR
+// parity, and its encode runs at XOR speed.
+type RS struct {
+	K, M int
+	// rows is the full (k+m)×k coding matrix; rows[0..k-1] form the
+	// identity, rows[k..k+m-1] are the parity coefficient rows.
+	rows [][]byte
+}
+
+// rsCache memoizes codes by (k,m): every file with the same shape shares
+// one immutable matrix.
+var (
+	rsMu    sync.Mutex
+	rsCache = map[[2]int]*RS{}
+)
+
+// NewRS returns the RS(k,m) code, building and caching its coding matrix.
+// k must be at least 1, m at least 1, and k+m at most 256 (the field has
+// only 256 distinct evaluation points).
+func NewRS(k, m int) (*RS, error) {
+	if k < 1 || m < 1 || k+m > 256 {
+		return nil, fmt.Errorf("gf256: invalid RS shape k=%d m=%d (need k>=1, m>=1, k+m<=256)", k, m)
+	}
+	key := [2]int{k, m}
+	rsMu.Lock()
+	defer rsMu.Unlock()
+	if r, ok := rsCache[key]; ok {
+		return r, nil
+	}
+	rows := make([][]byte, k+m)
+	for i := 0; i < k; i++ {
+		rows[i] = make([]byte, k)
+		rows[i][i] = 1
+	}
+	// Cauchy block over parity points x_j = k+j and data points y_i = i
+	// (addition is XOR, so distinctness is all that matters), with column i
+	// scaled by the inverse of its row-0 entry to make row 0 all ones.
+	for j := 0; j < m; j++ {
+		rows[k+j] = make([]byte, k)
+		for i := 0; i < k; i++ {
+			c := Inv(byte(k+j) ^ byte(i))
+			rows[k+j][i] = Mul(c, byte(k)^byte(i)) // = c / C[0][i]
+		}
+	}
+	r := &RS{K: k, M: m, rows: rows}
+	rsCache[key] = r
+	return r, nil
+}
+
+// ParityRow returns the coefficient row of parity unit j (0 <= j < m):
+// parity_j = sum_i row[i] * data_i. The returned slice is shared and must
+// not be modified.
+func (r *RS) ParityRow(j int) []byte { return r.rows[r.K+j] }
+
+// Coef returns the coefficient of data unit i in parity unit j. RMW parity
+// deltas use it directly: parity_j ^= Coef(j,i) * (old_i XOR new_i).
+func (r *RS) Coef(j, i int) byte { return r.rows[r.K+j][i] }
+
+// EncodeInto computes all m parity units for one stripe of k equal-length
+// data units. parity must hold m slices of the data unit length; each is
+// zeroed and overwritten.
+func (r *RS) EncodeInto(parity, data [][]byte) {
+	if len(parity) != r.M || len(data) != r.K {
+		panic(fmt.Sprintf("gf256: EncodeInto shape mismatch: %d parity %d data for RS(%d,%d)",
+			len(parity), len(data), r.K, r.M))
+	}
+	for j := 0; j < r.M; j++ {
+		p := parity[j]
+		for i := range p {
+			p[i] = 0
+		}
+		row := r.ParityRow(j)
+		for i, d := range data {
+			MulAddSlice(row[i], p, d)
+		}
+	}
+}
+
+// EncodeUnitInto computes just parity unit j into dst (zeroed first).
+func (r *RS) EncodeUnitInto(j int, dst []byte, data [][]byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	row := r.ParityRow(j)
+	for i, d := range data {
+		MulAddSlice(row[i], dst, d)
+	}
+}
+
+// Reconstruct fills in the missing units of one stripe. units holds the
+// k+m stripe units in code order (data 0..k-1, then parity 0..m-1);
+// units[i] is nil for a lost unit and a slice of the unit length
+// otherwise. Missing units are allocated, reconstructed from any k present
+// ones, and stored back into units. It fails if fewer than k units are
+// present.
+func (r *RS) Reconstruct(units [][]byte) error {
+	n := r.K + r.M
+	if len(units) != n {
+		panic(fmt.Sprintf("gf256: Reconstruct got %d units for RS(%d,%d)", len(units), r.K, r.M))
+	}
+	var size int
+	present := make([]int, 0, r.K)
+	for i, u := range units {
+		if u != nil {
+			if len(present) < r.K {
+				present = append(present, i)
+			}
+			size = len(u)
+		}
+	}
+	if len(present) < r.K {
+		return fmt.Errorf("gf256: RS(%d,%d) stripe has only %d of %d units needed", r.K, r.M, len(present), r.K)
+	}
+
+	missingData := false
+	for i := 0; i < r.K; i++ {
+		if units[i] == nil {
+			missingData = true
+		}
+	}
+	if missingData {
+		// Invert the k×k submatrix of the surviving rows: data = sub^-1 ×
+		// survivors.
+		sub := make([][]byte, r.K)
+		for i, row := range present {
+			sub[i] = r.rows[row]
+		}
+		dec, err := matInvert(sub)
+		if err != nil {
+			return fmt.Errorf("gf256: RS(%d,%d) decode: %w", r.K, r.M, err)
+		}
+		for i := 0; i < r.K; i++ {
+			if units[i] != nil {
+				continue
+			}
+			out := make([]byte, size)
+			for t, row := range present {
+				MulAddSlice(dec[i][t], out, units[row])
+			}
+			units[i] = out
+		}
+	}
+	// With all data present, missing parity is a straight re-encode.
+	for j := 0; j < r.M; j++ {
+		if units[r.K+j] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		r.EncodeUnitInto(j, out, units[:r.K])
+		units[r.K+j] = out
+	}
+	return nil
+}

@@ -67,7 +67,22 @@ func (m *Manager) Handle(req wire.Msg) (wire.Msg, error) {
 }
 
 func (m *Manager) create(r *wire.Create) (wire.Msg, error) {
-	g := raid.Geometry{Servers: int(r.Servers), StripeUnit: int64(r.StripeUnit)}
+	parity := uint8(0)
+	if r.Scheme == wire.ReedSolomon {
+		// RS(k, m): m parity units per stripe, defaulting to double-fault
+		// tolerance. The count is fixed at create time and rides the FileRef.
+		parity = r.Parity
+		if parity == 0 {
+			parity = 2
+		}
+		if int(parity) > int(r.Servers)-2 {
+			return nil, fmt.Errorf("meta: rs with %d parity units needs at least %d servers, got %d",
+				parity, int(parity)+2, r.Servers)
+		}
+	} else if r.Parity != 0 {
+		return nil, fmt.Errorf("meta: scheme %v does not take a parity-unit count", r.Scheme)
+	}
+	g := raid.Geometry{Servers: int(r.Servers), StripeUnit: int64(r.StripeUnit), ParityUnits: int(parity)}
 	if r.Scheme.UsesParity() {
 		if err := g.ValidateParity(); err != nil {
 			return nil, err
@@ -99,6 +114,7 @@ func (m *Manager) create(r *wire.Create) (wire.Msg, error) {
 			Servers:    r.Servers,
 			StripeUnit: r.StripeUnit,
 			Scheme:     r.Scheme,
+			Parity:     parity,
 		},
 	}
 	m.nextID++

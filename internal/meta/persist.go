@@ -21,6 +21,7 @@ type snapshotFile struct {
 	Servers    uint16 `json:"servers"`
 	StripeUnit uint32 `json:"stripe_unit"`
 	Scheme     uint8  `json:"scheme"`
+	Parity     uint8  `json:"parity,omitempty"`
 	Size       int64  `json:"size"`
 }
 
@@ -54,6 +55,7 @@ func NewPersistent(serverCount int, serverAddrs []string, path string) (*Manager
 				Servers:    sf.Servers,
 				StripeUnit: sf.StripeUnit,
 				Scheme:     wire.Scheme(sf.Scheme),
+				Parity:     sf.Parity,
 			},
 			size: sf.Size,
 		}
@@ -76,6 +78,7 @@ func (m *Manager) save() error {
 			Servers:    fm.ref.Servers,
 			StripeUnit: fm.ref.StripeUnit,
 			Scheme:     uint8(fm.ref.Scheme),
+			Parity:     fm.ref.Parity,
 			Size:       fm.size,
 		})
 	}

@@ -5,10 +5,13 @@
 // split into stripe units of StripeUnit bytes; unit b lives on I/O server
 // b mod N at local offset (b/N)*StripeUnit in that server's data file.
 //
-// For RAID5 and Hybrid, a parity stripe groups N-1 consecutive data units.
-// Stripe s covers data units [s*(N-1), (s+1)*(N-1)); those units occupy every
-// server except (N-1-s) mod N, which stores the stripe's parity unit in its
-// redundancy file at local offset (s/N)*StripeUnit.
+// For parity schemes, a stripe of k = N-m consecutive data units is
+// protected by m parity units (m=1 for RAID5 and Hybrid; m>=1 for
+// Reed-Solomon). Stripe s covers data units [s*k, (s+1)*k), which land on
+// servers (s*k+i) mod N; its parity units j=0..m-1 rotate onto the m
+// remaining servers ((s+1)*k+j) mod N, so every server carries an equal
+// share of parity. For m=1 this is exactly the classic layout: parity of
+// stripe s on server (N-1-s) mod N at local offset (s/N)*StripeUnit.
 //
 // For RAID1, the mirror of data unit b is stored on server (b+1) mod N in
 // that server's redundancy file, at the same local offset as the primary.
@@ -22,6 +25,18 @@ type Geometry struct {
 	Servers int
 	// StripeUnit is the size in bytes of one stripe unit (one block).
 	StripeUnit int64
+	// ParityUnits is the number of parity units per stripe for parity
+	// schemes. Zero means one (the XOR-parity schemes predating
+	// Reed-Solomon leave it unset).
+	ParityUnits int
+}
+
+// PU returns the effective parity-unit count (ParityUnits, defaulted to 1).
+func (g Geometry) PU() int {
+	if g.ParityUnits < 1 {
+		return 1
+	}
+	return g.ParityUnits
 }
 
 // Validate reports whether the geometry is usable.
@@ -35,21 +50,24 @@ func (g Geometry) Validate() error {
 	return nil
 }
 
-// ValidateParity reports whether the geometry supports parity (RAID5/Hybrid),
-// which needs at least three servers so the parity unit of every stripe can
-// be placed on a server holding none of that stripe's data.
+// ValidateParity reports whether the geometry supports parity
+// (RAID5/Hybrid/Reed-Solomon), which needs at least two data units per
+// stripe plus its parity units, so every stripe's parity lands on servers
+// holding none of that stripe's data.
 func (g Geometry) ValidateParity() error {
 	if err := g.Validate(); err != nil {
 		return err
 	}
-	if g.Servers < 3 {
-		return fmt.Errorf("raid: parity schemes need at least 3 servers, got %d", g.Servers)
+	if g.Servers < g.PU()+2 {
+		return fmt.Errorf("raid: %d-parity schemes need at least %d servers, got %d",
+			g.PU(), g.PU()+2, g.Servers)
 	}
 	return nil
 }
 
-// DataWidth returns the number of data units in one parity stripe (N-1).
-func (g Geometry) DataWidth() int { return g.Servers - 1 }
+// DataWidth returns the number of data units in one parity stripe
+// (N minus the parity units).
+func (g Geometry) DataWidth() int { return g.Servers - g.PU() }
 
 // StripeSize returns the number of data bytes covered by one parity stripe.
 func (g Geometry) StripeSize() int64 { return int64(g.DataWidth()) * g.StripeUnit }
@@ -120,18 +138,57 @@ func (g Geometry) StripeOf(off int64) int64 { return off / g.StripeSize() }
 // StripeStart returns the file offset at which parity stripe s begins.
 func (g Geometry) StripeStart(s int64) int64 { return s * g.StripeSize() }
 
-// ParityServerOf returns the server storing the parity unit of stripe s.
-// It is the unique server holding none of stripe s's data units.
-func (g Geometry) ParityServerOf(s int64) int {
+// ParityServerOf returns the server storing parity unit 0 of stripe s.
+// With one parity unit (the XOR schemes) it is the unique server holding
+// none of stripe s's data units: (N-1-s) mod N.
+func (g Geometry) ParityServerOf(s int64) int { return g.ParityServerOfUnit(s, 0) }
+
+// ParityServerOfUnit returns the server storing parity unit j of stripe s.
+// Stripe s's data units occupy servers (s*k+i) mod N for i in [0,k); its
+// parity units continue the rotation onto the remaining m servers, so unit
+// j lands on ((s+1)*k+j) mod N. For m=1, j=0 this reduces to the classic
+// (N-1-s) mod N placement, keeping the on-disk layout of existing files.
+func (g Geometry) ParityServerOfUnit(s int64, j int) int {
 	n := int64(g.Servers)
-	return int(((n - 1 - s%n) + n) % n)
+	k := int64(g.DataWidth())
+	return int((((s+1)*k+int64(j))%n + n) % n)
+}
+
+// ParityUnitOn reports which parity unit of stripe s server srv stores,
+// if any. A server holds at most one parity unit of a given stripe (the
+// m parity units of one stripe occupy m distinct servers).
+func (g Geometry) ParityUnitOn(srv int, s int64) (j int, ok bool) {
+	n := int64(g.Servers)
+	k := int64(g.DataWidth())
+	j = int(((int64(srv)-(s+1)*k)%n + n) % n)
+	return j, j < g.PU()
 }
 
 // ParityLocalOffset returns the offset of stripe s's parity unit within the
-// redundancy file of its parity server. Each server owns the parity of one
-// stripe out of every N consecutive stripes.
+// redundancy file of its (single) parity server. Only meaningful for
+// one-parity-unit geometries; multi-parity callers name the server with
+// ParityLocalOffsetOn.
 func (g Geometry) ParityLocalOffset(s int64) int64 {
-	return (s / int64(g.Servers)) * g.StripeUnit
+	return g.ParityLocalOffsetOn(g.ParityServerOf(s), s)
+}
+
+// ParityLocalOffsetOn returns the offset of stripe s's parity unit within
+// server srv's redundancy file (srv must hold one of s's parity units).
+// Each server owns exactly m parity units out of every N consecutive
+// stripes; they are packed densely in stripe order, so the offset is the
+// count of parity units srv owns for stripes before s, times the stripe
+// unit. For m=1 this is the classic (s/N)*StripeUnit.
+func (g Geometry) ParityLocalOffsetOn(srv int, s int64) int64 {
+	n := int64(g.Servers)
+	period := s / n
+	rank := 0
+	res := s % n
+	for r := int64(0); r < res; r++ {
+		if _, ok := g.ParityUnitOn(srv, r); ok {
+			rank++
+		}
+	}
+	return (period*int64(g.PU()) + int64(rank)) * g.StripeUnit
 }
 
 // DataUnitsOf returns the first data unit of stripe s and the number of data
@@ -176,10 +233,24 @@ func (g Geometry) UnitsOwnedBy(srv int, size int64, fn func(unit int64) error) e
 func (g Geometry) ParityStripesOwnedBy(srv int, size int64, fn func(stripe int64) error) error {
 	n := int64(g.Servers)
 	stripes := g.StripesIn(size)
-	// ParityServerOf(s) == srv iff s ≡ N-1-srv (mod N).
-	for s := ((n - 1 - int64(srv)) % n + n) % n; s < stripes; s += n {
-		if err := fn(s); err != nil {
-			return err
+	// Ownership depends only on s mod N: collect srv's residues (one for
+	// the XOR schemes, PU of them for multi-parity) and walk each
+	// arithmetic progression, merged in increasing stripe order.
+	var residues []int64
+	for r := int64(0); r < n; r++ {
+		if _, ok := g.ParityUnitOn(srv, r); ok {
+			residues = append(residues, r)
+		}
+	}
+	for base := int64(0); base < stripes; base += n {
+		for _, r := range residues {
+			s := base + r
+			if s >= stripes {
+				break
+			}
+			if err := fn(s); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

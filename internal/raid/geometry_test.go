@@ -344,3 +344,76 @@ func TestMirrorServer(t *testing.T) {
 		}
 	}
 }
+
+// TestMultiParityPlacement checks the Reed-Solomon generalization of the
+// parity layout: per stripe, data and parity units together occupy every
+// server exactly once; each server holds exactly PU parity units per N
+// consecutive stripes; local parity offsets are dense and collision-free
+// per server; and the m=1 case reduces to the classic RAID5 placement.
+func TestMultiParityPlacement(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 8, 9} {
+		for _, m := range []int{1, 2, 3} {
+			if n < m+2 {
+				continue
+			}
+			g := Geometry{Servers: n, StripeUnit: 10, ParityUnits: m}
+			k := g.DataWidth()
+			if k != n-m {
+				t.Fatalf("n=%d m=%d: DataWidth=%d", n, m, k)
+			}
+			for s := int64(0); s < int64(4*n); s++ {
+				used := make(map[int]bool)
+				first, count := g.DataUnitsOf(s)
+				for i := 0; i < count; i++ {
+					used[g.ServerOf(first+int64(i))] = true
+				}
+				for j := 0; j < m; j++ {
+					ps := g.ParityServerOfUnit(s, j)
+					if used[ps] {
+						t.Fatalf("n=%d m=%d stripe %d: server %d holds data and parity", n, m, s, ps)
+					}
+					used[ps] = true
+					if jj, ok := g.ParityUnitOn(ps, s); !ok || jj != j {
+						t.Fatalf("n=%d m=%d stripe %d: ParityUnitOn(%d) = %d,%v want %d", n, m, s, ps, jj, ok, j)
+					}
+				}
+				if len(used) != n {
+					t.Fatalf("n=%d m=%d stripe %d: %d servers used", n, m, s, len(used))
+				}
+			}
+			// Per-server offsets: collision-free, dense in [0, owned*SU).
+			for srv := 0; srv < n; srv++ {
+				offs := make(map[int64]bool)
+				owned := 0
+				for s := int64(0); s < int64(3*n); s++ {
+					if _, ok := g.ParityUnitOn(srv, s); !ok {
+						continue
+					}
+					owned++
+					off := g.ParityLocalOffsetOn(srv, s)
+					if offs[off] {
+						t.Fatalf("n=%d m=%d srv %d: duplicate parity offset %d", n, m, srv, off)
+					}
+					offs[off] = true
+					if off < 0 || off >= int64(3*n*m)*g.StripeUnit {
+						t.Fatalf("n=%d m=%d srv %d: offset %d out of dense range", n, m, srv, off)
+					}
+				}
+				if owned != 3*m {
+					t.Fatalf("n=%d m=%d srv %d: owns %d parity units in 3 periods, want %d", n, m, srv, owned, 3*m)
+				}
+			}
+			if m == 1 {
+				classic := Geometry{Servers: n, StripeUnit: 10}
+				for s := int64(0); s < int64(4*n); s++ {
+					if g.ParityServerOfUnit(s, 0) != classic.ParityServerOf(s) {
+						t.Fatalf("n=%d stripe %d: m=1 placement differs from classic", n, s)
+					}
+					if g.ParityLocalOffset(s) != classic.ParityLocalOffset(s) {
+						t.Fatalf("n=%d stripe %d: m=1 offset differs from classic", n, s)
+					}
+				}
+			}
+		}
+	}
+}

@@ -153,6 +153,8 @@ func Rebuild(c *client.Client, f *client.File, dead int) error {
 			return err
 		}
 		return rebuildOverflow(c, f, dead)
+	case wire.ReedSolomon:
+		return rebuildRS(c, f, dead, size)
 	default:
 		return fmt.Errorf("recovery: unsupported scheme %v", ref.Scheme)
 	}
@@ -391,6 +393,12 @@ func Verify(c *client.Client, f *client.File) ([]string, error) {
 				problems = append(problems, fmt.Sprintf("unit %d: mirror differs from primary", b))
 			}
 		}
+	case ref.Scheme == wire.ReedSolomon:
+		rsProblems, err := verifyRS(c, f)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, rsProblems...)
 	case ref.Scheme.UsesParity():
 		lastStripe := g.StripeOf(size - 1)
 		for s := int64(0); s <= lastStripe; s++ {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"csar/internal/client"
+	"csar/internal/core"
 	"csar/internal/raid"
 	"csar/internal/wire"
 )
@@ -68,16 +69,21 @@ func ReplayIntents(c *client.Client, f *client.File) (*ReplayReport, error) {
 }
 
 // replayStripe reconstructs one abandoned stripe's parity and resolves its
-// intent on the parity server.
+// intent on the parity server. Under multi-parity Reed-Solomon each of the
+// stripe's m parity servers records its own intent, and each replay
+// recomputes only the parity unit that server holds; parity unit 0 is the
+// plain XOR of the data units, so the single-parity schemes are the j == 0
+// special case.
 func replayStripe(c *client.Client, ref wire.FileRef, g raid.Geometry, srv int, in wire.Intent, rep *ReplayReport) error {
-	if g.ParityServerOf(in.Stripe) != srv {
+	pu, ok := g.ParityUnitOn(srv, in.Stripe)
+	if !ok {
 		rep.Skipped++
 		rep.Problems = append(rep.Problems, fmt.Sprintf(
-			"stripe %d: intent on server %d, which does not own its parity", in.Stripe, srv))
+			"stripe %d: intent on server %d, which owns none of its parity", in.Stripe, srv))
 		return nil
 	}
 	first, count := g.DataUnitsOf(in.Stripe)
-	acc := make([]byte, g.StripeUnit)
+	data := make([][]byte, count)
 	for j := 0; j < count; j++ {
 		u := first + int64(j)
 		if c.Down(g.ServerOf(u)) {
@@ -90,14 +96,26 @@ func replayStripe(c *client.Client, ref wire.FileRef, g raid.Geometry, srv int, 
 				"stripe %d: data server %d down; replay deferred", in.Stripe, g.ServerOf(u)))
 			return nil
 		}
-		data, err := readUnitRaw(c, ref, g, u)
+		d, err := readUnitRaw(c, ref, g, u)
 		if err != nil {
 			rep.Skipped++
 			rep.Problems = append(rep.Problems, fmt.Sprintf(
 				"stripe %d: reading unit %d: %v", in.Stripe, u, err))
 			return nil
 		}
-		raid.XORInto(acc, data)
+		data[j] = d
+	}
+	acc := make([]byte, g.StripeUnit)
+	if ref.Scheme == wire.ReedSolomon {
+		code, err := core.RSOf(g)
+		if err != nil {
+			return err
+		}
+		code.EncodeUnitInto(pu, acc, data)
+	} else {
+		for _, d := range data {
+			raid.XORInto(acc, d)
+		}
 	}
 	if _, err := c.ServerCaller(srv).Call(&wire.ResolveIntent{
 		File: ref, Stripe: in.Stripe, Owner: in.Owner, Data: acc,

@@ -430,6 +430,9 @@ func replayItem(c *client.Client, ref wire.FileRef, g raid.Geometry, it resyncIt
 				return fmt.Errorf("short mirror read for unit %d", it.val)
 			}
 		} else {
+			// Reconstruct the unit from parity unit 0 and the other data
+			// units. Under Reed-Solomon the first parity row is all ones, so
+			// unit 0 is the plain XOR parity and this path covers RS too.
 			stripe := it.val / int64(g.DataWidth())
 			first, count := g.DataUnitsOf(stripe)
 			acc := make([]byte, g.StripeUnit)
@@ -465,14 +468,28 @@ func replayItem(c *client.Client, ref wire.FileRef, g raid.Geometry, it resyncIt
 			File: ref, Spans: []wire.Span{span}, Data: resp.(*wire.ReadResp).Data})
 		return err
 	case 's':
-		first, count := g.DataUnitsOf(it.val)
-		acc := make([]byte, g.StripeUnit)
-		for j := 0; j < count; j++ {
-			ud, err := readUnitRaw(c, ref, g, first+int64(j))
-			if err != nil {
+		var acc []byte
+		if ref.Scheme == wire.ReedSolomon {
+			// The recovering server holds one specific parity unit of this
+			// stripe; recompute exactly that row.
+			pu, ok := g.ParityUnitOn(dead, it.val)
+			if !ok {
+				return fmt.Errorf("stripe %d dirty on server %d, which owns none of its parity", it.val, dead)
+			}
+			var err error
+			if acc, err = rsEncodeUnit(c, ref, g, it.val, pu); err != nil {
 				return err
 			}
-			raid.XORInto(acc, ud)
+		} else {
+			first, count := g.DataUnitsOf(it.val)
+			acc = make([]byte, g.StripeUnit)
+			for j := 0; j < count; j++ {
+				ud, err := readUnitRaw(c, ref, g, first+int64(j))
+				if err != nil {
+					return err
+				}
+				raid.XORInto(acc, ud)
+			}
 		}
 		_, err := c.ServerCaller(dead).Call(&wire.WriteParity{
 			File: ref, Stripes: []int64{it.val}, Data: acc})

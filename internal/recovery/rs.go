@@ -1,0 +1,231 @@
+package recovery
+
+import (
+	"bytes"
+	"fmt"
+
+	"csar/internal/client"
+	"csar/internal/core"
+	"csar/internal/raid"
+	"csar/internal/wire"
+)
+
+// This file holds the Reed-Solomon halves of rebuild, verify and resync
+// replay. An RS(k, m) stripe occupies all N = k+m servers — every server
+// holds exactly one unit of every stripe, either a data unit or one of the
+// m parity units — so rebuilding a server means re-deriving its one unit
+// per stripe by decoding from any k of the surviving units. Unlike the XOR
+// paths, reconstruction tolerates further failures: a rebuild can proceed
+// while up to m-1 other servers are still down.
+
+// rsDataIndexOn returns the code index (0..k-1) of the data unit of stripe
+// s held by server srv. Only meaningful when srv holds no parity unit of s:
+// with k+m servers, every server holds exactly one unit per stripe.
+func rsDataIndexOn(g raid.Geometry, srv int, s int64) int {
+	n := int64(g.Servers)
+	first, _ := g.DataUnitsOf(s)
+	return int(((int64(srv)-first)%n + n) % n)
+}
+
+// rebuildRS reconstructs server dead's data and parity units for every
+// stripe of the file by decoding each stripe from its surviving units. A
+// batch of stripes costs one multi-span raw Read and one multi-stripe
+// ReadParity per live server, the GF(256) decodes, and one write of each
+// kind to the replacement. Servers other than dead that are marked down are
+// simply excluded from the survivor set.
+func rebuildRS(c *client.Client, f *client.File, dead int, size int64) error {
+	g := f.Geometry()
+	ref := f.Ref()
+	su := g.StripeUnit
+	k := g.DataWidth()
+	m := g.PU()
+	code, err := core.RSOf(g)
+	if err != nil {
+		return err
+	}
+
+	// The survivor set is decided up front by probing, not by the client's
+	// circuit breaker: a fresh process (the CLI) has no breaker history, and
+	// a second dead server must be discovered before the batched reads, not
+	// by failing them. Anything short of k survivors cannot decode.
+	excluded := make([]bool, g.Servers)
+	live := 0
+	for srv := 0; srv < g.Servers; srv++ {
+		if srv == dead {
+			continue
+		}
+		if c.Down(srv) {
+			excluded[srv] = true
+			continue
+		}
+		if _, err := c.ServerCaller(srv).Call(&wire.Health{}); err != nil {
+			excluded[srv] = true
+			continue
+		}
+		live++
+	}
+	if live < k {
+		return fmt.Errorf("recovery: only %d of %d servers reachable, need %d to decode RS(%d, %d)",
+			live, g.Servers, k, k, m)
+	}
+
+	all := make([]int64, g.StripesIn(size))
+	for i := range all {
+		all[i] = int64(i)
+	}
+	batches := chunkInt64(all)
+	return runBatches(len(batches), func(bi int) error {
+		batch := batches[bi]
+		units := make([][][]byte, len(batch)) // per stripe, per code index
+		for i := range units {
+			units[i] = make([][]byte, k+m)
+		}
+
+		for srv := 0; srv < g.Servers; srv++ {
+			if srv == dead || excluded[srv] {
+				continue
+			}
+			var dSpans []wire.Span
+			var dAt [][2]int // (position in batch, code index)
+			var pStripes []int64
+			var pAt [][2]int
+			for pos, s := range batch {
+				if j, ok := g.ParityUnitOn(srv, s); ok {
+					pStripes = append(pStripes, s)
+					pAt = append(pAt, [2]int{pos, k + j})
+				} else {
+					di := rsDataIndexOn(g, srv, s)
+					first, _ := g.DataUnitsOf(s)
+					dSpans = append(dSpans, wire.Span{Off: g.UnitStart(first + int64(di)), Len: su})
+					dAt = append(dAt, [2]int{pos, di})
+				}
+			}
+			if len(dSpans) > 0 {
+				resp, err := c.ServerCaller(srv).Call(&wire.Read{File: ref, Spans: dSpans, Raw: true})
+				if err != nil {
+					return err
+				}
+				data := resp.(*wire.ReadResp).Data
+				if int64(len(data)) != int64(len(dSpans))*su {
+					return fmt.Errorf("recovery: short unit read from server %d", srv)
+				}
+				for i, at := range dAt {
+					units[at[0]][at[1]] = data[int64(i)*su : int64(i+1)*su]
+				}
+			}
+			if len(pStripes) > 0 {
+				resp, err := c.ServerCaller(srv).Call(&wire.ReadParity{File: ref, Stripes: pStripes})
+				if err != nil {
+					return err
+				}
+				data := resp.(*wire.ReadResp).Data
+				if int64(len(data)) != int64(len(pStripes))*su {
+					return fmt.Errorf("recovery: short parity read from server %d", srv)
+				}
+				for i, at := range pAt {
+					units[at[0]][at[1]] = data[int64(i)*su : int64(i+1)*su]
+				}
+			}
+		}
+
+		// Decode each stripe and collect the dead server's unit.
+		var dSpans []wire.Span
+		var dData []byte
+		var pStripes []int64
+		var pData []byte
+		for pos, s := range batch {
+			if err := code.Reconstruct(units[pos]); err != nil {
+				return fmt.Errorf("recovery: stripe %d: %w", s, err)
+			}
+			if j, ok := g.ParityUnitOn(dead, s); ok {
+				pStripes = append(pStripes, s)
+				pData = append(pData, units[pos][k+j]...)
+			} else {
+				di := rsDataIndexOn(g, dead, s)
+				first, _ := g.DataUnitsOf(s)
+				dSpans = append(dSpans, wire.Span{Off: g.UnitStart(first + int64(di)), Len: su})
+				dData = append(dData, units[pos][di]...)
+			}
+		}
+		if len(dSpans) > 0 {
+			if _, err := c.ServerCaller(dead).Call(&wire.WriteData{
+				File: ref, Spans: dSpans, Data: dData, Raw: true}); err != nil {
+				return err
+			}
+		}
+		if len(pStripes) > 0 {
+			if _, err := c.ServerCaller(dead).Call(&wire.WriteParity{
+				File: ref, Stripes: pStripes, Data: pData}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// verifyRS checks every stripe of a Reed-Solomon file byte-for-byte: the m
+// parity units each server holds must equal the encoding of the stripe's k
+// data units. There is no checksum shortcut here — GF(256) coefficient rows
+// are not XOR-linear over per-unit CRCs the way single parity is — so the
+// verification reads full units.
+func verifyRS(c *client.Client, f *client.File) ([]string, error) {
+	g := f.Geometry()
+	ref := f.Ref()
+	size := f.Size()
+	k := g.DataWidth()
+	m := g.PU()
+	code, err := core.RSOf(g)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	parity := make([][]byte, m)
+	for j := range parity {
+		parity[j] = make([]byte, g.StripeUnit)
+	}
+	for s := int64(0); s <= g.StripeOf(size - 1); s++ {
+		first, _ := g.DataUnitsOf(s)
+		data := make([][]byte, k)
+		for i := 0; i < k; i++ {
+			d, err := readUnitRaw(c, ref, g, first+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			data[i] = d
+		}
+		code.EncodeInto(parity, data)
+		for j := 0; j < m; j++ {
+			presp, err := c.ServerCaller(g.ParityServerOfUnit(s, j)).Call(
+				&wire.ReadParity{File: ref, Stripes: []int64{s}})
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(parity[j], presp.(*wire.ReadResp).Data) {
+				problems = append(problems, fmt.Sprintf(
+					"stripe %d: parity unit %d does not match data", s, j))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// rsEncodeUnit recomputes parity unit j of one stripe from its data units,
+// read live from their servers. Used by intent replay and resync.
+func rsEncodeUnit(c *client.Client, ref wire.FileRef, g raid.Geometry, stripe int64, j int) ([]byte, error) {
+	code, err := core.RSOf(g)
+	if err != nil {
+		return nil, err
+	}
+	first, count := g.DataUnitsOf(stripe)
+	data := make([][]byte, count)
+	for i := 0; i < count; i++ {
+		d, err := readUnitRaw(c, ref, g, first+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		data[i] = d
+	}
+	out := make([]byte, g.StripeUnit)
+	code.EncodeUnitInto(j, out, data)
+	return out, nil
+}

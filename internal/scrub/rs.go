@@ -1,0 +1,292 @@
+package scrub
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"csar/internal/core"
+	"csar/internal/wire"
+)
+
+// Reed-Solomon scrubbing. The checksum fast path of scrubParity leans on
+// CRC32 being affine over GF(2), which covers XOR parity only: parity unit 0
+// of an RS stripe is the plain XOR of the data units (the first coefficient
+// row is all ones) and can still be checked from checksums alone, but units
+// j > 0 are GF(256) combinations whose CRCs are not derivable from the data
+// units' CRCs. Those units are instead checked against the Journal: a stripe
+// whose every current checksum — data units and parity units — still equals
+// its last-known-good value is unchanged since it was last verified
+// consistent. Everything else (and every stripe on a journal-less pass) is
+// verified at the byte level by re-encoding the stripe.
+
+// rsParitySum folds the m parity-unit checksums of one stripe into the
+// single value the Journal stores per stripe.
+func rsParitySum(sums []uint32) uint32 {
+	buf := make([]byte, 4*len(sums))
+	for i, s := range sums {
+		buf[4*i] = byte(s)
+		buf[4*i+1] = byte(s >> 8)
+		buf[4*i+2] = byte(s >> 16)
+		buf[4*i+3] = byte(s >> 24)
+	}
+	return crcOf(buf)
+}
+
+// scrubParityRS cross-checks every stripe of a Reed-Solomon file. As in
+// scrubParity, a window of N consecutive stripes places exactly k data units
+// and m parity units on every server, so checksums are fetched as contiguous
+// runs; the per-stripe fast path then needs both the XOR check on parity
+// unit 0 and journal agreement on the rest.
+func (s *scrubber) scrubParityRS() error {
+	n := int64(s.g.Servers)
+	dw := int64(s.g.DataWidth())
+	m := s.g.PU()
+	stripes := s.g.StripesIn(s.size)
+	windows := (stripes + n - 1) / n
+	batch := int64(s.opts.BatchStripes)
+	intents, err := s.intentStripes()
+	if err != nil {
+		return err
+	}
+	for w0 := int64(0); w0 < windows; w0 += batch {
+		if s.canceled() {
+			return ErrCanceled
+		}
+		w1 := min(w0+batch, windows)
+		dataSums := make([][]uint32, s.g.Servers)
+		parSums := make([][]uint32, s.g.Servers)
+		err := s.eachServer(func(i int) error {
+			ds, err := s.sums(i, wire.StoreData, w0*dw*s.su, (w1-w0)*dw*s.su, s.su)
+			if err != nil {
+				return err
+			}
+			ps, err := s.sums(i, wire.StoreParity, w0*int64(m)*s.su, (w1-w0)*int64(m)*s.su, s.su)
+			if err != nil {
+				return err
+			}
+			dataSums[i], parSums[i] = ds, ps
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for st := w0 * n; st < w1*n && st < stripes; st++ {
+			if intents[st] {
+				s.rep.IntentSkips++
+				continue
+			}
+			s.rep.Parity.Checked++
+			first, count := s.g.DataUnitsOf(st)
+			unitSums := make([]uint32, count)
+			for j := 0; j < count; j++ {
+				u := first + int64(j)
+				unitSums[j] = dataSums[s.g.ServerOf(u)][u/n-w0*dw]
+			}
+			pSums := make([]uint32, m)
+			for j := 0; j < m; j++ {
+				srv := s.g.ParityServerOfUnit(st, j)
+				pSums[j] = parSums[srv][s.g.ParityLocalOffsetOn(srv, st)/s.su-w0*int64(m)]
+			}
+			if s.rsFastPathConsistent(st, first, count, unitSums, pSums) {
+				continue
+			}
+			if err := s.checkStripeRS(st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// rsFastPathConsistent decides from checksums alone that a stripe is
+// consistent: parity unit 0 must equal the XOR of the data units, and every
+// checksum — each data unit's and the folded parity set — must match its
+// last-known-good journal entry (proving the GF-combined units j > 0
+// unchanged since the last byte-level verification). On success the journal
+// entries are refreshed; any failure sends the stripe to byte-level review.
+func (s *scrubber) rsFastPathConsistent(st, first int64, count int, unitSums, pSums []uint32) bool {
+	if xorSum(unitSums, s.zero) != pSums[0] {
+		return false
+	}
+	if len(pSums) > 1 {
+		known, ok := s.opts.Journal.parityOf(st)
+		if !ok || known != rsParitySum(pSums) {
+			return false
+		}
+		for j := 0; j < count; j++ {
+			u, ok := s.opts.Journal.unit(first + int64(j))
+			if !ok || u != unitSums[j] {
+				return false
+			}
+		}
+	}
+	for j := 0; j < count; j++ {
+		s.opts.Journal.setUnit(first+int64(j), unitSums[j])
+	}
+	s.opts.Journal.setParity(st, rsParitySum(pSums))
+	return true
+}
+
+// checkStripeRS re-verifies one RS stripe at the byte level and repairs it.
+// Locking parity unit 0's server suffices to serialize against foreground
+// read-modify-writes: every RMW acquires its parity locks in unit order, so
+// none can get past unit 0 while the scrubber holds it.
+func (s *scrubber) checkStripeRS(st int64) error {
+	code, err := core.RSOf(s.g)
+	if err != nil {
+		return err
+	}
+	lock := s.ref.Scheme.UsesLocking()
+	first, count := s.g.DataUnitsOf(st)
+	m := s.g.PU()
+
+	presp, err := s.call(s.g.ParityServerOfUnit(st, 0), &wire.ReadParity{
+		File: s.ref, Stripes: []int64{st}, Lock: lock,
+	})
+	if errors.Is(err, wire.ErrStripeTorn) {
+		s.rep.IntentSkips++
+		s.rep.Parity.Checked--
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	parity := make([][]byte, m)
+	parity[0] = presp.(*wire.ReadResp).Data
+	if int64(len(parity[0])) != s.su {
+		s.release(st, parity[0], lock) //nolint:errcheck // already failing
+		return fmt.Errorf("scrub: short parity read of stripe %d", st)
+	}
+	s.throttle(s.su)
+	for j := 1; j < m; j++ {
+		resp, rerr := s.call(s.g.ParityServerOfUnit(st, j), &wire.ReadParity{
+			File: s.ref, Stripes: []int64{st},
+		})
+		if rerr != nil {
+			s.release(st, parity[0], lock) //nolint:errcheck
+			return rerr
+		}
+		parity[j] = resp.(*wire.ReadResp).Data
+		if int64(len(parity[j])) != s.su {
+			s.release(st, parity[0], lock) //nolint:errcheck
+			return fmt.Errorf("scrub: short parity read of stripe %d unit %d", st, j)
+		}
+		s.throttle(s.su)
+	}
+	units := make([][]byte, count)
+	for j := 0; j < count; j++ {
+		data, rerr := s.readRawUnit(first + int64(j))
+		if rerr != nil {
+			s.release(st, parity[0], lock) //nolint:errcheck
+			return rerr
+		}
+		units[j] = data
+	}
+
+	want := make([][]byte, m)
+	for j := range want {
+		want[j] = make([]byte, s.su)
+	}
+	code.EncodeInto(want, units)
+	var badParity []int
+	for j := 0; j < m; j++ {
+		if !bytes.Equal(want[j], parity[j]) {
+			badParity = append(badParity, j)
+		}
+	}
+	if len(badParity) == 0 {
+		// The checksum mismatch (or cold journal) resolved consistent under
+		// the lock; record the evidence for the next pass's fast path.
+		sums := make([]uint32, m)
+		for j := 0; j < m; j++ {
+			sums[j] = crcOf(parity[j])
+		}
+		for j := 0; j < count; j++ {
+			s.opts.Journal.setUnit(first+int64(j), crcOf(units[j]))
+		}
+		s.opts.Journal.setParity(st, rsParitySum(sums))
+		return s.release(st, parity[0], lock)
+	}
+	s.rep.Parity.Mismatched++
+	defer s.opts.Journal.dropStripe(st, first, count)
+
+	knownParity, haveParity := s.opts.Journal.parityOf(st)
+	allUnits := true
+	var deviants []int
+	for j := 0; j < count; j++ {
+		known, ok := s.opts.Journal.unit(first + int64(j))
+		if !ok {
+			allUnits = false
+			break
+		}
+		if crcOf(units[j]) != known {
+			deviants = append(deviants, j)
+		}
+	}
+	curParity := make([]uint32, m)
+	for j := 0; j < m; j++ {
+		curParity[j] = crcOf(parity[j])
+	}
+	parityDeviates := haveParity && rsParitySum(curParity) != knownParity
+
+	switch {
+	case haveParity && allUnits && parityDeviates && len(deviants) == 0:
+		s.problemf("stripe %d: parity fails its last-known-good checksum; regenerating from data", st)
+		return s.repairParityRS(st, badParity, want, lock)
+	case haveParity && allUnits && !parityDeviates && len(deviants) == 1:
+		// Parity and every other unit still match their last-known-good
+		// checksums: the deviating unit is corrupt, and its original bytes
+		// are recoverable by decoding from any k of the survivors.
+		bad := first + int64(deviants[0])
+		if !s.opts.RepairData {
+			s.rep.Parity.Unrepairable++
+			s.problemf("stripe %d: unit %d fails its last-known-good checksum; parity matches (RepairData off)", st, bad)
+			return s.release(st, parity[0], lock)
+		}
+		all := make([][]byte, count+m)
+		for j := 0; j < count; j++ {
+			all[j] = units[j]
+		}
+		all[deviants[0]] = nil
+		for j := 0; j < m; j++ {
+			all[count+j] = parity[j]
+		}
+		if derr := code.Reconstruct(all); derr != nil {
+			s.release(st, parity[0], lock) //nolint:errcheck
+			return derr
+		}
+		s.problemf("stripe %d: unit %d fails its last-known-good checksum; restoring it from parity", st, bad)
+		if err := s.repairData(bad, all[deviants[0]], &s.rep.Parity); err != nil {
+			s.release(st, parity[0], lock) //nolint:errcheck
+			return err
+		}
+		return s.release(st, parity[0], lock)
+	default:
+		s.problemf("stripe %d: parity does not match data and no usable evidence; regenerating parity from data", st)
+		return s.repairParityRS(st, badParity, want, lock)
+	}
+}
+
+// repairParityRS rewrites the mismatched parity units of one stripe from the
+// re-encoded data, releasing the unit-0 lock with the last write to that
+// server (or explicitly when unit 0 was not among the bad ones).
+func (s *scrubber) repairParityRS(st int64, bad []int, want [][]byte, lock bool) error {
+	unlocked := false
+	for _, j := range bad {
+		if _, err := s.call(s.g.ParityServerOfUnit(st, j), &wire.WriteParity{
+			File: s.ref, Stripes: []int64{st}, Data: want[j], Unlock: lock && j == 0,
+		}); err != nil {
+			return err
+		}
+		if j == 0 {
+			unlocked = true
+		}
+		s.throttle(s.su)
+	}
+	s.rep.Parity.Repaired++
+	if lock && !unlocked {
+		return s.release(st, want[0], lock)
+	}
+	return nil
+}

@@ -175,6 +175,8 @@ func Run(c *client.Client, f *client.File, opts Options) (*Report, error) {
 	switch {
 	case ref.Scheme == wire.Raid1:
 		err = s.scrubMirrors()
+	case ref.Scheme == wire.ReedSolomon:
+		err = s.scrubParityRS()
 	case ref.Scheme.UsesParity():
 		err = s.scrubParity()
 		if err == nil && ref.Scheme == wire.Hybrid {

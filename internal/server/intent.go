@@ -305,7 +305,7 @@ func (s *Server) handleRenewLease(m *wire.RenewLease) (wire.Msg, error) {
 	dur := time.Duration(m.LeaseMS) * time.Millisecond
 	var renewed uint32
 	for _, stripe := range m.Stripes {
-		if sf.geom.ParityServerOf(stripe) != s.idx {
+		if _, ok := sf.geom.ParityUnitOn(s.idx, stripe); !ok {
 			return nil, fmt.Errorf("server %d does not hold parity of stripe %d", s.idx, stripe)
 		}
 		sf.mu.Lock()
@@ -352,7 +352,7 @@ func (s *Server) handleResolveIntent(m *wire.ResolveIntent) (wire.Msg, error) {
 	if err != nil {
 		return nil, err
 	}
-	if sf.geom.ParityServerOf(m.Stripe) != s.idx {
+	if _, ok := sf.geom.ParityUnitOn(s.idx, m.Stripe); !ok {
 		return nil, fmt.Errorf("server %d does not hold parity of stripe %d", s.idx, m.Stripe)
 	}
 	su := sf.geom.StripeUnit
@@ -375,7 +375,7 @@ func (s *Server) handleResolveIntent(m *wire.ResolveIntent) (wire.Msg, error) {
 		sf.mu.Unlock()
 		return nil, fmt.Errorf("server: intent of stripe %d abandoned under a different token", m.Stripe)
 	}
-	s.writePiece(par, sf.geom.ParityLocalOffset(m.Stripe), m.Data)
+	s.writePiece(par, sf.geom.ParityLocalOffsetOn(s.idx, m.Stripe), m.Data)
 	if rec.timer != nil {
 		rec.timer.Stop()
 	}

@@ -199,7 +199,12 @@ func (s *Server) Disk() storage.Backend { return s.disk }
 
 func (s *Server) file(ref wire.FileRef) (*serverFile, error) {
 	g := raid.Geometry{Servers: int(ref.Servers), StripeUnit: int64(ref.StripeUnit)}
-	if err := g.Validate(); err != nil {
+	if ref.Scheme == wire.ReedSolomon {
+		g.ParityUnits = ref.ParityUnits()
+		if err := g.ValidateParity(); err != nil {
+			return nil, err
+		}
+	} else if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	if s.idx >= g.Servers {
@@ -481,7 +486,7 @@ func (s *Server) handleReadParity(m *wire.ReadParity) (wire.Msg, error) {
 		}
 	}
 	for _, stripe := range m.Stripes {
-		if sf.geom.ParityServerOf(stripe) != s.idx {
+		if _, ok := sf.geom.ParityUnitOn(s.idx, stripe); !ok {
 			rollback()
 			return nil, fmt.Errorf("server %d does not hold parity of stripe %d", s.idx, stripe)
 		}
@@ -493,7 +498,7 @@ func (s *Server) handleReadParity(m *wire.ReadParity) (wire.Msg, error) {
 			acquired = append(acquired, stripe)
 		}
 		buf := make([]byte, su)
-		par.ReadAt(buf, sf.geom.ParityLocalOffset(stripe)) //nolint:errcheck
+		par.ReadAt(buf, sf.geom.ParityLocalOffsetOn(s.idx, stripe)) //nolint:errcheck
 		out = append(out, buf...)
 	}
 	if m.Lock {
@@ -517,7 +522,7 @@ func (s *Server) handleWriteParity(m *wire.WriteParity) (wire.Msg, error) {
 			len(m.Data), len(m.Stripes), su)
 	}
 	for _, stripe := range m.Stripes {
-		if sf.geom.ParityServerOf(stripe) != s.idx {
+		if _, ok := sf.geom.ParityUnitOn(s.idx, stripe); !ok {
 			return nil, fmt.Errorf("server %d does not hold parity of stripe %d", s.idx, stripe)
 		}
 		// A tokened unlocking write is an RMW completion and is only valid
@@ -556,7 +561,7 @@ func (s *Server) handleWriteParity(m *wire.WriteParity) (wire.Msg, error) {
 		s.resolveAbandonedByWrite(sf, m.Stripes)
 	}
 	for i, stripe := range m.Stripes {
-		s.writePiece(par, sf.geom.ParityLocalOffset(stripe), m.Data[int64(i)*su:int64(i+1)*su])
+		s.writePiece(par, sf.geom.ParityLocalOffsetOn(s.idx, stripe), m.Data[int64(i)*su:int64(i+1)*su])
 		if m.Unlock {
 			// Commit: the read-modify-write completed, the stripe is
 			// consistent again. The intent retires before the lock hands
@@ -1050,7 +1055,7 @@ func (s *Server) handleUnlockParity(m *wire.UnlockParity) (wire.Msg, error) {
 		return nil, err
 	}
 	for _, stripe := range m.Stripes {
-		if sf.geom.ParityServerOf(stripe) != s.idx {
+		if _, ok := sf.geom.ParityUnitOn(s.idx, stripe); !ok {
 			return nil, fmt.Errorf("server %d does not hold parity of stripe %d", s.idx, stripe)
 		}
 		if m.Dirty {

@@ -12,7 +12,20 @@ import (
 // coverage).
 func fuzzSeeds() []Msg {
 	ref := FileRef{ID: 3, Servers: 5, StripeUnit: 4096, Scheme: Hybrid}
+	// Reed-Solomon seeds: the RS scheme + parity-count FileRef field and
+	// the multi-parity lock/intent traffic (same stripe locked on several
+	// parity servers, per-server intent resolution).
+	rsRef := FileRef{ID: 4, Servers: 6, StripeUnit: 4096, Scheme: ReedSolomon, Parity: 2}
 	return []Msg{
+		&Create{Name: "rs", Servers: 6, StripeUnit: 4096, Scheme: ReedSolomon, Parity: 2},
+		&CreateResp{Ref: rsRef},
+		&ReadParity{File: rsRef, Stripes: []int64{7, 13}, Lock: true, Owner: 91, LeaseMS: 5000},
+		&WriteParity{File: rsRef, Stripes: []int64{7, 13}, Data: []byte{0xC3, 0x5A}, Unlock: true, Owner: 91},
+		&UnlockParity{File: rsRef, Stripes: []int64{7}, Owner: 91, Dirty: true},
+		&RenewLease{File: rsRef, Stripes: []int64{7, 13}, Owner: 91, LeaseMS: 5000},
+		&ListIntents{File: rsRef},
+		&ResolveIntent{File: rsRef, Stripe: 7, Owner: 91, Data: []byte{0x01, 0x02}},
+		&MarkDirty{File: rsRef, Dead: 4, Epoch: 7, Stripes: []int64{7, 13}},
 		&Error{Text: "boom"},
 		&Error{Text: "down", Code: CodeUnavailable},
 		&OK{},

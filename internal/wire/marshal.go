@@ -466,12 +466,14 @@ func (m *Create) encode(e *Encoder) {
 	e.U16(m.Servers)
 	e.U32(m.StripeUnit)
 	e.U8(uint8(m.Scheme))
+	e.U8(m.Parity)
 }
 func (m *Create) decode(d *Decoder) {
 	m.Name = d.Str()
 	m.Servers = d.U16()
 	m.StripeUnit = d.U32()
 	m.Scheme = Scheme(d.U8())
+	m.Parity = d.U8()
 }
 
 func (m *CreateResp) Kind() Kind        { return KCreateResp }

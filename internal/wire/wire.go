@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Scheme identifies a redundancy scheme. The first four are the schemes the
@@ -39,6 +40,11 @@ const (
 	// parity buffer is written without being XOR-computed). It isolates the
 	// CPU cost of parity generation (Figure 4a).
 	Raid5NPC
+	// ReedSolomon keeps m rotating Reed-Solomon parity units per stripe of
+	// k = N-m data units (GF(256) systematic code), tolerating any m
+	// simultaneous server failures. The per-file parity count rides in
+	// FileRef.Parity.
+	ReedSolomon
 )
 
 var schemeNames = map[Scheme]string{
@@ -48,6 +54,7 @@ var schemeNames = map[Scheme]string{
 	Hybrid:      "hybrid",
 	Raid5NoLock: "raid5-nolock",
 	Raid5NPC:    "raid5-npc",
+	ReedSolomon: "rs",
 }
 
 func (s Scheme) String() string {
@@ -57,6 +64,17 @@ func (s Scheme) String() string {
 	return fmt.Sprintf("scheme(%d)", uint8(s))
 }
 
+// SchemeNames returns every scheme name ParseScheme accepts, in scheme-value
+// order. CLI usage text and error messages enumerate schemes through it so
+// the list cannot drift from the protocol as schemes are added.
+func SchemeNames() []string {
+	out := make([]string, 0, len(schemeNames))
+	for s := Scheme(0); int(s) < len(schemeNames); s++ {
+		out = append(out, schemeNames[s])
+	}
+	return out
+}
+
 // ParseScheme converts a scheme name as printed by String back to a Scheme.
 func ParseScheme(name string) (Scheme, error) {
 	for s, n := range schemeNames {
@@ -64,13 +82,15 @@ func ParseScheme(name string) (Scheme, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("wire: unknown scheme %q", name)
+	return 0, fmt.Errorf("wire: unknown scheme %q (want one of: %s)",
+		name, strings.Join(SchemeNames(), ", "))
 }
 
-// UsesParity reports whether the scheme maintains RAID5-style parity.
+// UsesParity reports whether the scheme maintains rotating parity units
+// (XOR for the RAID5 family, GF(256) rows for Reed-Solomon).
 func (s Scheme) UsesParity() bool {
 	switch s {
-	case Raid5, Hybrid, Raid5NoLock, Raid5NPC:
+	case Raid5, Hybrid, Raid5NoLock, Raid5NPC, ReedSolomon:
 		return true
 	}
 	return false
@@ -84,7 +104,7 @@ func (s Scheme) UsesMirror() bool { return s == Raid1 }
 // distributed parity lock.
 func (s Scheme) UsesLocking() bool {
 	switch s {
-	case Raid5, Hybrid, Raid5NPC:
+	case Raid5, Hybrid, Raid5NPC, ReedSolomon:
 		return true
 	}
 	return false
@@ -96,6 +116,18 @@ type FileRef struct {
 	Servers    uint16
 	StripeUnit uint32
 	Scheme     Scheme
+	// Parity is the number of parity units per stripe for ReedSolomon
+	// files; the single-parity schemes leave it zero (meaning one).
+	Parity uint8
+}
+
+// ParityUnits returns the effective parity-unit count of the file's
+// geometry: Parity for ReedSolomon, defaulted to one for the XOR schemes.
+func (r FileRef) ParityUnits() int {
+	if r.Parity < 1 {
+		return 1
+	}
+	return int(r.Parity)
 }
 
 // Span is a byte range [Off, Off+Len) of the logical file.
@@ -671,6 +703,9 @@ type Create struct {
 	Servers    uint16
 	StripeUnit uint32
 	Scheme     Scheme
+	// Parity is the per-stripe parity-unit count for ReedSolomon files
+	// (zero for the other schemes).
+	Parity uint8
 }
 
 // CreateResp returns the new file's reference.
@@ -819,6 +854,7 @@ func (e *Encoder) FileRef(r FileRef) {
 	e.U16(r.Servers)
 	e.U32(r.StripeUnit)
 	e.U8(uint8(r.Scheme))
+	e.U8(r.Parity)
 }
 
 // Decoder reads fixed-width little-endian values from a buffer, latching
@@ -985,5 +1021,6 @@ func (d *Decoder) FileRef() FileRef {
 	r.Servers = d.U16()
 	r.StripeUnit = d.U32()
 	r.Scheme = Scheme(d.U8())
+	r.Parity = d.U8()
 	return r
 }

@@ -142,7 +142,7 @@ func TestUnmarshalHostileLengthPrefix(t *testing.T) {
 }
 
 func TestSchemeString(t *testing.T) {
-	for _, s := range []Scheme{Raid0, Raid1, Raid5, Hybrid, Raid5NoLock, Raid5NPC} {
+	for _, s := range []Scheme{Raid0, Raid1, Raid5, Hybrid, Raid5NoLock, Raid5NPC, ReedSolomon} {
 		name := s.String()
 		got, err := ParseScheme(name)
 		if err != nil || got != s {
@@ -168,6 +168,19 @@ func TestSchemepredicates(t *testing.T) {
 		{Hybrid, true, false, true},
 		{Raid5NoLock, true, false, false},
 		{Raid5NPC, true, false, true},
+		{ReedSolomon, true, false, true},
+	}
+	if len(cases) != len(schemeNames) {
+		t.Errorf("predicate table covers %d schemes, protocol has %d", len(cases), len(schemeNames))
+	}
+	names := SchemeNames()
+	if len(names) != len(schemeNames) {
+		t.Errorf("SchemeNames returned %d names, want %d", len(names), len(schemeNames))
+	}
+	for i, n := range names {
+		if n == "" || n != Scheme(i).String() {
+			t.Errorf("SchemeNames[%d] = %q, want %q", i, n, Scheme(i).String())
+		}
 	}
 	for _, c := range cases {
 		if c.s.UsesParity() != c.parity || c.s.UsesMirror() != c.mirror || c.s.UsesLocking() != c.locks {

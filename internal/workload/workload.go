@@ -30,14 +30,30 @@ type Env struct {
 	StripeUnit int64
 	// FileServers is the number of servers files stripe over (0 = all).
 	FileServers int
+	// ParityUnits is the RS(k, m) parity count for the ReedSolomon scheme
+	// (0 = 2); ignored for other schemes.
+	ParityUnits int
 }
 
 func (e Env) fileOpts() csar.FileOptions {
 	return csar.FileOptions{
-		Servers:    e.servers(),
-		StripeUnit: e.stripeUnit(),
-		Scheme:     e.Scheme,
+		Servers:     e.servers(),
+		StripeUnit:  e.stripeUnit(),
+		Scheme:      e.Scheme,
+		ParityUnits: e.parityUnits(),
 	}
+}
+
+// parityUnits returns the effective parity-unit count of the env's files:
+// RS files default to m = 2, every other scheme takes none.
+func (e Env) parityUnits() int {
+	if e.Scheme != csar.ReedSolomon {
+		return 0
+	}
+	if e.ParityUnits > 0 {
+		return e.ParityUnits
+	}
+	return 2
 }
 
 func (e Env) servers() int {
@@ -59,6 +75,9 @@ func (e Env) stripeUnit() int64 {
 // stripe unit so chunked workloads still have a sensible granule.
 func (e Env) StripeSize() int64 {
 	w := e.servers() - 1
+	if e.Scheme == csar.ReedSolomon {
+		w = e.servers() - e.parityUnits()
+	}
 	if w < 1 {
 		w = 1
 	}
