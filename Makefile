@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz-seeds faults crash resync rs obs staticcheck ci
+.PHONY: build vet test race fuzz-seeds faults crash resync rs obs allocs bench-smoke staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,23 @@ obs:
 	$(GO) test -race -run 'TestDialCloseNoFDLeak|TestStatsOverLiveCluster' .
 	$(GO) test -race ./cmd/csar
 
+# The write-hot-path suite: allocation-budget regressions (pooled frame
+# marshal, decode, full-stripe WriteAt through the whole stack), the
+# poison-on-put pool-correctness property test, the pending-map drain
+# regression, and the stripe-pipelining overlap/serialization tests — all
+# under the race detector so the zero-copy paths are proven safe and lean
+# at once.
+allocs:
+	$(GO) test -race -run 'TestMarshalFrameAllocs|TestUnmarshalAllocs|TestMarshalFrameMatchesMarshal|TestPoolPoisonCorrectness|TestTimedOutCallsDrainPendingMap' ./internal/wire ./internal/rpc
+	$(GO) test -race -run 'TestFullStripeWriteAllocs|TestPipelinedStripeWritesOverlap|TestSameStripeWritesSerializeThroughParityLock' ./internal/cluster
+
+# A tiny end-to-end run of the real csar-bench binary plus the schema-v2
+# validation test, so BENCH_N.json files stay comparable across PRs.
+bench-smoke:
+	$(GO) build -o /tmp/csar-bench-smoke ./cmd/csar-bench
+	/tmp/csar-bench-smoke -exp fig3 -div 2048 -scale 10ms -servers 6 -json /tmp/csar-bench-smoke.json
+	$(GO) test -run TestBenchSmokeSchema ./internal/bench
+
 # Static analysis beyond go vet, when the tool is installed (CI images
 # that lack it skip the target rather than fail it — nothing is
 # downloaded at build time).
@@ -72,4 +89,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-ci: vet staticcheck build race fuzz-seeds faults crash resync rs obs
+ci: vet staticcheck build race fuzz-seeds faults crash resync rs obs allocs bench-smoke

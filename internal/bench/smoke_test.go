@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestBenchSmokeSchema is the bench-smoke CI gate: it runs the fig3
+// experiment at a tiny scale through the same path csar-bench -json uses,
+// and validates that the emitted document still has the schema-v2 shape of
+// the committed BENCH_* baselines — same top-level keys, same per-point
+// keys, same percentile fields. A schema drift would silently break every
+// downstream comparison of BENCH_N.json files.
+func TestBenchSmokeSchema(t *testing.T) {
+	cfg := Config{
+		Scale:      10 * time.Millisecond,
+		SizeDiv:    2048,
+		MaxServers: 6,
+		Results:    &Results{SchemaVersion: ResultsSchemaVersion},
+	}
+	if err := Run("fig3", cfg, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(cfg.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	refBuf, err := os.ReadFile("../../BENCH_6.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	var ref map[string]json.RawMessage
+	if err := json.Unmarshal(refBuf, &ref); err != nil {
+		t.Fatalf("baseline BENCH_6.json corrupt: %v", err)
+	}
+
+	if gk, rk := keysOf(t, got), keysOf(t, ref); !equalKeys(gk, rk) {
+		t.Fatalf("top-level keys drifted: emitted %v, baseline %v", gk, rk)
+	}
+	var gotVer, refVer int
+	json.Unmarshal(got["schema_version"], &gotVer) //nolint:errcheck
+	json.Unmarshal(ref["schema_version"], &refVer) //nolint:errcheck
+	if gotVer != refVer || gotVer != ResultsSchemaVersion {
+		t.Fatalf("schema_version = %d, baseline %d, code %d", gotVer, refVer, ResultsSchemaVersion)
+	}
+
+	var gotPoints, refPoints []map[string]json.RawMessage
+	json.Unmarshal(got["results"], &gotPoints) //nolint:errcheck
+	json.Unmarshal(ref["results"], &refPoints) //nolint:errcheck
+	if len(gotPoints) == 0 || len(refPoints) == 0 {
+		t.Fatalf("no result points: emitted %d, baseline %d", len(gotPoints), len(refPoints))
+	}
+	if gk, rk := pointKeys(t, gotPoints[0]), pointKeys(t, refPoints[0]); !equalKeys(gk, rk) {
+		t.Fatalf("result-point keys drifted: emitted %v, baseline %v", gk, rk)
+	}
+
+	// Every latency summary must carry the full percentile set.
+	var lats map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(gotPoints[0]["op_latencies_us"], &lats); err != nil {
+		t.Fatalf("op_latencies_us: %v", err)
+	}
+	want := []string{"count", "max", "p50", "p95", "p99"}
+	for op, sum := range lats {
+		var ks []string
+		for k := range sum {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		if !equalKeys(ks, want) {
+			t.Fatalf("latency summary %q has keys %v, want %v", op, ks, want)
+		}
+	}
+}
+
+func keysOf(t *testing.T, m map[string]json.RawMessage) []string {
+	t.Helper()
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func pointKeys(t *testing.T, p map[string]json.RawMessage) []string {
+	return keysOf(t, p)
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,163 @@
+package client
+
+import (
+	"fmt"
+
+	"csar/internal/core"
+	"csar/internal/raid"
+	"csar/internal/wire"
+)
+
+// writeBatch coalesces the data units of several write-plan portions into
+// one multi-span WriteData per server, so the batched RPC shape the rebuild
+// path introduced is the default data path: a write whose plan has several
+// in-place portions costs each data server one request, not one per
+// portion.
+type writeBatch struct {
+	g     raid.Geometry
+	spans [][]wire.Span // per server: portion spans, in plan order
+	data  [][][]byte    // per server: payload pieces, parallel to spans
+	size  []int64       // per server: total payload bytes
+}
+
+func newWriteBatch(g raid.Geometry) *writeBatch {
+	return &writeBatch{
+		g:     g,
+		spans: make([][]wire.Span, g.Servers),
+		data:  make([][][]byte, g.Servers),
+		size:  make([]int64, g.Servers),
+	}
+}
+
+// add registers one portion's span with its per-server payloads (as
+// produced by splitByServer).
+func (b *writeBatch) add(span raid.Span, payloads [][]byte) {
+	for i, p := range payloads {
+		if len(p) == 0 {
+			continue
+		}
+		b.spans[i] = append(b.spans[i], wire.Span{Off: span.Off, Len: span.Len})
+		b.data[i] = append(b.data[i], p)
+		b.size[i] += int64(len(p))
+	}
+}
+
+func (b *writeBatch) empty() bool {
+	for i := range b.spans {
+		if len(b.spans[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// flush issues one multi-span WriteData per contributing server, skipping
+// dead. A single-portion batch ships its payload by reference; a
+// multi-portion batch pays one concatenation copy.
+func (b *writeBatch) flush(f *File, dead int, tr uint64) error {
+	return f.c.eachServer(b.g.Servers, func(i int) error {
+		if len(b.spans[i]) == 0 || i == dead {
+			return nil
+		}
+		payload := b.data[i][0]
+		if len(b.data[i]) > 1 {
+			payload = make([]byte, 0, b.size[i])
+			for _, piece := range b.data[i] {
+				payload = append(payload, piece...)
+			}
+		}
+		_, err := f.c.callSrvT(i, &wire.WriteData{
+			File:  f.ref,
+			Spans: b.spans[i],
+			Data:  payload,
+		}, tr)
+		return err
+	})
+}
+
+// parityBatch accumulates full-stripe parity blocks grouped by parity
+// server, one WriteParity per server at flush.
+type parityBatch struct {
+	g       raid.Geometry
+	stripes [][]int64
+	data    [][]byte
+}
+
+func newParityBatch(g raid.Geometry) *parityBatch {
+	return &parityBatch{
+		g:       g,
+		stripes: make([][]int64, g.Servers),
+		data:    make([][]byte, g.Servers),
+	}
+}
+
+func (b *parityBatch) empty() bool {
+	for i := range b.stripes {
+		if len(b.stripes[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *parityBatch) flush(f *File, dead int, tr uint64) error {
+	return f.c.eachServer(b.g.Servers, func(i int) error {
+		if len(b.stripes[i]) == 0 || i == dead {
+			return nil
+		}
+		_, err := f.c.callSrvT(i, &wire.WriteParity{
+			File:    f.ref,
+			Stripes: b.stripes[i],
+			Data:    b.data[i],
+		}, tr)
+		return err
+	})
+}
+
+// addFullStripeParity computes span's per-stripe XOR parity into the batch
+// (RAID5-npc ships zero bytes without computing, isolating the parity CPU
+// cost exactly as before). Parity per server goes into one exact-size
+// buffer, computed in place — no per-stripe scratch allocations.
+func (f *File) addFullStripeParity(pb *parityBatch, span raid.Span, p []byte) error {
+	g := f.geom
+	ss := g.StripeSize()
+	su := g.StripeUnit
+	if span.Off%ss != 0 || span.Len%ss != 0 {
+		return fmt.Errorf("client: full-stripe span [%d,%d) not stripe-aligned", span.Off, span.End())
+	}
+	counts := make([]int64, g.Servers)
+	for s := span.Off / ss; s < span.End()/ss; s++ {
+		counts[g.ParityServerOf(s)]++
+	}
+	bufs := make([][]byte, g.Servers)
+	for i, n := range counts {
+		if n > 0 {
+			bufs[i] = make([]byte, 0, n*su)
+		}
+	}
+	compute := f.ref.Scheme != wire.Raid5NPC
+	if compute {
+		f.c.chargeXOR(span.Len)
+	}
+	for s := span.Off / ss; s < span.End()/ss; s++ {
+		ps := g.ParityServerOf(s)
+		n := len(bufs[ps])
+		bufs[ps] = bufs[ps][:n+int(su)]
+		if compute {
+			base := g.StripeStart(s) - span.Off
+			core.StripeParity(g, p[base:base+ss], bufs[ps][n:])
+		}
+		pb.stripes[ps] = append(pb.stripes[ps], s)
+	}
+	for i, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		if pb.data[i] == nil {
+			pb.data[i] = b // fresh exact-size buffer; hand it over, no copy
+		} else {
+			pb.data[i] = append(pb.data[i], b...)
+		}
+	}
+	return nil
+}

@@ -131,6 +131,11 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 // read-modify-write portion therefore starts first, and the remaining
 // portions launch as soon as its parity read has returned, overlapping its
 // write phase.
+//
+// The in-place data of the plain and (XOR) full-stripe portions is
+// coalesced into one multi-span WriteData per server (writeBatch), issued
+// concurrently with the batched parity writes; the RMW, mirror, overflow
+// and Reed-Solomon portions keep their own protocols.
 func (f *File) execute(plan core.Plan, off int64, p []byte, dead int, tr uint64) error {
 	data := func(s raid.Span) []byte { return p[s.Off-off : s.End()-off] }
 
@@ -152,16 +157,59 @@ func (f *File) execute(plan core.Plan, off int64, p []byte, dead int, tr uint64)
 		close(headDone)
 	}
 
-	errs := make([]error, len(rest))
+	// Split and compute up front so the coalesced data RPCs and the parity
+	// RPCs all hit the wire together.
+	batch := newWriteBatch(f.geom)
+	parity := newParityBatch(f.geom)
+	var others []core.Portion
+	var stops []func()
+	var prepErr error
+	for _, pt := range rest {
+		if prepErr != nil {
+			break
+		}
+		switch {
+		case pt.Mode == core.ModePlain:
+			stops = append(stops, f.timePath("op_write_plain"))
+			batch.add(pt.Span, splitByServer(f.geom, pt.Span.Off, data(pt.Span)))
+		case pt.Mode == core.ModeFullStripe && f.ref.Scheme != wire.ReedSolomon:
+			f.c.metrics.fullStripes.Add(1)
+			stops = append(stops, f.timePath(f.writePathName("full_stripe")))
+			if err := f.addFullStripeParity(parity, pt.Span, data(pt.Span)); err != nil {
+				prepErr = err
+				break
+			}
+			batch.add(pt.Span, splitByServer(f.geom, pt.Span.Off, data(pt.Span)))
+		default:
+			others = append(others, pt)
+		}
+	}
+	if prepErr != nil {
+		<-headDone
+		return prepErr
+	}
+
+	errs := make([]error, len(others)+2)
 	var wg sync.WaitGroup
-	for i, pt := range rest {
+	if !batch.empty() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[len(others)] = batch.flush(f, dead, tr)
+		}()
+	}
+	if !parity.empty() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[len(others)+1] = parity.flush(f, dead, tr)
+		}()
+	}
+	for i, pt := range others {
 		wg.Add(1)
 		go func(i int, pt core.Portion) {
 			defer wg.Done()
 			switch pt.Mode {
-			case core.ModePlain:
-				defer f.timePath("op_write_plain")()
-				errs[i] = f.writePlain(pt.Span, data(pt.Span), tr)
 			case core.ModeMirrored:
 				f.c.metrics.mirrors.Add(1)
 				defer f.timePath("op_write_mirror")()
@@ -169,7 +217,7 @@ func (f *File) execute(plan core.Plan, off int64, p []byte, dead int, tr uint64)
 			case core.ModeFullStripe:
 				f.c.metrics.fullStripes.Add(1)
 				defer f.timePath(f.writePathName("full_stripe"))()
-				errs[i] = f.writeFullStripes(pt.Span, data(pt.Span), dead, tr)
+				errs[i] = f.writeFullStripesRS(pt.Span, data(pt.Span), dead, tr)
 			case core.ModeRMW:
 				f.c.metrics.rmws.Add(1)
 				defer f.timePath(f.writePathName("rmw"))()
@@ -184,6 +232,9 @@ func (f *File) execute(plan core.Plan, off int64, p []byte, dead int, tr uint64)
 		}(i, pt)
 	}
 	wg.Wait()
+	for _, stop := range stops {
+		stop()
+	}
 	<-headDone
 	if headErr != nil {
 		return headErr
@@ -230,10 +281,6 @@ func (f *File) sendWriteData(span raid.Span, payloads [][]byte, dead int, tr uin
 	})
 }
 
-func (f *File) writePlain(span raid.Span, p []byte, tr uint64) error {
-	return f.sendWriteData(span, splitByServer(f.geom, span.Off, p), -1, tr)
-}
-
 func (f *File) writeMirrored(span raid.Span, p []byte, dead int, tr uint64) error {
 	dataPayloads := splitByServer(f.geom, span.Off, p)
 	mirrorPayloads := splitByMirror(f.geom, span.Off, p)
@@ -265,74 +312,12 @@ func (f *File) writeMirrored(span raid.Span, p []byte, dead int, tr uint64) erro
 	return mErr
 }
 
-// writeFullStripes writes whole stripes: data in place plus freshly
-// computed parity, with no locks and no reads (the RAID5 best case). Under
-// the Hybrid scheme it additionally invalidates any overflow extents the
-// stripes previously had, migrating that data back to RAID5 (Section 4).
-func (f *File) writeFullStripes(span raid.Span, p []byte, dead int, tr uint64) error {
-	if f.ref.Scheme == wire.ReedSolomon {
-		return f.writeFullStripesRS(span, p, dead, tr)
-	}
-	g := f.geom
-	ss := g.StripeSize()
-	su := g.StripeUnit
-	if span.Off%ss != 0 || span.Len%ss != 0 {
-		return fmt.Errorf("client: full-stripe span [%d,%d) not stripe-aligned", span.Off, span.End())
-	}
-
-	// Compute parity per stripe and group by parity server.
-	stripes := make([][]int64, g.Servers)
-	parity := make([][]byte, g.Servers)
-	if f.ref.Scheme != wire.Raid5NPC {
-		f.c.chargeXOR(span.Len)
-		for s := span.Off / ss; s < span.End()/ss; s++ {
-			buf := make([]byte, su)
-			base := g.StripeStart(s) - span.Off
-			core.StripeParity(g, p[base:base+ss], buf)
-			ps := g.ParityServerOf(s)
-			stripes[ps] = append(stripes[ps], s)
-			parity[ps] = append(parity[ps], buf...)
-		}
-	} else {
-		// RAID5-npc: ship the same parity bytes without computing them.
-		for s := span.Off / ss; s < span.End()/ss; s++ {
-			ps := g.ParityServerOf(s)
-			stripes[ps] = append(stripes[ps], s)
-			parity[ps] = append(parity[ps], make([]byte, su)...)
-		}
-	}
-
-	payloads := splitByServer(g, span.Off, p)
-	var wg sync.WaitGroup
-	var dErr, pErr error
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		dErr = f.sendWriteData(span, payloads, dead, tr)
-	}()
-	go func() {
-		defer wg.Done()
-		pErr = f.c.eachServer(g.Servers, func(i int) error {
-			if len(stripes[i]) == 0 || i == dead {
-				return nil
-			}
-			_, err := f.c.callSrvT(i, &wire.WriteParity{
-				File:    f.ref,
-				Stripes: stripes[i],
-				Data:    parity[i],
-			}, tr)
-			return err
-		})
-	}()
-	wg.Wait()
-	if dErr != nil {
-		return dErr
-	}
-	// Overflow invalidation for the written stripes happens implicitly at
-	// each server when it applies the in-place data write (Section 4's
-	// migration back to RAID5); no extra messages are needed.
-	return pErr
-}
+// Full-stripe XOR writes — data in place plus freshly computed parity,
+// with no locks and no reads (the RAID5 best case) — run through the
+// writeBatch/parityBatch machinery in execute; see batch.go. Overflow
+// invalidation for the written stripes happens implicitly at each server
+// when it applies the in-place data write (Section 4's migration back to
+// RAID5); no extra messages are needed.
 
 // writeRMW performs a partial-stripe RAID5 update: read the old parity
 // (acquiring the stripe's lock) and the old data concurrently, fold the

@@ -1,0 +1,65 @@
+package client
+
+import "sync"
+
+// Window is a bounded issue window for pipelining independent operations:
+// Go queues fn, blocking while depth calls are already in flight, and Wait
+// drains the window and returns the first error. Sequential QD1 write
+// loops (the collective-I/O aggregators, bulk streaming) use it to keep
+// every server's queue busy instead of waiting out each stripe batch's
+// round trip; per-server ordering and parity consistency are unaffected
+// because same-stripe writes still serialize through the parity lock.
+type Window struct {
+	slots chan struct{}
+	wg    sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewWindow returns a window admitting depth concurrent operations.
+// depth < 1 degenerates to serial issue.
+func NewWindow(depth int) *Window {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Window{slots: make(chan struct{}, depth)}
+}
+
+// Go runs fn in the window, blocking until a slot frees up. After a
+// failure, subsequent Go calls drop their fn immediately — the caller sees
+// the first error from Wait.
+func (w *Window) Go(fn func() error) {
+	w.slots <- struct{}{}
+	if w.Failed() {
+		<-w.slots
+		return
+	}
+	w.wg.Add(1)
+	go func() {
+		defer func() { <-w.slots; w.wg.Done() }()
+		if err := fn(); err != nil {
+			w.mu.Lock()
+			if w.err == nil {
+				w.err = err
+			}
+			w.mu.Unlock()
+		}
+	}()
+}
+
+// Failed reports whether any operation has failed so far.
+func (w *Window) Failed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err != nil
+}
+
+// Wait blocks until every submitted operation has finished and returns the
+// first error.
+func (w *Window) Wait() error {
+	w.wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}

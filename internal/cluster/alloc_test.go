@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"testing"
+
+	"csar/internal/wire"
+)
+
+// fullStripeWriteAllocBudget bounds the allocations of one full-stripe
+// RAID5 WriteAt through the complete stack — portion planning, batched
+// multi-span marshaling, pooled RPC framing on both ends of every pipe,
+// server handling, and response decode. It is a whole-path regression
+// budget measured on the untimed Pipe transport: the count includes the
+// per-request server goroutines and both directions of framing, so it is
+// deliberately far above zero, but a data-path change that starts copying
+// or re-allocating per unit blows well past it and fails CI.
+const fullStripeWriteAllocBudget = 300
+
+func TestFullStripeWriteAllocs(t *testing.T) {
+	c := newPipeCluster(t, 6)
+	cl := c.NewClient()
+	const su = 4096
+	f, err := cl.Create("alloc", 6, su, wire.Raid5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripe := make([]byte, 5*su)
+	for i := range stripe {
+		stripe[i] = byte(i * 7)
+	}
+	// Warm the path (file metadata, pools, server-side state) first.
+	for i := 0; i < 8; i++ {
+		if _, err := f.WriteAt(stripe, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := f.WriteAt(stripe, 0); err != nil {
+			panic(err)
+		}
+	})
+	t.Logf("full-stripe WriteAt: %.1f allocs/op", avg)
+	if avg > fullStripeWriteAllocBudget {
+		t.Fatalf("full-stripe WriteAt allocates %.1f/op, budget %d", avg, fullStripeWriteAllocBudget)
+	}
+}

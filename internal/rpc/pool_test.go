@@ -1,0 +1,99 @@
+package rpc
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"csar/internal/wire"
+)
+
+// patternOf fills a payload deterministically from a seed so corruption is
+// detectable at any point in the frame lifecycle.
+func patternOf(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed ^ byte(i*13)
+	}
+	return b
+}
+
+// TestPoolPoisonCorrectness is the pool-correctness property test: with
+// poison-on-put enabled in both the receive-buffer pool and the frame-head
+// pool, every recycled buffer is overwritten the moment it is returned. If
+// any stage of readFrame → decode → handler hand-off (or marshal → write →
+// Free on the way out) retained an alias into a pooled buffer, the poison
+// shows up as payload corruption under this concurrent load. Run it with
+// -race for the ordering half of the same property.
+func TestPoolPoisonCorrectness(t *testing.T) {
+	SetPoolPoison(true)
+	wire.SetPoolPoison(true)
+	t.Cleanup(func() {
+		SetPoolPoison(false)
+		wire.SetPoolPoison(false)
+	})
+
+	c := startPair(t, func(req wire.Msg) (wire.Msg, error) {
+		w := req.(*wire.WriteData)
+		// The decoded request must match its seed-derived pattern: the
+		// request frame's buffer has already been poisoned by now, so any
+		// aliasing of it corrupts w.Data.
+		want := patternOf(len(w.Data), byte(w.File.ID))
+		if !bytes.Equal(w.Data, want) {
+			return nil, fmt.Errorf("request payload corrupted (seed %d, len %d)", w.File.ID, len(w.Data))
+		}
+		// Echoing the decoded slice exercises the by-reference response
+		// payload path: the handler's slice rides the response frame.
+		return &wire.ReadResp{Data: w.Data}, nil
+	})
+
+	// Sizes straddle the payload-split threshold: head-inlined, barely
+	// split, and bulk.
+	sizes := []int{100, 3 << 10, 64 << 10}
+	const workers = 8
+	const rounds = 48
+
+	type kept struct {
+		seed byte
+		data []byte
+	}
+	keep := make([][]kept, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				seed := byte(w*rounds + r)
+				payload := patternOf(sizes[r%len(sizes)], seed)
+				resp, err := c.Call(&wire.WriteData{
+					File:  wire.FileRef{ID: uint64(seed)},
+					Spans: []wire.Span{{Off: 0, Len: int64(len(payload))}},
+					Data:  payload,
+				})
+				if err != nil {
+					t.Errorf("worker %d round %d: %v", w, r, err)
+					return
+				}
+				data := resp.(*wire.ReadResp).Data
+				if !bytes.Equal(data, payload) {
+					t.Errorf("worker %d round %d: response corrupted", w, r)
+					return
+				}
+				keep[w] = append(keep[w], kept{seed, data})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every retained response must still be intact after all the pool
+	// recycling that followed it — a decoded message owns its bytes forever.
+	for w, ks := range keep {
+		for _, k := range ks {
+			if !bytes.Equal(k.data, patternOf(len(k.data), k.seed)) {
+				t.Fatalf("worker %d: retained response (seed %d) corrupted by later pool reuse", w, k.seed)
+			}
+		}
+	}
+}

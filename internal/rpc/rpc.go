@@ -20,7 +20,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"csar/internal/simnet"
@@ -31,6 +33,10 @@ import (
 // from allocating unbounded memory.
 const MaxFrame = 1 << 30
 
+// maxPooledFrame caps the receive buffers kept warm in the pool; anything
+// larger is a one-off and goes back to the GC.
+const maxPooledFrame = 4 << 20
+
 // ErrClosed is returned by calls pending on a connection that closed.
 var ErrClosed = errors.New("rpc: connection closed")
 
@@ -39,29 +45,80 @@ var ErrClosed = errors.New("rpc: connection closed")
 // classify timeouts without importing this package's sentinel.
 var ErrTimeout = fmt.Errorf("rpc: call timed out (%w)", context.DeadlineExceeded)
 
-func writeFrame(w io.Writer, seq uint32, body []byte) error {
-	frame := make([]byte, 8+len(body))
-	binary.LittleEndian.PutUint32(frame, uint32(4+len(body)))
-	binary.LittleEndian.PutUint32(frame[4:], seq)
-	copy(frame[8:], body)
-	_, err := w.Write(frame)
+// bufPool recycles receive-frame buffers. A buffer is returned right after
+// wire.Unmarshal, which is safe because every decoder deep-copies what it
+// keeps (Decoder.BytesCopy and friends) — nothing downstream of decode may
+// alias the frame. The pool-correctness tests poison buffers on Put to
+// enforce exactly that.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// poisonPooledBuffers, when set by SetPoolPoison in tests, overwrites every
+// buffer returned to the pool so a still-referenced alias shows up as
+// corruption instead of a heisenbug. Atomic because background connections
+// may still be draining frames when a test flips it.
+var poisonPooledBuffers atomic.Bool
+
+// SetPoolPoison toggles poison-on-put for the receive-buffer pool
+// (test-only).
+func SetPoolPoison(on bool) { poisonPooledBuffers.Store(on) }
+
+func getBuf(n int) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putBuf(bp *[]byte) {
+	if bp == nil || cap(*bp) > maxPooledFrame {
+		return
+	}
+	if poisonPooledBuffers.Load() {
+		b := (*bp)[:cap(*bp)]
+		for i := range b {
+			b[i] = 0xDB
+		}
+	}
+	bufPool.Put(bp)
+}
+
+// writeFrame stamps the transport header into the frame's reserved prefix
+// and puts head and payload on the wire without copying either: one write
+// for head-only frames, a writev-style net.Buffers write when a payload
+// rides along.
+func writeFrame(w io.Writer, seq uint32, fr *wire.Frame) error {
+	buf := fr.HeadWithPrefix()
+	binary.LittleEndian.PutUint32(buf, uint32(4+fr.BodyLen()))
+	binary.LittleEndian.PutUint32(buf[4:], seq)
+	if len(fr.Payload) == 0 {
+		_, err := w.Write(buf)
+		return err
+	}
+	nb := net.Buffers{buf, fr.Payload}
+	_, err := nb.WriteTo(w)
 	return err
 }
 
-func readFrame(r io.Reader) (seq uint32, body []byte, err error) {
+// readFrame reads one frame into a pooled buffer. The returned body aliases
+// *bp; the caller must putBuf(bp) as soon as the body has been decoded.
+func readFrame(r io.Reader) (seq uint32, body []byte, bp *[]byte, err error) {
 	var hdr [4]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n < 4 || n > MaxFrame {
-		return 0, nil, fmt.Errorf("rpc: invalid frame length %d", n)
+		return 0, nil, nil, fmt.Errorf("rpc: invalid frame length %d", n)
 	}
-	buf := make([]byte, n)
+	bp = getBuf(int(n))
+	buf := *bp
 	if _, err = io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+		putBuf(bp)
+		return 0, nil, nil, err
 	}
-	return binary.LittleEndian.Uint32(buf), buf[4:], nil
+	return binary.LittleEndian.Uint32(buf), buf[4:], bp, nil
 }
 
 // Client issues concurrent calls over one connection.
@@ -76,6 +133,7 @@ type Client struct {
 	mu      sync.Mutex
 	seq     uint32
 	pending map[uint32]chan msgOrErr
+	churn   int // inserts since pending was last (re)allocated
 	closed  bool
 }
 
@@ -100,15 +158,16 @@ func NewClient(conn io.ReadWriteCloser, local, remote *simnet.Node) *Client {
 
 func (c *Client) readLoop() {
 	for {
-		seq, body, err := readFrame(c.conn)
+		seq, body, bp, err := readFrame(c.conn)
 		if err != nil {
 			c.failAll(err)
 			return
 		}
 		m, err := wire.Unmarshal(body)
+		putBuf(bp) // decode deep-copied everything it kept
 		c.mu.Lock()
 		ch := c.pending[seq]
-		delete(c.pending, seq)
+		c.forget(seq)
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- msgOrErr{m, err}
@@ -116,14 +175,34 @@ func (c *Client) readLoop() {
 	}
 }
 
+// forget removes a pending entry (mu held). Go maps never shrink their
+// bucket arrays, so a burst of timed-out calls would otherwise pin the
+// high-water memory forever; once the map drains after enough churn, swap
+// in a fresh one.
+func (c *Client) forget(seq uint32) {
+	delete(c.pending, seq)
+	if c.churn > 1024 && len(c.pending) == 0 {
+		c.pending = make(map[uint32]chan msgOrErr)
+		c.churn = 0
+	}
+}
+
+// PendingCalls reports the number of in-flight calls (for tests).
+func (c *Client) PendingCalls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
 func (c *Client) failAll(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
-	for seq, ch := range c.pending {
+	for _, ch := range c.pending {
 		ch <- msgOrErr{nil, fmt.Errorf("%w (%v)", ErrClosed, err)}
-		delete(c.pending, seq)
 	}
+	c.pending = make(map[uint32]chan msgOrErr)
+	c.churn = 0
 }
 
 // Call sends req and blocks for the matching response. A wire.Error response
@@ -147,21 +226,25 @@ func (c *Client) CallTraced(req wire.Msg, trace uint64, timeout time.Duration) (
 }
 
 func (c *Client) call(req wire.Msg, timeout time.Duration, trace uint64) (wire.Msg, error) {
-	body := wire.MarshalTraced(req, trace)
+	fr := wire.MarshalFrame(req, trace)
 
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		fr.Free()
 		return nil, ErrClosed
 	}
 	c.seq++
 	seq := c.seq
 	ch := make(chan msgOrErr, 1)
 	c.pending[seq] = ch
+	c.churn++
 	c.mu.Unlock()
 
 	if timeout <= 0 {
-		if err := c.send(seq, body); err != nil {
+		err := c.send(seq, &fr)
+		fr.Free()
+		if err != nil {
 			c.abandon(seq)
 			return nil, err
 		}
@@ -169,9 +252,15 @@ func (c *Client) call(req wire.Msg, timeout time.Duration, trace uint64) (wire.M
 	}
 
 	// The send itself can block (a hung modeled link, a full pipe), so it
-	// must race the deadline too.
+	// must race the deadline too. The send goroutine owns the frame and
+	// frees it when the write finishes, whether or not the call has been
+	// abandoned by then.
 	sendErr := make(chan error, 1)
-	go func() { sendErr <- c.send(seq, body) }()
+	go func() {
+		err := c.send(seq, &fr)
+		fr.Free()
+		sendErr <- err
+	}()
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	for {
@@ -192,12 +281,12 @@ func (c *Client) call(req wire.Msg, timeout time.Duration, trace uint64) (wire.M
 }
 
 // send charges the modeled link and writes the request frame.
-func (c *Client) send(seq uint32, body []byte) error {
-	if err := c.local.Send(c.remote, int64(8+len(body))); err != nil {
+func (c *Client) send(seq uint32, fr *wire.Frame) error {
+	if err := c.local.Send(c.remote, int64(8+fr.BodyLen())); err != nil {
 		return fmt.Errorf("rpc: send: %w", err)
 	}
 	c.wmu.Lock()
-	err := writeFrame(c.conn, seq, body)
+	err := writeFrame(c.conn, seq, fr)
 	c.wmu.Unlock()
 	if err != nil {
 		return fmt.Errorf("rpc: send: %w", err)
@@ -209,7 +298,7 @@ func (c *Client) send(seq uint32, body []byte) error {
 // dropped.
 func (c *Client) abandon(seq uint32) {
 	c.mu.Lock()
-	delete(c.pending, seq)
+	c.forget(seq)
 	c.mu.Unlock()
 }
 
@@ -259,11 +348,12 @@ func ServeConnTraced(conn io.ReadWriteCloser, h TracedHandler, local, remote *si
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
-		seq, body, err := readFrame(conn)
+		seq, body, bp, err := readFrame(conn)
 		if err != nil {
 			return err
 		}
 		req, trace, err := wire.UnmarshalTraced(body)
+		putBuf(bp) // decode deep-copied everything the handler will see
 		if err != nil {
 			// Unknown or corrupt request: answer with an error frame.
 			req = nil
@@ -282,15 +372,18 @@ func ServeConnTraced(conn io.ReadWriteCloser, h TracedHandler, local, remote *si
 					resp = r
 				}
 			}
-			out := wire.Marshal(resp)
-			if err := local.Send(remote, int64(8+len(out))); err != nil {
+			// The response's bulk data (a ReadResp payload) rides the frame
+			// by reference; it is a handler-private slice by construction.
+			fr := wire.MarshalFrame(resp, 0)
+			defer fr.Free()
+			if err := local.Send(remote, int64(8+fr.BodyLen())); err != nil {
 				// The modeled link dropped the response after the handler ran
 				// (work done, reply lost); the client's deadline detects it.
 				return
 			}
 			wmu.Lock()
 			defer wmu.Unlock()
-			writeFrame(conn, seq, out) //nolint:errcheck // conn teardown is detected by readFrame
+			writeFrame(conn, seq, &fr) //nolint:errcheck // conn teardown is detected by readFrame
 		}(seq, req, trace, err)
 	}
 }

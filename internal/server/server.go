@@ -355,15 +355,21 @@ func (s *Server) handleRead(m *wire.Read) (wire.Msg, error) {
 		return nil, err
 	}
 	data := sf.store(s.disk, StoreData)
-	var out []byte
+	var total int64
+	for _, sp := range m.Spans {
+		sf.geom.ToLocal(s.idx, sp.Off, sp.Len, func(_, _, n int64) { total += n })
+	}
+	// One exact-size response buffer, read into in place: a multi-span read
+	// costs a single allocation instead of one per piece plus append growth.
+	out := make([]byte, 0, total)
 	for _, sp := range m.Spans {
 		sf.geom.ToLocal(s.idx, sp.Off, sp.Len, func(logical, local, n int64) {
-			buf := make([]byte, n)
+			buf := out[len(out) : len(out)+int(n)]
+			out = out[:len(out)+int(n)]
 			data.ReadAt(buf, local) //nolint:errcheck // zero-fill semantics
 			if !m.Raw {
 				s.patchOverflow(sf, logical, buf)
 			}
-			out = append(out, buf...)
 		})
 	}
 	return &wire.ReadResp{Data: out}, nil

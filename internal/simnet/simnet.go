@@ -97,9 +97,12 @@ func (nd *Node) Send(dst *Node, n int64) error {
 	if tIn.After(target) {
 		target = tIn
 	}
-	if d := time.Until(target); d > 0 {
-		time.Sleep(d)
+	if target.IsZero() {
+		target = time.Now()
 	}
-	nd.net.clock.Sleep(nd.net.params.Latency)
+	// Fold the one-way latency into the same wall-clock deadline: one
+	// precise sleep instead of two, so host timer granularity is paid at
+	// most once per message.
+	simtime.SleepUntil(target.Add(nd.net.clock.Wall(nd.net.params.Latency)))
 	return nil
 }

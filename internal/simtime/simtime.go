@@ -11,9 +11,35 @@
 package simtime
 
 import (
+	"runtime"
 	"sync"
 	"time"
 )
+
+// spinThreshold is how much of the tail of a modeled sleep is burned by
+// yielding instead of time.Sleep. The host timer only fires every ~1ms, so
+// a plain time.Sleep overshoots sub-millisecond modeled costs by an entire
+// millisecond — and because sim time is wall time divided by Scale, every
+// microsecond of overshoot is billed to the model as if the hardware were
+// slower. Sleeping coarse and yield-spinning the final stretch keeps the
+// modeled timeline accurate to the scheduler quantum instead of the timer
+// tick.
+const spinThreshold = 2 * time.Millisecond
+
+// SleepUntil blocks until the wall-clock instant target, with sub-timer-tick
+// precision. Returns immediately if target has passed.
+func SleepUntil(target time.Time) {
+	d := time.Until(target)
+	if d <= 0 {
+		return
+	}
+	if d > spinThreshold {
+		time.Sleep(d - spinThreshold)
+	}
+	for !time.Now().After(target) {
+		runtime.Gosched()
+	}
+}
 
 // Clock maps simulated durations to wall-clock sleeps.
 type Clock struct {
@@ -41,7 +67,7 @@ func (c *Clock) Wall(sim time.Duration) time.Duration { return c.wall(sim) }
 // Sleep blocks for the wall-clock equivalent of the simulated duration.
 func (c *Clock) Sleep(sim time.Duration) {
 	if w := c.wall(sim); w > 0 {
-		time.Sleep(w)
+		SleepUntil(time.Now().Add(w))
 	}
 }
 
@@ -98,10 +124,7 @@ func (l *Limiter) AcquireDur(sim time.Duration) {
 }
 
 func (l *Limiter) wait(wall time.Duration) {
-	target := l.reserve(wall)
-	if d := time.Until(target); d > 0 {
-		time.Sleep(d)
-	}
+	SleepUntil(l.reserve(wall))
 }
 
 func (l *Limiter) reserve(wall time.Duration) time.Time {

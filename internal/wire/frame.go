@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FramePrefix bytes are reserved at the front of every Frame buffer so the
+// transport can prepend its length+sequence header in place and put the
+// whole head on the wire with a single write, no copy.
+const FramePrefix = 8
+
+// payloadSplitMin is the smallest Bytes payload worth passing by reference
+// in Frame.Payload. Below it, copying into the head buffer is cheaper than
+// a second writev element.
+const payloadSplitMin = 2048
+
+// maxPooledHead caps the head buffers kept warm in the pool; oversized
+// one-off heads (huge span lists, stats dumps) are left to the GC.
+const maxPooledHead = 64 << 10
+
+// Frame is the scatter-gather form of a marshaled message.
+//
+// Head() is the encoded message (kind byte, optional trace header,
+// metadata fields) in a pooled buffer; Payload is the message's bulk data
+// field passed by reference — it aliases the Msg's own slice and must hit
+// the wire immediately after the head. The caller owns the frame until it
+// calls Free, which recycles the head buffer; neither Head() nor Payload
+// may be retained afterward.
+type Frame struct {
+	buf     []byte // [FramePrefix reserved bytes][marshaled head]
+	Payload []byte
+	bp      *[]byte // pool box, reused on Free; nil for unpooled frames
+}
+
+// Head returns the marshaled message bytes (without the transport prefix).
+func (f *Frame) Head() []byte { return f.buf[FramePrefix:] }
+
+// HeadWithPrefix returns the head buffer including the FramePrefix reserved
+// bytes at the front, for the transport to fill with its own header.
+func (f *Frame) HeadWithPrefix() []byte { return f.buf }
+
+// BodyLen returns the length of the marshaled message including the
+// by-reference payload (what a contiguous Marshal would have produced).
+func (f *Frame) BodyLen() int { return len(f.buf) - FramePrefix + len(f.Payload) }
+
+// Free returns the head buffer to the pool. The frame must not be used
+// again.
+func (f *Frame) Free() {
+	if f.bp != nil && cap(f.buf) <= maxPooledHead {
+		if poisonPooledBuffers.Load() {
+			poison(f.buf[:cap(f.buf)])
+		}
+		*f.bp = f.buf[:0] // the box rides along, so Put allocates nothing
+		headPool.Put(f.bp)
+	}
+	f.buf, f.Payload, f.bp = nil, nil, nil
+}
+
+var headPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// poisonPooledBuffers, when set by tests, overwrites every buffer returned
+// to the pool so that any still-live alias of a freed frame is caught by
+// the pool-correctness property tests. Atomic because background frame
+// traffic may still be draining when a test flips it.
+var poisonPooledBuffers atomic.Bool
+
+// SetPoolPoison toggles poisoning of head buffers returned to the frame
+// pool (test-only).
+func SetPoolPoison(on bool) { poisonPooledBuffers.Store(on) }
+
+func poison(b []byte) {
+	for i := range b {
+		b[i] = 0xDB
+	}
+}
+
+// MarshalFrame serializes a message into a pooled scatter-gather frame.
+// A zero trace produces the plain (untraced) encoding. The message's first
+// large byte payload is carried in Frame.Payload by reference — the caller
+// must not mutate the Msg's data until the frame has been written and
+// freed.
+func MarshalFrame(m Msg, trace uint64) Frame {
+	bp := headPool.Get().(*[]byte)
+	var prefix [FramePrefix]byte
+	e := Encoder{Buf: append((*bp)[:0], prefix[:]...), split: true}
+	if trace != 0 {
+		e.U8(uint8(m.Kind()) | KindTraceFlag)
+		e.U64(trace)
+	} else {
+		e.U8(uint8(m.Kind()))
+	}
+	m.encode(&e)
+	if e.Payload != nil && e.splitAt != len(e.Buf) {
+		// Fields were encoded after the split payload (the payload is not
+		// the message's last field): fold it back in at its position so
+		// the wire bytes stay identical to the contiguous encoding.
+		tail := len(e.Buf) - e.splitAt
+		e.Buf = append(e.Buf, make([]byte, len(e.Payload))...)
+		copy(e.Buf[e.splitAt+len(e.Payload):], e.Buf[e.splitAt:e.splitAt+tail])
+		copy(e.Buf[e.splitAt:], e.Payload)
+		e.Payload = nil
+	}
+	return Frame{buf: e.Buf, Payload: e.Payload, bp: bp}
+}

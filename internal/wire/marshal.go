@@ -149,18 +149,21 @@ func (m *ReadResp) Kind() Kind        { return KReadResp }
 func (m *ReadResp) encode(e *Encoder) { e.Bytes(m.Data) }
 func (m *ReadResp) decode(d *Decoder) { m.Data = d.BytesCopy() }
 
+// WriteData (like WriteParity and WriteOverflow below) encodes its bulk
+// Data field last so MarshalFrame can carry it by reference instead of
+// copying it into the head buffer.
 func (m *WriteData) Kind() Kind { return KWriteData }
 func (m *WriteData) encode(e *Encoder) {
 	e.FileRef(m.File)
 	e.Spans(m.Spans)
-	e.Bytes(m.Data)
 	e.Bool(m.Raw)
+	e.Bytes(m.Data)
 }
 func (m *WriteData) decode(d *Decoder) {
 	m.File = d.FileRef()
 	m.Spans = d.Spans()
-	m.Data = d.BytesCopy()
 	m.Raw = d.Bool()
+	m.Data = d.BytesCopy()
 }
 
 func (m *WriteMirror) Kind() Kind { return KWriteMirror }
@@ -362,30 +365,30 @@ func (m *WriteParity) Kind() Kind { return KWriteParity }
 func (m *WriteParity) encode(e *Encoder) {
 	e.FileRef(m.File)
 	e.I64s(m.Stripes)
-	e.Bytes(m.Data)
 	e.Bool(m.Unlock)
 	e.U64(m.Owner)
+	e.Bytes(m.Data)
 }
 func (m *WriteParity) decode(d *Decoder) {
 	m.File = d.FileRef()
 	m.Stripes = d.I64sDec()
-	m.Data = d.BytesCopy()
 	m.Unlock = d.Bool()
 	m.Owner = d.U64()
+	m.Data = d.BytesCopy()
 }
 
 func (m *WriteOverflow) Kind() Kind { return KWriteOverflow }
 func (m *WriteOverflow) encode(e *Encoder) {
 	e.FileRef(m.File)
 	e.Spans(m.Extents)
-	e.Bytes(m.Data)
 	e.Bool(m.Mirror)
+	e.Bytes(m.Data)
 }
 func (m *WriteOverflow) decode(d *Decoder) {
 	m.File = d.FileRef()
 	m.Extents = d.Spans()
-	m.Data = d.BytesCopy()
 	m.Mirror = d.Bool()
+	m.Data = d.BytesCopy()
 }
 
 func (m *InvalidateOverflow) Kind() Kind { return KInvalidateOverflow }

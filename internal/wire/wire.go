@@ -778,7 +778,17 @@ type StatsResp struct {
 // --- encoding ---
 
 // Encoder appends fixed-width little-endian values to a buffer.
-type Encoder struct{ Buf []byte }
+//
+// When split is set (frame marshaling), the first large Bytes payload is
+// not copied into Buf: its length prefix is appended and the slice itself
+// is parked in Payload for the transport to scatter-gather onto the wire.
+type Encoder struct {
+	Buf []byte
+
+	split   bool
+	splitAt int    // len(Buf) right after the split point
+	Payload []byte // payload passed by reference instead of appended
+}
 
 func (e *Encoder) U8(v uint8) { e.Buf = append(e.Buf, v) }
 
@@ -802,6 +812,11 @@ func (e *Encoder) Str(s string) {
 
 func (e *Encoder) Bytes(b []byte) {
 	e.U32(uint32(len(b)))
+	if e.split && e.Payload == nil && len(b) >= payloadSplitMin {
+		e.Payload = b
+		e.splitAt = len(e.Buf)
+		return
+	}
 	e.Buf = append(e.Buf, b...)
 }
 

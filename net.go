@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"csar/internal/client"
@@ -12,9 +13,16 @@ import (
 	"csar/internal/wire"
 )
 
-// redialCaller is the connection to one I/O server, tolerant of the server
-// being down. The TCP connection is established lazily on first use and
-// re-established after it fails, so:
+// DefaultConnsPerServer is the size of each I/O server's connection pool.
+// One rpc.Client already multiplexes any number of in-flight requests over
+// its connection, but a single TCP stream serializes the *bytes*: a large
+// write frame from one operation delays every frame queued behind it. A
+// small pool gives concurrent operations independent streams.
+const DefaultConnsPerServer = 2
+
+// redialCaller is the connection pool to one I/O server, tolerant of the
+// server being down. Each slot's TCP connection is established lazily on
+// first use and re-established after it fails, so:
 //
 //   - a server that is dead when Dial runs does not abort the whole client —
 //     its calls fail with an unavailability error, which is exactly what
@@ -23,33 +31,50 @@ import (
 //   - a server that crashes mid-session and comes back is re-admitted by the
 //     breaker's Health probe, because the probe's call re-dials instead of
 //     hitting a permanently closed rpc client.
+//
+// Calls pick a slot round-robin; in-flight requests multiplex freely on
+// each slot's rpc.Client.
 type redialCaller struct {
 	addr string
+	next atomic.Uint32
 
-	mu  sync.Mutex
-	cli *rpc.Client
+	mu    sync.Mutex
+	conns []*rpc.Client
+}
+
+func newRedialCaller(addr string, conns int) *redialCaller {
+	if conns < 1 {
+		conns = 1
+	}
+	return &redialCaller{addr: addr, conns: make([]*rpc.Client, conns)}
 }
 
 func (r *redialCaller) get() (*rpc.Client, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.cli != nil {
-		return r.cli, nil
+	if len(r.conns) == 0 { // zero-value caller: degenerate single-conn pool
+		r.conns = make([]*rpc.Client, 1)
+	}
+	slot := int(r.next.Add(1)) % len(r.conns)
+	if r.conns[slot] != nil {
+		return r.conns[slot], nil
 	}
 	conn, err := net.Dial("tcp", r.addr)
 	if err != nil {
 		return nil, fmt.Errorf("csar: dial iod %s: %v: %w", r.addr, err, wire.ErrUnavailable)
 	}
-	r.cli = rpc.NewClient(conn, nil, nil)
-	return r.cli, nil
+	r.conns[slot] = rpc.NewClient(conn, nil, nil)
+	return r.conns[slot], nil
 }
 
-// drop forgets a failed connection so the next call re-dials.
+// drop forgets a failed connection so the next call on its slot re-dials.
 func (r *redialCaller) drop(failed *rpc.Client) {
 	r.mu.Lock()
-	if r.cli == failed {
-		failed.Close()
-		r.cli = nil
+	for i, c := range r.conns {
+		if c == failed {
+			failed.Close()
+			r.conns[i] = nil
+		}
 	}
 	r.mu.Unlock()
 }
@@ -88,18 +113,23 @@ func (r *redialCaller) CallTraced(m wire.Msg, trace uint64, timeout time.Duratio
 	return resp, err
 }
 
-// Close drops the cached connection. The caller stays usable — a later call
-// re-dials — but a client being torn down releases its descriptor instead
-// of leaking it (periodic dial-work-exit loops depend on this).
+// Close drops every cached connection. The caller stays usable — a later
+// call re-dials — but a client being torn down releases its descriptors
+// instead of leaking them (periodic dial-work-exit loops depend on this).
 func (r *redialCaller) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.cli == nil {
-		return nil
+	var first error
+	for i, c := range r.conns {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		r.conns[i] = nil
 	}
-	err := r.cli.Close()
-	r.cli = nil
-	return err
+	return first
 }
 
 // Dial connects to a running CSAR deployment: it contacts the manager at
@@ -134,7 +164,7 @@ func Dial(mgrAddr string) (*Client, error) {
 	}
 	callers := make([]client.Caller, len(addrs))
 	for i, a := range addrs {
-		callers[i] = &redialCaller{addr: a}
+		callers[i] = newRedialCaller(a, DefaultConnsPerServer)
 	}
 	inner := client.New(mgr, callers)
 	inner.SetPolicy(client.DefaultPolicy())

@@ -38,6 +38,12 @@ func (r *Rank) Size() int { return r.inner.Size() }
 // Barrier blocks until every rank has entered it.
 func (r *Rank) Barrier() { r.inner.Barrier() }
 
+// SetPipelineDepth bounds how many collective chunks each aggregator rank
+// keeps in flight at once (the issue window). The default overlaps a few
+// chunk round trips; depth 1 reproduces strict write-and-wait ROMIO
+// behaviour. Call from one rank before the collective operation.
+func (r *Rank) SetPipelineDepth(d int) { r.inner.SetPipelineDepth(d) }
+
 // CollectiveWrite performs a collectively buffered write of every rank's
 // requests. All ranks must call it, even with no requests.
 func (r *Rank) CollectiveWrite(f *File, reqs []Req) error {

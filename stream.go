@@ -3,6 +3,8 @@ package csar
 import (
 	"fmt"
 	"io"
+
+	"csar/internal/client"
 )
 
 // Stream is a sequential cursor over a CSAR file implementing io.Reader,
@@ -13,6 +15,9 @@ import (
 type Stream struct {
 	f   *File
 	pos int64
+
+	depth int
+	win   *client.Window
 }
 
 // Stream returns a sequential cursor positioned at the start of the file.
@@ -21,6 +26,9 @@ func (f *File) Stream() *Stream { return &Stream{f: f} }
 // Read reads from the current position, returning io.EOF at the file's
 // logical size.
 func (s *Stream) Read(p []byte) (int, error) {
+	if err := s.Flush(); err != nil { // read-your-writes past the window
+		return 0, err
+	}
 	size := s.f.Size()
 	if s.pos >= size {
 		return 0, io.EOF
@@ -33,11 +41,57 @@ func (s *Stream) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// Write writes at the current position, advancing it.
+// SetWriteWindow enables pipelined writes: up to depth Writes are kept in
+// flight at once instead of each waiting out its stripe round trip, the
+// same bounded-window overlap the collective-I/O aggregators use.
+// Sequential writes cover disjoint ranges, and writes sharing a boundary
+// stripe serialize through the parity lock, so ordering does not affect
+// the result. Errors surface on a later Write, Flush, or Close rather than
+// the Write that caused them. depth <= 1 restores synchronous writes.
+func (s *Stream) SetWriteWindow(depth int) {
+	s.Flush() //nolint:errcheck // switching modes; the next op reports it
+	if depth <= 1 {
+		s.depth, s.win = 0, nil
+		return
+	}
+	s.depth = depth
+	s.win = client.NewWindow(depth)
+}
+
+// Write writes at the current position, advancing it. With a write window
+// set, the write is issued asynchronously and p is copied first (the
+// io.Writer contract lets the caller reuse p immediately).
 func (s *Stream) Write(p []byte) (int, error) {
-	n, err := s.f.WriteAt(p, s.pos)
-	s.pos += int64(n)
-	return n, err
+	if s.win == nil {
+		n, err := s.f.WriteAt(p, s.pos)
+		s.pos += int64(n)
+		return n, err
+	}
+	if s.win.Failed() {
+		return 0, s.Flush()
+	}
+	buf := append([]byte(nil), p...)
+	off := s.pos
+	s.win.Go(func() error {
+		_, err := s.f.WriteAt(buf, off)
+		return err
+	})
+	s.pos += int64(len(p))
+	return len(p), nil
+}
+
+// Flush drains any in-flight pipelined writes and returns their first
+// error. A no-op for synchronous streams.
+func (s *Stream) Flush() error {
+	if s.win == nil {
+		return nil
+	}
+	err := s.win.Wait()
+	if err != nil {
+		// The window is poisoned by its sticky error; start a fresh one.
+		s.win = client.NewWindow(s.depth)
+	}
+	return err
 }
 
 // Seek repositions the cursor per the io.Seeker contract.
@@ -61,9 +115,15 @@ func (s *Stream) Seek(offset int64, whence int) (int64, error) {
 	return np, nil
 }
 
-// Close flushes the file's server-side stores; the stream remains usable
-// (closing a PVFS file descriptor does not invalidate others).
-func (s *Stream) Close() error { return s.f.Sync() }
+// Close drains any pipelined writes and flushes the file's server-side
+// stores; the stream remains usable (closing a PVFS file descriptor does
+// not invalidate others).
+func (s *Stream) Close() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
 
 var (
 	_ io.Reader = (*Stream)(nil)

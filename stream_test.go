@@ -112,3 +112,33 @@ func TestStreamSparseWriteViaSeek(t *testing.T) {
 		}
 	}
 }
+
+func TestStreamWriteWindowRoundTrip(t *testing.T) {
+	f := streamFile(t, csar.Raid5)
+	src := strings.Repeat("pipelined hartree-fock style output\n", 10000)
+
+	w := f.Stream()
+	w.SetWriteWindow(8)
+	// 16 KB sequential requests, the paper's Hartree-Fock pattern.
+	for buf := []byte(src); len(buf) > 0; {
+		n := 16 << 10
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			t.Fatal(err)
+		}
+		buf = buf[n:]
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := io.ReadAll(f.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte(src)) {
+		t.Fatal("windowed stream round trip mismatch")
+	}
+}
