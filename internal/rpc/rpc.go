@@ -254,7 +254,11 @@ func (c *Client) call(req wire.Msg, timeout time.Duration, trace uint64) (wire.M
 	// The send itself can block (a hung modeled link, a full pipe), so it
 	// must race the deadline too. The send goroutine owns the frame and
 	// frees it when the write finishes, whether or not the call has been
-	// abandoned by then.
+	// abandoned by then. Because that write can outlive this call, the
+	// frame must not alias the caller's buffers: a caller reusing its slice
+	// right after ErrTimeout would race the in-flight write and the server
+	// could apply a torn payload as a valid write.
+	fr.OwnPayload()
 	sendErr := make(chan error, 1)
 	go func() {
 		err := c.send(seq, &fr)

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"net"
@@ -67,6 +68,51 @@ func TestCallTimeoutCoversBlockedSend(t *testing.T) {
 	n.ClearFaults()
 	if _, err := c.CallTimeout(&wire.Ping{}, time.Second); err != nil {
 		t.Fatalf("call after link heal: %v", err)
+	}
+}
+
+func TestTimedOutSendDoesNotAliasCallerBuffer(t *testing.T) {
+	// The client end of an unbuffered pipe with no reader: the send
+	// goroutine wedges mid-write, the deadline fires, and the call returns
+	// while the frame is still streaming.
+	cEnd, sEnd := net.Pipe()
+	c := NewClient(cEnd, nil, nil)
+	t.Cleanup(func() { c.Close() })
+
+	payload := patternOf(64<<10, 7) // well above the payload-split threshold
+	want := append([]byte(nil), payload...)
+
+	_, err := c.CallTimeout(&wire.WriteData{
+		File:  wire.FileRef{ID: 7},
+		Spans: []wire.Span{{Off: 0, Len: int64(len(payload))}},
+		Data:  payload,
+	}, 25*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+
+	// The caller reuses its buffer the moment the call returns — exactly
+	// what a WriteAt caller does with its scratch stripe buffer. The
+	// abandoned send, still blocked on the unread pipe, must be streaming a
+	// private copy, not this slice.
+	for i := range payload {
+		payload[i] = 0xFF
+	}
+
+	// Drain the pipe and decode the frame that was in flight; a torn or
+	// mutated payload here is the write the server would have applied.
+	_, body, bp, err := readFrame(sEnd)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	m, err := wire.Unmarshal(body)
+	putBuf(bp)
+	if err != nil {
+		t.Fatalf("unmarshal in-flight frame: %v", err)
+	}
+	got := m.(*wire.WriteData).Data
+	if !bytes.Equal(got, want) {
+		t.Fatal("timed-out send streamed the caller's mutated buffer (torn write)")
 	}
 }
 

@@ -11,6 +11,7 @@
 package simtime
 
 import (
+	"container/heap"
 	"runtime"
 	"sync"
 	"time"
@@ -28,6 +29,15 @@ const spinThreshold = 2 * time.Millisecond
 
 // SleepUntil blocks until the wall-clock instant target, with sub-timer-tick
 // precision. Returns immediately if target has passed.
+//
+// The precision tail is not spun per goroutine: with hundreds of concurrent
+// RPC and limiter sleeps, one yield loop per sleeper would saturate the host
+// CPUs and itself distort the modeled timeline it exists to protect,
+// especially on loaded or core-limited machines. Instead every sleeper in
+// its final stretch parks on the shared waker — a single goroutine that
+// yield-spins while tails are pending and fires each sleeper at its target —
+// so the spin burns at most one core no matter how many sleeps are in
+// flight, and all of them still wake at scheduler-quantum precision.
 func SleepUntil(target time.Time) {
 	d := time.Until(target)
 	if d <= 0 {
@@ -35,8 +45,73 @@ func SleepUntil(target time.Time) {
 	}
 	if d > spinThreshold {
 		time.Sleep(d - spinThreshold)
+		if !time.Now().Before(target) {
+			return
+		}
 	}
-	for !time.Now().After(target) {
+	<-sharedWaker.add(target)
+}
+
+// sharedWaker is the process-wide precision-tail waker.
+var sharedWaker waker
+
+// waker wakes registered sleepers at their wall-clock targets. One run
+// goroutine exists only while sleepers are parked; it yield-spins between
+// checks, so total spin cost is bounded by one core regardless of the number
+// of concurrent sleeps.
+type waker struct {
+	mu      sync.Mutex
+	heap    waiters
+	running bool
+}
+
+type waiter struct {
+	target time.Time
+	ch     chan struct{}
+}
+
+// waiters is a min-heap of parked sleepers ordered by wakeup target.
+type waiters []waiter
+
+func (h waiters) Len() int           { return len(h) }
+func (h waiters) Less(i, j int) bool { return h[i].target.Before(h[j].target) }
+func (h waiters) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *waiters) Push(x any)        { *h = append(*h, x.(waiter)) }
+func (h *waiters) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// add parks a sleeper until target and returns the channel closed at (or
+// just after) that instant, starting the run goroutine if none is live.
+func (w *waker) add(target time.Time) chan struct{} {
+	ch := make(chan struct{})
+	w.mu.Lock()
+	heap.Push(&w.heap, waiter{target, ch})
+	if !w.running {
+		w.running = true
+		go w.run()
+	}
+	w.mu.Unlock()
+	return ch
+}
+
+func (w *waker) run() {
+	for {
+		w.mu.Lock()
+		now := time.Now()
+		for len(w.heap) > 0 && !w.heap[0].target.After(now) {
+			close(heap.Pop(&w.heap).(waiter).ch)
+		}
+		if len(w.heap) == 0 {
+			w.running = false
+			w.mu.Unlock()
+			return
+		}
+		w.mu.Unlock()
 		runtime.Gosched()
 	}
 }

@@ -1,6 +1,7 @@
 package simtime
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -94,6 +95,53 @@ func TestAcquireDur(t *testing.T) {
 	got := time.Since(start)
 	if got < 20*time.Millisecond || got > 300*time.Millisecond {
 		t.Fatalf("AcquireDur took %v, want about 30ms", got)
+	}
+}
+
+func TestSleepUntilPast(t *testing.T) {
+	start := time.Now()
+	SleepUntil(start.Add(-time.Second)) // must not block or park
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("SleepUntil on a past target blocked")
+	}
+}
+
+func TestSharedWakerManyConcurrentSleepers(t *testing.T) {
+	// Many goroutines in their precision tails at once: every sleeper must
+	// wake (no lost waiter when the waker's heap drains and restarts), none
+	// before its target, and the spin burden is one goroutine total — the
+	// whole staggered batch completes in roughly the longest sleep, not the
+	// sum.
+	const sleepers = 100
+	base := time.Now().Add(2 * time.Millisecond)
+	var wg sync.WaitGroup
+	errs := make(chan error, sleepers)
+	for i := 0; i < sleepers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			target := base.Add(time.Duration(i) * 100 * time.Microsecond)
+			SleepUntil(target)
+			if time.Now().Before(target) {
+				errs <- errors.New("SleepUntil returned before its target")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := time.Since(base); got > 2*time.Second {
+		t.Fatalf("staggered sleepers took %v; waker serialized or lost them", got)
+	}
+
+	// The heap has drained and the run goroutine exited; a fresh sleep must
+	// restart it rather than park forever.
+	start := time.Now()
+	SleepUntil(start.Add(time.Millisecond))
+	if time.Now().Before(start.Add(time.Millisecond)) {
+		t.Fatal("post-drain SleepUntil woke early")
 	}
 }
 

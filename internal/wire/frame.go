@@ -19,6 +19,10 @@ const payloadSplitMin = 2048
 // one-off heads (huge span lists, stats dumps) are left to the GC.
 const maxPooledHead = 64 << 10
 
+// maxPooledPayload caps the private payload copies (OwnPayload) kept warm in
+// their pool; larger one-offs are left to the GC.
+const maxPooledPayload = 4 << 20
+
 // Frame is the scatter-gather form of a marshaled message.
 //
 // Head() is the encoded message (kind byte, optional trace header,
@@ -31,6 +35,7 @@ type Frame struct {
 	buf     []byte // [FramePrefix reserved bytes][marshaled head]
 	Payload []byte
 	bp      *[]byte // pool box, reused on Free; nil for unpooled frames
+	pp      *[]byte // private payload copy made by OwnPayload; nil if by-reference
 }
 
 // Head returns the marshaled message bytes (without the transport prefix).
@@ -44,8 +49,25 @@ func (f *Frame) HeadWithPrefix() []byte { return f.buf }
 // by-reference payload (what a contiguous Marshal would have produced).
 func (f *Frame) BodyLen() int { return len(f.buf) - FramePrefix + len(f.Payload) }
 
-// Free returns the head buffer to the pool. The frame must not be used
-// again.
+// OwnPayload replaces the frame's by-reference Payload with a private pooled
+// copy. A transport whose write can outlive the caller — rpc abandons a
+// timed-out call while its send goroutine is still streaming the frame —
+// must take ownership before returning control, or a caller that reuses its
+// buffer after the timeout races the in-flight wire write and the receiver
+// can apply a torn payload. Free recycles the copy. A frame whose payload is
+// already inlined (or already owned) is untouched.
+func (f *Frame) OwnPayload() {
+	if len(f.Payload) == 0 || f.pp != nil {
+		return
+	}
+	pp := payloadPool.Get().(*[]byte)
+	*pp = append((*pp)[:0], f.Payload...)
+	f.Payload = *pp
+	f.pp = pp
+}
+
+// Free returns the head buffer (and any OwnPayload copy) to their pools. The
+// frame must not be used again.
 func (f *Frame) Free() {
 	if f.bp != nil && cap(f.buf) <= maxPooledHead {
 		if poisonPooledBuffers.Load() {
@@ -54,13 +76,22 @@ func (f *Frame) Free() {
 		*f.bp = f.buf[:0] // the box rides along, so Put allocates nothing
 		headPool.Put(f.bp)
 	}
-	f.buf, f.Payload, f.bp = nil, nil, nil
+	if f.pp != nil && cap(*f.pp) <= maxPooledPayload {
+		if poisonPooledBuffers.Load() {
+			poison((*f.pp)[:cap(*f.pp)])
+		}
+		*f.pp = (*f.pp)[:0]
+		payloadPool.Put(f.pp)
+	}
+	f.buf, f.Payload, f.bp, f.pp = nil, nil, nil, nil
 }
 
 var headPool = sync.Pool{New: func() any {
 	b := make([]byte, 0, 512)
 	return &b
 }}
+
+var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // poisonPooledBuffers, when set by tests, overwrites every buffer returned
 // to the pool so that any still-live alias of a freed frame is caught by

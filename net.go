@@ -55,7 +55,10 @@ func (r *redialCaller) get() (*rpc.Client, error) {
 	if len(r.conns) == 0 { // zero-value caller: degenerate single-conn pool
 		r.conns = make([]*rpc.Client, 1)
 	}
-	slot := int(r.next.Add(1)) % len(r.conns)
+	// Reduce in unsigned space: on 32-bit platforms int(uint32) goes
+	// negative once the counter wraps past 2^31, and a negative index
+	// would panic here.
+	slot := int(r.next.Add(1) % uint32(len(r.conns)))
 	if r.conns[slot] != nil {
 		return r.conns[slot], nil
 	}
