@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz-seeds faults crash resync rs obs allocs bench-smoke staticcheck ci
+.PHONY: build vet test race fuzz-seeds faults crash resync rs obs allocs bench-smoke meta-ha staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -79,6 +79,16 @@ bench-smoke:
 	/tmp/csar-bench-smoke -exp fig3 -div 2048 -scale 10ms -servers 6 -json /tmp/csar-bench-smoke.json
 	$(GO) test -run TestBenchSmokeSchema ./internal/bench
 
+# The metadata high-availability suite: WAL torn-tail recovery at every
+# byte offset, crash-mid-compaction replay, primary→standby replication
+# with epoch fencing, deterministic promotion, and the kill-the-primary-
+# mid-create-stream failover acceptance test — run twice under the race
+# detector because replication ships concurrently with client retries.
+meta-ha:
+	$(GO) test -race -count=2 -run 'TestWAL|TestReplication|TestStandby|TestPromotion|TestDeposed|TestLagging|TestTryPromote|TestReplicated|TestStatsRPC' ./internal/meta
+	$(GO) test -race -count=2 -run 'TestManagerFailoverMidCreateStream|TestManagerGroupInMemory' ./internal/cluster
+	$(GO) test -race -count=2 -run 'TestManagerFailoverOverTCP' .
+
 # Static analysis beyond go vet, when the tool is installed (CI images
 # that lack it skip the target rather than fail it — nothing is
 # downloaded at build time).
@@ -89,4 +99,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-ci: vet staticcheck build race fuzz-seeds faults crash resync rs obs allocs bench-smoke
+ci: vet staticcheck build race fuzz-seeds faults crash resync rs obs allocs bench-smoke meta-ha

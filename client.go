@@ -228,6 +228,38 @@ func (c *Client) Stats() Stats { return c.inner.Stats() }
 // rather than an error, so a degraded cluster can still be inspected.
 func (c *Client) ServerStats() []ServerStats { return c.inner.ServerStats() }
 
+// ErrNotPrimary is returned by namespace mutations sent to a standby
+// manager; the client's failover normally absorbs it by routing to the
+// primary.
+var ErrNotPrimary = wire.ErrNotPrimary
+
+// ErrStaleEpoch is returned by a manager that has been deposed — a newer
+// primary epoch exists — fencing it off exactly like an expired parity
+// lease fences a stale writer. Re-issuing the operation routes it to the
+// new primary.
+var ErrStaleEpoch = wire.ErrStaleEpoch
+
+// ManagerStatus is one manager's role report: its cluster index, primary
+// epoch, whether it currently believes it is primary, the last operation
+// sequence number it holds, and its namespace/WAL sizes. Files < 0 marks a
+// manager that did not answer the probe.
+type ManagerStatus = wire.MetaStatusResp
+
+// ManagerStatuses probes every manager in the group and returns their
+// status reports in group order; unreachable managers get a marker entry
+// (Files < 0) rather than failing the collection.
+func (c *Client) ManagerStatuses() []ManagerStatus { return c.inner.ManagerStatuses() }
+
+// ManagerStats collects every manager's observability snapshot over the
+// Stats RPC, in group order; unreachable managers get a marker entry
+// (Requests < 0). The manager's snapshot carries its WAL, replication and
+// failover counters plus per-RPC-kind latency histograms.
+func (c *Client) ManagerStats() []ServerStats { return c.inner.ManagerStats() }
+
+// CurrentManager returns the index (into the dialed manager group) that
+// metadata RPCs currently route to.
+func (c *Client) CurrentManager() int { return c.inner.CurrentManager() }
+
 // StatsOfServer converts one server's Stats reply into a Stats snapshot so
 // it can be merged and rendered with the same code as client snapshots.
 func StatsOfServer(sr ServerStats) Stats { return client.SnapOfStatsResp(sr) }

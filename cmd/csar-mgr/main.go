@@ -11,6 +11,18 @@
 //
 // Clients reach it with csar.Dial("localhost:7100") or the csar CLI.
 //
+// Metadata high availability: run several managers and give each the full
+// group with -mgrs (index order, self included) plus its own -mgr-index.
+// Manager 0 starts as the primary, the rest as replicating standbys
+// (-standby overrides). Give clients the whole group: csar.Dial accepts
+// the same comma-separated list. -promote-after enables automatic
+// failover: a standby that sees every lower-index manager unreachable for
+// that long promotes itself at a fresh epoch, fencing the old primary.
+// See DESIGN.md §11 for the promotion rule and its split-brain caveat.
+//
+//	csar-mgr -listen :7100 -meta m0/meta.json -mgrs localhost:7100,localhost:7200 -mgr-index 0 -iods ... &
+//	csar-mgr -listen :7200 -meta m1/meta.json -mgrs localhost:7100,localhost:7200 -mgr-index 1 -promote-after 5s -iods ... &
+//
 // Observability: -debug-addr starts an HTTP listener serving Prometheus
 // /metrics, /debug/pprof/*, and a JSON /statusz. It is off by default and
 // unauthenticated — bind it to localhost (see DESIGN.md, "Observability").
@@ -35,7 +47,11 @@ func main() {
 	var (
 		listen          = flag.String("listen", ":7100", "address to listen on")
 		iods            = flag.String("iods", "", "comma-separated I/O server addresses, in index order")
-		metaDB          = flag.String("meta", "", "metadata snapshot file for durable metadata (default: in-memory)")
+		metaDB          = flag.String("meta", "", "metadata snapshot file for durable metadata; the write-ahead log lives beside it at <path>.wal (default: in-memory)")
+		mgrs            = flag.String("mgrs", "", "comma-separated manager group addresses in index order, self included (default: this manager alone)")
+		mgrIndex        = flag.Int("mgr-index", 0, "this manager's index within -mgrs")
+		standby         = flag.Bool("standby", false, "start as a replicating standby (default: true for -mgr-index > 0)")
+		promoteAfter    = flag.Duration("promote-after", 0, "promote this standby after every lower-index manager has been unreachable this long (0 = manual promotion only)")
 		debugAddr       = flag.String("debug-addr", "", "serve /metrics, /statusz and /debug/pprof on this address (default: off; unauthenticated — bind to localhost)")
 		scrubEvery      = flag.Duration("scrub-every", 0, "period of the background integrity scrub over all files (0 = disabled)")
 		scrubRate       = flag.Float64("scrub-rate", 0, "scrub I/O rate limit in bytes/sec per pass (0 = unlimited)")
@@ -77,21 +93,46 @@ func main() {
 	} else {
 		m = meta.New(len(addrs), addrs)
 	}
+	// Join the replicated manager group, if one is configured. Peers are
+	// lazy redialing connections, so the group comes up in any order.
+	var peers []meta.Caller
+	if *mgrs != "" {
+		var mgrAddrs []string
+		for _, a := range strings.Split(*mgrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				mgrAddrs = append(mgrAddrs, a)
+			}
+		}
+		if *mgrIndex < 0 || *mgrIndex >= len(mgrAddrs) {
+			log.Fatalf("csar-mgr: -mgr-index %d out of range for %d managers", *mgrIndex, len(mgrAddrs))
+		}
+		peers = make([]meta.Caller, len(mgrAddrs))
+		for i, a := range mgrAddrs {
+			if i != *mgrIndex {
+				peers[i] = meta.NewTCPPeer(a, 2*time.Second)
+			}
+		}
+		isStandby := *standby || (*mgrIndex != 0 && !flagPassed("standby"))
+		m.SetCluster(*mgrIndex, peers, isStandby)
+		role := "primary"
+		if isStandby {
+			role = "standby"
+		}
+		fmt.Printf("csar-mgr: manager %d of %d, starting as %s\n", *mgrIndex, len(mgrAddrs), role)
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("csar-mgr: %v", err)
 	}
 	fmt.Printf("csar-mgr: serving metadata on %s for %d I/O servers\n", ln.Addr(), len(addrs))
 
-	reg := obs.NewRegistry()
-	reqs := reg.Counter("requests")
-	handle := func(req wire.Msg) (wire.Msg, error) {
-		reqs.Add(1)
-		return m.Handle(req)
-	}
+	// The manager counts its own requests and serves the Stats RPC; the
+	// debug endpoint exposes the same registry.
+	handle := m.Handle
 	if *debugAddr != "" {
 		startedAt := time.Now()
-		closer, err := obs.ServeDebug(*debugAddr, reg, func() map[string]any {
+		closer, err := obs.ServeDebug(*debugAddr, m.Obs(), func() map[string]any {
 			return map[string]any{
 				"iods":           len(addrs),
 				"uptime_seconds": int64(time.Since(startedAt).Seconds()),
@@ -112,6 +153,10 @@ func main() {
 	pol.ProbeAfter = *probeAfter
 	pol.LockLease = *lockLease
 	pol.LeaseRenewEvery = *leaseRenew
+	if *promoteAfter > 0 && peers != nil {
+		fmt.Printf("csar-mgr: automatic promotion after %v of lower-index unreachability\n", *promoteAfter)
+		go promotionLoop(m, peers, *mgrIndex, *promoteAfter)
+	}
 	if *scrubEvery > 0 {
 		fmt.Printf("csar-mgr: background scrub every %v\n", *scrubEvery)
 		go func() {
@@ -135,6 +180,75 @@ func main() {
 			log.Fatalf("csar-mgr: accept: %v", err)
 		}
 		go rpc.ServeConn(conn, handle, nil, nil) //nolint:errcheck
+	}
+}
+
+// flagPassed reports whether the named flag was given explicitly on the
+// command line (as opposed to holding its default).
+func flagPassed(name string) bool {
+	passed := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
+		}
+	})
+	return passed
+}
+
+// promotionLoop is the automatic failover policy: while this manager is a
+// standby and every lower-index manager has been continuously unreachable
+// for the promote-after window, it promotes itself via the deterministic
+// rule (TryPromote re-probes, so a peer that returns at the last moment
+// still wins). A single observation of an unreachable primary never
+// promotes — transient blips must not bump the epoch and fence a healthy
+// primary.
+func promotionLoop(m *meta.Manager, peers []meta.Caller, idx int, after time.Duration) {
+	tick := after / 4
+	if tick < 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	var downSince time.Time
+	for range time.Tick(tick) {
+		st, err := m.Handle(&wire.MetaStatus{})
+		if err != nil {
+			continue
+		}
+		if sr, ok := st.(*wire.MetaStatusResp); ok && sr.Primary {
+			downSince = time.Time{}
+			continue
+		}
+		lowerAlive := false
+		for i, p := range peers {
+			if i >= idx {
+				break
+			}
+			if p == nil {
+				continue
+			}
+			if _, err := p.Call(&wire.MetaStatus{}); err == nil {
+				lowerAlive = true
+				break
+			}
+		}
+		if lowerAlive {
+			downSince = time.Time{}
+			continue
+		}
+		if downSince.IsZero() {
+			downSince = time.Now()
+			continue
+		}
+		if time.Since(downSince) < after {
+			continue
+		}
+		won, err := m.TryPromote()
+		switch {
+		case err != nil:
+			log.Printf("csar-mgr: promotion attempt failed: %v", err)
+		case won:
+			log.Printf("csar-mgr: promoted to primary (every lower-index manager unreachable for %v)", after)
+			downSince = time.Time{}
+		}
 	}
 }
 

@@ -15,7 +15,8 @@
 //	rm <name>                  remove a file
 //	df                         per-server and total storage in use
 //	stat <name>                show size, scheme and per-store storage
-//	stats                      client + per-server observability dump:
+//	stats                      manager + client + per-server observability
+//	                           dump: manager roles/epochs/replication lag,
 //	                           request counts, store gauges, latency
 //	                           histograms (p50/p95/p99)
 //	verify <name>              check redundancy invariants (fsck)
@@ -55,7 +56,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("csar", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		mgr        = fs.String("mgr", "localhost:7100", "manager address")
+		mgr        = fs.String("mgr", "localhost:7100", "manager address, or the comma-separated manager group in index order")
 		scheme     = fs.String("scheme", "hybrid", "redundancy scheme for create/put: "+strings.Join(csar.SchemeNames(), ", "))
 		servers    = fs.Int("servers", 0, "servers to stripe over (0 = all)")
 		su         = fs.Int64("su", csar.DefaultStripeUnit, "stripe unit in bytes")
@@ -322,6 +323,35 @@ func run(argv []string, stdout, stderr io.Writer) int {
 // exit non-zero: an operator scripting health checks should see the partial
 // failure, not a clean zero.
 func statsCmd(cl *csar.Client, stdout, stderr io.Writer) int {
+	// Manager section first: role, epoch and replication state per group
+	// member. With a single manager this is one primary line.
+	mgrStatuses := cl.ManagerStatuses()
+	mgrStats := cl.ManagerStats()
+	fmt.Fprintf(stdout, "managers: %d\n", len(mgrStatuses))
+	fmt.Fprintf(stdout, "%-4s %-8s %7s %9s %7s %10s %12s %9s\n",
+		"mgr", "role", "epoch", "seq", "files", "wal_bytes", "wal_appends", "repl_lag")
+	mgrUnreachable := 0
+	for i, st := range mgrStatuses {
+		if st.Files < 0 {
+			mgrUnreachable++
+			fmt.Fprintf(stdout, "%-4d unreachable\n", i)
+			continue
+		}
+		role := "standby"
+		if st.Primary {
+			role = "primary"
+		}
+		var walAppends, lag int64
+		if i < len(mgrStats) && mgrStats[i].Requests >= 0 {
+			snap := csar.StatsOfServer(mgrStats[i])
+			walAppends = statValue(snap.Counters, "meta_wal_appends")
+			lag = statValue(snap.Gauges, "meta_replication_lag")
+		}
+		fmt.Fprintf(stdout, "%-4d %-8s %7d %9d %7d %10d %12d %9d\n",
+			i, role, st.Epoch, st.Seq, st.Files, st.WALBytes, walAppends, lag)
+	}
+	fmt.Fprintln(stdout)
+
 	srvStats := cl.ServerStats()
 
 	fmt.Fprintf(stdout, "servers: %d\n\n", len(srvStats))
@@ -360,11 +390,16 @@ func statsCmd(cl *csar.Client, stdout, stderr io.Writer) int {
 		writeHistTable(stdout, own)
 	}
 
+	exit := 0
+	if mgrUnreachable > 0 {
+		fmt.Fprintf(stderr, "csar: %d of %d managers unreachable\n", mgrUnreachable, len(mgrStatuses))
+		exit = 1
+	}
 	if unreachable > 0 {
 		fmt.Fprintf(stderr, "csar: %d of %d servers unreachable\n", unreachable, len(srvStats))
-		return 1
+		exit = 1
 	}
-	return 0
+	return exit
 }
 
 // statValue finds one named counter/gauge in a snapshot list; absent → 0.

@@ -44,7 +44,12 @@ var ErrNoRedundancy = errors.New("client: raid0 stores no redundancy; data on a 
 
 // Client is one mount of a CSAR file system.
 type Client struct {
-	mgr Caller
+	// mgrs is the manager group — the primary and its standbys, in cluster
+	// index order. mgrCur is the sticky index metadata RPCs route to;
+	// mgrCall moves it on failover (mgr.go).
+	mgrs   []Caller
+	mgrCur atomic.Int32
+
 	srv []Caller
 
 	clock   *simtime.Clock
@@ -82,11 +87,19 @@ type Client struct {
 	degradedInFlight atomic.Int64
 }
 
-// New creates a client talking to the manager and the I/O servers. The
+// New creates a client talking to one manager and the I/O servers. The
 // resilience layer starts disabled; SetPolicy turns it on.
 func New(mgr Caller, servers []Caller) *Client {
+	return NewMulti([]Caller{mgr}, servers)
+}
+
+// NewMulti creates a client talking to a manager group — the primary plus
+// any standbys, in cluster index order — and the I/O servers. Metadata
+// RPCs route to one sticky manager and fail over across the group when it
+// dies or answers with a not-primary/stale-epoch fencing error.
+func NewMulti(mgrs []Caller, servers []Caller) *Client {
 	return &Client{
-		mgr:     mgr,
+		mgrs:    mgrs,
 		srv:     servers,
 		obs:     obs.NewRegistry(),
 		down:    make(map[int]bool),
@@ -297,7 +310,7 @@ func (c *Client) Create(name string, servers int, stripeUnit int64, scheme wire.
 // parity 0 applies the manager's default (2 for Reed-Solomon); non-RS
 // schemes reject an explicit count.
 func (c *Client) CreateParity(name string, servers int, stripeUnit int64, scheme wire.Scheme, parity int) (*File, error) {
-	resp, err := c.mgr.Call(&wire.Create{
+	resp, err := c.mgrCall(&wire.Create{
 		Name:       name,
 		Servers:    uint16(servers),
 		StripeUnit: uint32(stripeUnit),
@@ -316,7 +329,7 @@ func (c *Client) CreateParity(name string, servers int, stripeUnit int64, scheme
 
 // Open looks up an existing file by name.
 func (c *Client) Open(name string) (*File, error) {
-	resp, err := c.mgr.Call(&wire.Open{Name: name})
+	resp, err := c.mgrCall(&wire.Open{Name: name})
 	if err != nil {
 		return nil, err
 	}
@@ -347,7 +360,7 @@ func (c *Client) fileFor(ref wire.FileRef, size int64) (*File, error) {
 
 // Remove deletes a file: its manager metadata and every server-side store.
 func (c *Client) Remove(name string) error {
-	resp, err := c.mgr.Call(&wire.Open{Name: name})
+	resp, err := c.mgrCall(&wire.Open{Name: name})
 	if err != nil {
 		return err
 	}
@@ -355,7 +368,7 @@ func (c *Client) Remove(name string) error {
 	if !ok {
 		return fmt.Errorf("client: unexpected open response %T", resp)
 	}
-	if _, err := c.mgr.Call(&wire.Remove{Name: name}); err != nil {
+	if _, err := c.mgrCall(&wire.Remove{Name: name}); err != nil {
 		return err
 	}
 	return c.eachServer(int(or.Ref.Servers), func(i int) error {
@@ -366,7 +379,7 @@ func (c *Client) Remove(name string) error {
 
 // List returns the names of all files.
 func (c *Client) List() ([]string, error) {
-	resp, err := c.mgr.Call(&wire.List{})
+	resp, err := c.mgrCall(&wire.List{})
 	if err != nil {
 		return nil, err
 	}

@@ -726,7 +726,7 @@ func (f *File) Sync() error {
 	}); err != nil {
 		return err
 	}
-	_, err := f.c.mgr.Call(&wire.SetSize{ID: f.ref.ID, Size: f.size.Load()})
+	_, err := f.c.mgrCall(&wire.SetSize{ID: f.ref.ID, Size: f.size.Load()})
 	return err
 }
 

@@ -32,6 +32,7 @@ type Metrics struct {
 	BreakerProbes   int64 // re-admission Health probes issued
 	BreakerReadmits int64 // probes that closed a breaker again
 	Failovers       int64 // reads rerouted to reconstruction after a failure
+	MetaFailovers   int64 // metadata RPCs moved to a different manager
 	LockReleases    int64 // ghost parity-lock releases sent (UnlockParity)
 
 	LeaseRenewals    int64 // parity-lock lease heartbeats the server honored
@@ -56,7 +57,7 @@ type metrics struct {
 
 	retries, timeouts                           atomic.Int64
 	breakerTrips, breakerProbes, breakerReadmits atomic.Int64
-	failovers, lockReleases                     atomic.Int64
+	failovers, metaFailovers, lockReleases      atomic.Int64
 
 	leaseRenewals, leaseExpiries       atomic.Int64
 	intentsReplayed, intentsAbandoned  atomic.Int64
@@ -91,6 +92,7 @@ func (m *metrics) snapshot() Metrics {
 		BreakerProbes:   m.breakerProbes.Load(),
 		BreakerReadmits: m.breakerReadmits.Load(),
 		Failovers:       m.failovers.Load(),
+		MetaFailovers:   m.metaFailovers.Load(),
 		LockReleases:    m.lockReleases.Load(),
 
 		LeaseRenewals:    m.leaseRenewals.Load(),

@@ -94,9 +94,11 @@ func (c *Client) Close() error {
 			}
 		}
 	}
-	if cl, ok := c.mgr.(io.Closer); ok {
-		if err := cl.Close(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("client: closing manager caller: %w", err)
+	for i, m := range c.mgrs {
+		if cl, ok := m.(io.Closer); ok {
+			if err := cl.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("client: closing manager %d caller: %w", i, err)
+			}
 		}
 	}
 	return firstErr

@@ -10,6 +10,8 @@ package cluster
 import (
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +64,14 @@ type Config struct {
 	// ClientRequestCPU is the modeled client-side cost of issuing one
 	// I/O-server request (library + kernel + TCP path); zero disables it.
 	ClientRequestCPU time.Duration
+	// Managers is the number of metadata managers: manager 0 starts as the
+	// primary, the rest as replicating standbys. 0 or 1 runs the classic
+	// single-manager cluster.
+	Managers int
+	// MetaDir, when set, makes every manager persistent: manager i keeps
+	// its snapshot and WAL under MetaDir/mgr<i>/, so KillManager +
+	// RestartManager model a real process crash and recovery-from-log.
+	MetaDir string
 }
 
 // DefaultConfig returns an untimed direct-transport cluster of n servers.
@@ -87,11 +97,21 @@ type ioServer struct {
 	faults []*InjectedFault
 }
 
+// mgrSlot is one manager slot: the current manager instance (replaceable
+// on a kill/restart cycle) and its reachability gate. The gate guards
+// every path into the manager — clients and peer replication alike — so a
+// killed manager is unreachable to the whole cluster, exactly like a dead
+// process.
+type mgrSlot struct {
+	mgr  atomic.Pointer[meta.Manager]
+	down atomic.Bool
+}
+
 // Cluster is a running deployment.
 type Cluster struct {
 	cfg     Config
 	network *simnet.Network
-	mgr     *meta.Manager
+	mgrs    []*mgrSlot
 	servers []*ioServer
 
 	mu      sync.Mutex
@@ -111,7 +131,25 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:     cfg,
 		network: simnet.New(cfg.Clock, cfg.Net),
-		mgr:     meta.New(cfg.Servers, nil),
+	}
+	nMgr := cfg.Managers
+	if nMgr < 1 {
+		nMgr = 1
+	}
+	for i := 0; i < nMgr; i++ {
+		c.mgrs = append(c.mgrs, &mgrSlot{})
+	}
+	for i := range c.mgrs {
+		m, err := c.newManager(i)
+		if err != nil {
+			return nil, err
+		}
+		c.mgrs[i].mgr.Store(m)
+	}
+	if len(c.mgrs) > 1 {
+		for i := range c.mgrs {
+			c.wireManager(i, i != 0)
+		}
 	}
 	cfg.ServerOpts.PageSize = cfg.Disk.PageSize
 	for i := 0; i < cfg.Servers; i++ {
@@ -133,8 +171,88 @@ func (c *Cluster) Servers() int { return len(c.servers) }
 // Server returns I/O server i's current instance (for stats inspection).
 func (c *Cluster) Server(i int) *server.Server { return c.servers[i].srv.Load() }
 
-// Manager returns the metadata manager.
-func (c *Cluster) Manager() *meta.Manager { return c.mgr }
+// Manager returns the metadata manager (manager 0 of a replicated group).
+func (c *Cluster) Manager() *meta.Manager { return c.mgrs[0].mgr.Load() }
+
+// Managers returns the number of managers in the group.
+func (c *Cluster) Managers() int { return len(c.mgrs) }
+
+// ManagerAt returns manager i's current instance.
+func (c *Cluster) ManagerAt(i int) *meta.Manager { return c.mgrs[i].mgr.Load() }
+
+// newManager builds manager i: in-memory by default, persistent under
+// Config.MetaDir when set.
+func (c *Cluster) newManager(i int) (*meta.Manager, error) {
+	if c.cfg.MetaDir == "" {
+		return meta.New(c.cfg.Servers, nil), nil
+	}
+	dir := filepath.Join(c.cfg.MetaDir, fmt.Sprintf("mgr%d", i))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: manager %d dir: %w", i, err)
+	}
+	return meta.NewPersistent(c.cfg.Servers, nil, filepath.Join(dir, "meta.json"))
+}
+
+// wireManager joins manager i to the replicated group, reaching each peer
+// through its gate so a killed manager is unreachable to replication too.
+func (c *Cluster) wireManager(i int, standby bool) {
+	peers := make([]meta.Caller, len(c.mgrs))
+	for j := range peers {
+		if j != i {
+			peers[j] = directCaller{c.mgrHandler(j)}
+		}
+	}
+	c.mgrs[i].mgr.Load().SetCluster(i, peers, standby)
+}
+
+// mgrHandler returns the gated rpc.Handler for manager slot i.
+func (c *Cluster) mgrHandler(i int) rpc.Handler {
+	slot := c.mgrs[i]
+	return func(m wire.Msg) (wire.Msg, error) {
+		if slot.down.Load() {
+			return nil, ErrServerDown
+		}
+		return slot.mgr.Load().Handle(m)
+	}
+}
+
+// KillManager makes manager i unreachable — to clients and to its peers'
+// replication ships alike. With Config.MetaDir set this models kill -9:
+// RestartManager then rebuilds the instance from its snapshot + WAL.
+func (c *Cluster) KillManager(i int) { c.mgrs[i].down.Store(true) }
+
+// RestartManager brings manager i back. Persistent managers are rebuilt
+// from disk (snapshot + WAL replay, torn tail and all) and rejoin the
+// group as a standby — even a former primary must not resume the role,
+// since a newer epoch may have been won while it was dead; it catches up
+// via replication from the current primary. In-memory managers keep their
+// state (a partition heal rather than a process restart).
+func (c *Cluster) RestartManager(i int) error {
+	slot := c.mgrs[i]
+	if c.cfg.MetaDir != "" {
+		slot.mgr.Load().Close() //nolint:errcheck // dead process: state is on disk
+		m, err := c.newManager(i)
+		if err != nil {
+			return err
+		}
+		slot.mgr.Store(m)
+		if len(c.mgrs) > 1 {
+			c.wireManager(i, true)
+		}
+	}
+	slot.down.Store(false)
+	return nil
+}
+
+// PromoteManager unconditionally promotes manager i to primary at a fresh
+// epoch, fencing any prior primary.
+func (c *Cluster) PromoteManager(i int) error { return c.mgrs[i].mgr.Load().Promote() }
+
+// TryPromoteManager promotes manager i only if no lower-index manager
+// answers a status probe (the deterministic promotion rule).
+func (c *Cluster) TryPromoteManager(i int) (bool, error) {
+	return c.mgrs[i].mgr.Load().TryPromote()
+}
 
 // ServerDisk returns I/O server i's modeled disk (for stats inspection).
 func (c *Cluster) ServerDisk(i int) *simdisk.Disk { return c.servers[i].disk.Load() }
@@ -220,7 +338,11 @@ func (c *Cluster) NewClient() *client.Client {
 			callers[i] = rc
 		}
 	}
-	cl := client.New(directCaller{c.mgr.Handle}, callers)
+	mgrCallers := make([]client.Caller, len(c.mgrs))
+	for i := range c.mgrs {
+		mgrCallers[i] = directCaller{c.mgrHandler(i)}
+	}
+	cl := client.NewMulti(mgrCallers, callers)
 	if c.cfg.Clock.Timed() {
 		cl.SetModel(c.cfg.Clock, c.cfg.XORBandwidth, c.cfg.ClientRequestCPU)
 	}
@@ -282,7 +404,8 @@ func (c *Cluster) SyncAll() {
 	}
 }
 
-// Close tears down all RPC connections created by NewClient.
+// Close tears down all RPC connections created by NewClient and closes
+// every manager (releasing persistent managers' WAL descriptors).
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -290,4 +413,7 @@ func (c *Cluster) Close() {
 		rc.Close() //nolint:errcheck
 	}
 	c.clients = nil
+	for _, s := range c.mgrs {
+		s.mgr.Load().Close() //nolint:errcheck
+	}
 }

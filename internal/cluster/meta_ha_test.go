@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"csar/internal/wire"
+)
+
+// TestManagerFailoverMidCreateStream is the metadata-HA acceptance test:
+// a client creating a stream of files has the primary manager killed
+// (kill -9: the instance is discarded, only snapshot + WAL survive) in the
+// middle. A standby is promoted by the deterministic rule, the client's
+// metadata failover converges on it, and afterwards:
+//
+//   - every acknowledged file is visible to a fresh client's List;
+//   - no file ID was lost or issued twice across the failover;
+//   - a straggling replication ship from the dead primary's epoch is
+//     refused with the stale-epoch fencing error;
+//   - the old primary restarts from its WAL, rejoins as a standby, and
+//     catches up with the new primary's history.
+func TestManagerFailoverMidCreateStream(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Managers = 3
+	cfg.MetaDir = t.TempDir()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl := c.NewClient()
+
+	acked := make(map[string]bool)
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("f%02d", i)
+		if _, err := cl.Create(name, 2, 64, wire.Raid0); err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+		acked[name] = true
+	}
+
+	// The primary dies mid-stream. The next create must fail — no manager
+	// may silently accept a mutation — and must NOT be acknowledged.
+	c.KillManager(0)
+	if _, err := cl.Create("lost", 2, 64, wire.Raid0); err == nil {
+		t.Fatal("create succeeded with the primary dead and no standby promoted")
+	}
+
+	// Deterministic promotion: manager 2 defers to the live manager 1;
+	// manager 1 finds no lower-index manager alive and takes the epoch.
+	if won, err := c.TryPromoteManager(2); err != nil || won {
+		t.Fatalf("manager 2 should defer to manager 1 (won=%v, err=%v)", won, err)
+	}
+	won, err := c.TryPromoteManager(1)
+	if err != nil || !won {
+		t.Fatalf("manager 1 should win promotion (won=%v, err=%v)", won, err)
+	}
+
+	// The same client converges on the new primary and the stream resumes.
+	for i := 10; i < 20; i++ {
+		name := fmt.Sprintf("f%02d", i)
+		if _, err := cl.Create(name, 2, 64, wire.Raid0); err != nil {
+			t.Fatalf("create %s after failover: %v", name, err)
+		}
+		acked[name] = true
+	}
+	if mf := cl.Metrics().MetaFailovers; mf == 0 {
+		t.Fatal("client counted no metadata failovers across a primary death")
+	}
+
+	// A straggling ship from the deposed epoch is fenced, not applied.
+	for _, i := range []int{1, 2} {
+		_, err := c.ManagerAt(i).Handle(&wire.MetaReplicate{Epoch: 1, Seq: 999})
+		if !errors.Is(err, wire.ErrStaleEpoch) {
+			t.Fatalf("manager %d accepted an epoch-1 straggler: %v", i, err)
+		}
+	}
+
+	// A freshly attached client (the `csar ls` path) sees every
+	// acknowledged file, the unacknowledged one is absent, and no ID was
+	// issued twice.
+	fresh := c.NewClient()
+	names, err := fresh.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool, len(names))
+	for _, n := range names {
+		got[n] = true
+	}
+	for n := range acked {
+		if !got[n] {
+			t.Fatalf("acknowledged file %s missing after failover", n)
+		}
+	}
+	if got["lost"] {
+		t.Fatal("unacknowledged create surfaced after failover")
+	}
+	if len(names) != len(acked) {
+		t.Fatalf("list holds %d files, want %d", len(names), len(acked))
+	}
+	ids := make(map[uint64]string, len(names))
+	for _, n := range names {
+		f, err := fresh.Open(n)
+		if err != nil {
+			t.Fatalf("open %s: %v", n, err)
+		}
+		id := f.Ref().ID
+		if prev, dup := ids[id]; dup {
+			t.Fatalf("file ID %d issued twice: %s and %s", id, prev, n)
+		}
+		ids[id] = n
+	}
+
+	// The dead primary restarts from snapshot + WAL and rejoins as a
+	// standby: it must refuse mutations and catch up with the history it
+	// missed after the next committed op reaches it.
+	if err := c.RestartManager(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ManagerAt(0).Handle(&wire.Create{Name: "x", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0}); !errors.Is(err, wire.ErrNotPrimary) {
+		t.Fatalf("restarted ex-primary accepted a mutation: %v", err)
+	}
+	if _, err := cl.Create("f20", 2, 64, wire.Raid0); err != nil {
+		t.Fatalf("create after ex-primary rejoin: %v", err)
+	}
+	st0, err := c.ManagerAt(0).Handle(&wire.MetaStatus{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := c.ManagerAt(1).Handle(&wire.MetaStatus{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := st0.(*wire.MetaStatusResp), st1.(*wire.MetaStatusResp)
+	if s0.Epoch != s1.Epoch || s0.Seq != s1.Seq || s0.Files != s1.Files {
+		t.Fatalf("rejoined standby at (epoch %d, seq %d, files %d); primary at (%d, %d, %d)",
+			s0.Epoch, s0.Seq, s0.Files, s1.Epoch, s1.Seq, s1.Files)
+	}
+	if s0.Primary {
+		t.Fatal("restarted ex-primary still claims the primary role")
+	}
+}
+
+// TestManagerGroupInMemory checks the harness's in-memory group wiring:
+// replication and promotion work without MetaDir, and a "restart" there is
+// a partition heal (state intact, role preserved until fenced).
+func TestManagerGroupInMemory(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Managers = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl := c.NewClient()
+	if _, err := cl.Create("a", 2, 64, wire.Raid0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.ManagerAt(1).Handle(&wire.MetaStatus{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr := st.(*wire.MetaStatusResp); sr.Files != 1 || sr.Primary {
+		t.Fatalf("standby status = %+v", sr)
+	}
+
+	c.KillManager(0)
+	if won, err := c.TryPromoteManager(1); err != nil || !won {
+		t.Fatalf("promotion: won=%v err=%v", won, err)
+	}
+	if _, err := cl.Create("b", 2, 64, wire.Raid0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The healed ex-primary is fenced on its next commit attempt and
+	// steps down rather than forking the namespace.
+	if err := c.RestartManager(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ManagerAt(0).Handle(&wire.Create{Name: "split", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0}); !errors.Is(err, wire.ErrStaleEpoch) {
+		t.Fatalf("healed ex-primary was not fenced: %v", err)
+	}
+	names, err := cl.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if n == "split" {
+			t.Fatal("fenced create leaked into the namespace")
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package meta
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"csar/internal/wire"
+)
+
+// gatedPeer calls straight into a peer manager's Handle, with a kill
+// switch: while down, calls fail with an unavailability error, exactly like
+// a dead TCP peer.
+type gatedPeer struct {
+	m    *Manager
+	down atomic.Bool
+}
+
+func (g *gatedPeer) Call(msg wire.Msg) (wire.Msg, error) {
+	if g.down.Load() {
+		return nil, fmt.Errorf("peer down: %w", wire.ErrUnavailable)
+	}
+	return g.m.Handle(msg)
+}
+
+// group wires n in-memory managers into a replicated group with manager 0
+// primary. It returns the managers and the gates controlling reachability
+// of each (gates[i] guards every path INTO manager i).
+func group(t *testing.T, n int) ([]*Manager, []*gatedPeer) {
+	t.Helper()
+	mgrs := make([]*Manager, n)
+	gates := make([]*gatedPeer, n)
+	for i := range mgrs {
+		mgrs[i] = New(8, nil)
+		gates[i] = &gatedPeer{m: mgrs[i]}
+	}
+	for i, m := range mgrs {
+		peers := make([]Caller, n)
+		for j := range peers {
+			if j != i {
+				peers[j] = gates[j]
+			}
+		}
+		m.SetCluster(i, peers, i != 0)
+	}
+	return mgrs, gates
+}
+
+func mgrStatus(t *testing.T, m *Manager) *wire.MetaStatusResp {
+	t.Helper()
+	return call(t, m, &wire.MetaStatus{}).(*wire.MetaStatusResp)
+}
+
+func TestReplicationShipsEveryOp(t *testing.T) {
+	mgrs, _ := group(t, 3)
+	cr := call(t, mgrs[0], &wire.Create{Name: "a", Servers: 4, StripeUnit: 64, Scheme: wire.Raid5}).(*wire.CreateResp)
+	call(t, mgrs[0], &wire.SetSize{ID: cr.Ref.ID, Size: 777})
+	call(t, mgrs[0], &wire.Create{Name: "b", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0})
+	call(t, mgrs[0], &wire.Remove{Name: "b"})
+
+	st0 := mgrStatus(t, mgrs[0])
+	for i := 1; i < 3; i++ {
+		st := mgrStatus(t, mgrs[i])
+		if st.Seq != st0.Seq || st.Epoch != st0.Epoch {
+			t.Fatalf("standby %d at (epoch %d, seq %d), primary at (%d, %d)",
+				i, st.Epoch, st.Seq, st0.Epoch, st0.Seq)
+		}
+		if st.Files != 1 {
+			t.Fatalf("standby %d holds %d files, want 1", i, st.Files)
+		}
+		if st.Primary {
+			t.Fatalf("standby %d claims primary", i)
+		}
+	}
+	// Standby namespaces are byte-identical to the primary's.
+	want := stateBytes(t, mgrs[0])
+	for i := 1; i < 3; i++ {
+		if got := stateBytes(t, mgrs[i]); string(got) != string(want) {
+			t.Fatalf("standby %d state diverged:\n got: %s\nwant: %s", i, got, want)
+		}
+	}
+	// In-sync group: zero replication lag on the primary.
+	for _, kv := range mgrs[0].obs.Snapshot().Gauges {
+		if kv.Name == "meta_replication_lag" && kv.Value != 0 {
+			t.Fatalf("replication lag = %d, want 0", kv.Value)
+		}
+	}
+}
+
+func TestStandbyRefusesNamespaceOps(t *testing.T) {
+	mgrs, _ := group(t, 2)
+	call(t, mgrs[0], &wire.Create{Name: "a", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0})
+
+	standby := mgrs[1]
+	refused := []wire.Msg{
+		&wire.Create{Name: "x", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0},
+		&wire.Open{Name: "a"},
+		&wire.SetSize{ID: 1, Size: 5},
+		&wire.Remove{Name: "a"},
+		&wire.List{},
+	}
+	for _, msg := range refused {
+		_, err := standby.Handle(msg)
+		if !errors.Is(err, wire.ErrNotPrimary) {
+			t.Fatalf("%T on standby: err = %v, want ErrNotPrimary", msg, err)
+		}
+	}
+	// Liveness, topology and status probes are served in any role.
+	call(t, standby, &wire.Ping{})
+	call(t, standby, &wire.ServerList{})
+	call(t, standby, &wire.MetaStatus{})
+	call(t, standby, &wire.Stats{})
+}
+
+func TestPromotionFencesOldEpoch(t *testing.T) {
+	mgrs, _ := group(t, 2)
+	call(t, mgrs[0], &wire.Create{Name: "a", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0})
+
+	if err := mgrs[1].Promote(); err != nil {
+		t.Fatal(err)
+	}
+	st1 := mgrStatus(t, mgrs[1])
+	if !st1.Primary || st1.Epoch != 2 {
+		t.Fatalf("promoted standby status = %+v", st1)
+	}
+	// The promotion shipped the new epoch to manager 0, deposing it.
+	st0 := mgrStatus(t, mgrs[0])
+	if st0.Primary {
+		t.Fatal("old primary not deposed by promotion")
+	}
+	if st0.Epoch != 2 {
+		t.Fatalf("old primary epoch = %d, want 2", st0.Epoch)
+	}
+	// It keeps the namespace (caught up via snapshot on the epoch bump).
+	if st0.Seq != st1.Seq || st0.Files != 1 {
+		t.Fatalf("deposed manager state = %+v, want seq %d / 1 file", st0, st1.Seq)
+	}
+
+	// A straggler record from the dead epoch is refused with the fencing
+	// error on both managers.
+	for i, m := range mgrs {
+		_, err := m.Handle(&wire.MetaReplicate{Epoch: 1, Seq: st1.Seq + 1, Rec: encodeRec(walRec{op: opEpoch, epoch: 1, seq: st1.Seq + 1})})
+		if !errors.Is(err, wire.ErrStaleEpoch) {
+			t.Fatalf("manager %d: stale-epoch straggler err = %v, want ErrStaleEpoch", i, err)
+		}
+	}
+	// Deposed manager refuses client mutations as a standby now.
+	_, err := mgrs[0].Handle(&wire.Create{Name: "z", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0})
+	if !errors.Is(err, wire.ErrNotPrimary) {
+		t.Fatalf("deposed primary accepted a create: %v", err)
+	}
+	// The new primary serves mutations.
+	call(t, mgrs[1], &wire.Create{Name: "b", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0})
+}
+
+func TestDeposedPrimaryFencedOnShip(t *testing.T) {
+	mgrs, gates := group(t, 2)
+	call(t, mgrs[0], &wire.Create{Name: "a", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0})
+
+	// Partition manager 0, then promote manager 1: the opEpoch ship to 0
+	// fails silently, so 0 still believes it is primary at epoch 1.
+	gates[0].down.Store(true)
+	if err := mgrs[1].Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if st := mgrStatus(t, mgrs[0]); !st.Primary || st.Epoch != 1 {
+		t.Fatalf("precondition: old primary should still think it leads (%+v)", st)
+	}
+
+	// Heal the partition. The old primary's next mutation ships to the new
+	// primary, which fences it — the client sees the fencing error, not an
+	// acknowledgment, and the old primary demotes itself.
+	gates[0].down.Store(false)
+	_, err := mgrs[0].Handle(&wire.Create{Name: "split", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0})
+	if !errors.Is(err, wire.ErrStaleEpoch) {
+		t.Fatalf("deposed primary's create err = %v, want ErrStaleEpoch", err)
+	}
+	if st := mgrStatus(t, mgrs[0]); st.Primary {
+		t.Fatal("old primary did not demote after being fenced")
+	}
+	// The fenced create must not exist on the new primary.
+	if _, err := mgrs[1].Handle(&wire.Open{Name: "split"}); err == nil {
+		t.Fatal("fenced create leaked to the new primary")
+	}
+}
+
+func TestLaggingStandbyCatchesUpViaSnapshot(t *testing.T) {
+	mgrs, gates := group(t, 2)
+	call(t, mgrs[0], &wire.Create{Name: "a", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0})
+
+	// Standby misses a batch of ops.
+	gates[1].down.Store(true)
+	for i := 0; i < 5; i++ {
+		call(t, mgrs[0], &wire.Create{Name: fmt.Sprintf("miss%d", i), Servers: 2, StripeUnit: 64, Scheme: wire.Raid0})
+	}
+	gates[1].down.Store(false)
+
+	// The next shipped op reveals the gap; the primary sends a snapshot.
+	call(t, mgrs[0], &wire.Create{Name: "b", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0})
+	st0, st1 := mgrStatus(t, mgrs[0]), mgrStatus(t, mgrs[1])
+	if st1.Seq != st0.Seq || st1.Files != st0.Files {
+		t.Fatalf("standby did not catch up: standby %+v, primary %+v", st1, st0)
+	}
+	if string(stateBytes(t, mgrs[1])) != string(stateBytes(t, mgrs[0])) {
+		t.Fatal("standby state differs after snapshot catch-up")
+	}
+	if n := mgrs[0].obs.Snapshot().Counter("meta_snapshots_sent"); n == 0 {
+		t.Fatal("catch-up did not use the snapshot path")
+	}
+}
+
+func TestTryPromoteRespectsLowerIndex(t *testing.T) {
+	mgrs, gates := group(t, 3)
+
+	// Manager 2 must not promote while 0 (or 1) answers probes.
+	if won, err := mgrs[2].TryPromote(); err != nil || won {
+		t.Fatalf("TryPromote with live lower-index peers = (%v, %v)", won, err)
+	}
+	// Kill 0: manager 1 is now the lowest reachable index and wins ...
+	gates[0].down.Store(true)
+	if won, err := mgrs[1].TryPromote(); err != nil || !won {
+		t.Fatalf("manager 1 TryPromote = (%v, %v), want promotion", won, err)
+	}
+	// ... and manager 2 still must not (1 answers its probe).
+	if won, err := mgrs[2].TryPromote(); err != nil || won {
+		t.Fatalf("manager 2 TryPromote after 1's promotion = (%v, %v)", won, err)
+	}
+	if st := mgrStatus(t, mgrs[1]); !st.Primary || st.Epoch != 2 {
+		t.Fatalf("manager 1 status after promotion = %+v", st)
+	}
+	// A promoted manager's TryPromote is a no-op success.
+	if won, err := mgrs[1].TryPromote(); err != nil || !won {
+		t.Fatalf("primary's TryPromote = (%v, %v)", won, err)
+	}
+}
+
+// TestReplicatedOpsSurviveStandbyRestart: a persistent standby logs
+// replicated records to its own WAL, so a restart reproduces the replicated
+// namespace from disk.
+func TestReplicatedOpsSurviveStandbyRestart(t *testing.T) {
+	dir := t.TempDir()
+	p0 := New(8, nil)
+	p1, err := NewPersistent(8, nil, filepath.Join(dir, "m1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := &gatedPeer{m: p1}
+	p0.SetCluster(0, []Caller{nil, g1}, false)
+	p1.SetCluster(1, []Caller{&gatedPeer{m: p0}, nil}, true)
+
+	call(t, p0, &wire.Create{Name: "durable", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0})
+	call(t, p0, &wire.SetSize{ID: 1, Size: 4242})
+	want := stateBytes(t, p1)
+	p1.Close()
+
+	p1b, err := NewPersistent(8, nil, filepath.Join(dir, "m1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1b.Close()
+	if got := stateBytes(t, p1b); string(got) != string(want) {
+		t.Fatalf("restarted standby state:\n got: %s\nwant: %s", got, want)
+	}
+	st := mgrStatus(t, p1b)
+	if st.Seq != 2 || st.Files != 1 {
+		t.Fatalf("restarted standby status = %+v", st)
+	}
+}
+
+// TestStatsRPCServesManagerSnapshot: the manager answers Stats with the
+// 0xFFFF index marker and its replication counters/gauges.
+func TestStatsRPCServesManagerSnapshot(t *testing.T) {
+	mgrs, _ := group(t, 2)
+	call(t, mgrs[0], &wire.Create{Name: "a", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0})
+
+	sr := call(t, mgrs[0], &wire.Stats{}).(*wire.StatsResp)
+	if sr.Index != 0xFFFF {
+		t.Fatalf("manager stats index = %#x, want 0xFFFF", sr.Index)
+	}
+	if sr.Requests == 0 {
+		t.Fatal("manager stats requests = 0")
+	}
+	gauges := map[string]int64{}
+	for _, kv := range sr.Gauges {
+		gauges[kv.Name] = kv.Value
+	}
+	if gauges["meta_epoch"] != 1 || gauges["meta_primary"] != 1 || gauges["meta_files"] != 1 {
+		t.Fatalf("manager gauges = %v", gauges)
+	}
+	counters := map[string]int64{}
+	for _, kv := range sr.Counters {
+		counters[kv.Name] = kv.Value
+	}
+	if counters["meta_replication_ships"] == 0 {
+		t.Fatalf("manager counters = %v", counters)
+	}
+	// Per-RPC-kind histograms ride along.
+	found := false
+	for _, h := range sr.Hists {
+		if h.Name == "rpc_create" && h.Count > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("rpc_create histogram missing from manager stats")
+	}
+}

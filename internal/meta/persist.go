@@ -5,12 +5,18 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"csar/internal/wire"
 )
 
-// snapshot is the on-disk metadata format (JSON for inspectability).
+// snapshot is the on-disk metadata format (JSON for inspectability). Epoch
+// and Seq record the primary epoch and last operation sequence number the
+// snapshot covers: WAL replay skips records at or below Seq, so a crash
+// between writing the snapshot and truncating the log re-applies nothing.
 type snapshot struct {
+	Epoch  uint64         `json:"epoch"`
+	Seq    uint64         `json:"seq"`
 	NextID uint64         `json:"next_id"`
 	Files  []snapshotFile `json:"files"`
 }
@@ -26,27 +32,87 @@ type snapshotFile struct {
 }
 
 // NewPersistent creates a manager whose metadata survives restarts: state
-// is loaded from path if it exists and re-written (atomically, via a temp
-// file and rename) after every metadata mutation. PVFS's mgr keeps its
-// metadata in files the same way.
+// is the last snapshot at path plus the replay of the write-ahead log at
+// path+".wal". Mutations append (fsynced) to the log; the snapshot is only
+// rewritten when the log passes the compaction threshold, so the per-
+// mutation cost is one sequential append instead of a full state rewrite.
 func NewPersistent(serverCount int, serverAddrs []string, path string) (*Manager, error) {
 	m := New(serverCount, serverAddrs)
 	m.persistPath = path
+
 	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return m, nil
-	}
-	if err != nil {
+	switch {
+	case os.IsNotExist(err):
+	case err != nil:
 		return nil, fmt.Errorf("meta: reading snapshot: %w", err)
+	default:
+		var snap snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("meta: corrupt snapshot %s: %w", path, err)
+		}
+		m.installSnapshotLocked(&snap)
 	}
-	var snap snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("meta: corrupt snapshot %s: %w", path, err)
+
+	w, recs, err := openWAL(path + ".wal")
+	if err != nil {
+		return nil, err
 	}
+	m.wal = w
+	for _, rec := range recs {
+		// Records the snapshot already covers are replay noise from a crash
+		// mid-compaction; skip them. Epoch records and the rest re-apply
+		// idempotently in log order.
+		if rec.seq <= m.seq {
+			continue
+		}
+		m.applyRecLocked(rec)
+	}
+	return m, nil
+}
+
+// snapshotLocked captures the manager's state as a snapshot with files
+// sorted by ID. The ordering matters: marshaled snapshots must be
+// byte-identical for identical namespace state (map iteration is not), so
+// a replica rebuilt from WAL replay can be diffed against the pre-crash
+// snapshot and replication snapshots are deterministic. Caller holds m.mu.
+func (m *Manager) snapshotLocked() *snapshot {
+	snap := &snapshot{Epoch: m.epoch, Seq: m.seq, NextID: m.nextID}
+	for _, fm := range m.byName {
+		snap.Files = append(snap.Files, snapshotFile{
+			Name:       fm.name,
+			ID:         fm.ref.ID,
+			Servers:    fm.ref.Servers,
+			StripeUnit: fm.ref.StripeUnit,
+			Scheme:     uint8(fm.ref.Scheme),
+			Parity:     fm.ref.Parity,
+			Size:       fm.size,
+		})
+	}
+	sort.Slice(snap.Files, func(i, j int) bool { return snap.Files[i].ID < snap.Files[j].ID })
+	return snap
+}
+
+// marshalSnapshotLocked serializes the deterministic snapshot form (also
+// the payload of a MetaReplicate{Snap} catch-up transfer). Caller holds m.mu.
+func (m *Manager) marshalSnapshotLocked() ([]byte, error) {
+	return json.MarshalIndent(m.snapshotLocked(), "", "  ")
+}
+
+// installSnapshotLocked replaces the manager's namespace, epoch and
+// sequence state with the snapshot's. Caller holds m.mu (or is still
+// constructing the manager).
+func (m *Manager) installSnapshotLocked(snap *snapshot) {
+	m.epoch = snap.Epoch
+	if m.epoch == 0 {
+		m.epoch = 1 // pre-HA snapshots carry no epoch
+	}
+	m.seq = snap.Seq
 	m.nextID = snap.NextID
 	if m.nextID == 0 {
 		m.nextID = 1
 	}
+	m.byName = make(map[string]*fileMeta, len(snap.Files))
+	m.byID = make(map[uint64]*fileMeta, len(snap.Files))
 	for _, sf := range snap.Files {
 		fm := &fileMeta{
 			name: sf.Name,
@@ -62,7 +128,6 @@ func NewPersistent(serverCount int, serverAddrs []string, path string) (*Manager
 		m.byName[fm.name] = fm
 		m.byID[fm.ref.ID] = fm
 	}
-	return m, nil
 }
 
 // save writes the snapshot atomically. Caller holds m.mu.
@@ -70,19 +135,7 @@ func (m *Manager) save() error {
 	if m.persistPath == "" {
 		return nil
 	}
-	snap := snapshot{NextID: m.nextID}
-	for _, fm := range m.byName {
-		snap.Files = append(snap.Files, snapshotFile{
-			Name:       fm.name,
-			ID:         fm.ref.ID,
-			Servers:    fm.ref.Servers,
-			StripeUnit: fm.ref.StripeUnit,
-			Scheme:     uint8(fm.ref.Scheme),
-			Parity:     fm.ref.Parity,
-			Size:       fm.size,
-		})
-	}
-	data, err := json.MarshalIndent(&snap, "", "  ")
+	data, err := m.marshalSnapshotLocked()
 	if err != nil {
 		return err
 	}
@@ -108,10 +161,45 @@ func (m *Manager) save() error {
 	if err := os.Rename(tmp, m.persistPath); err != nil {
 		return err
 	}
-	// Durability of the rename itself.
-	if dir, err := os.Open(filepath.Dir(m.persistPath)); err == nil {
-		dir.Sync() //nolint:errcheck
-		dir.Close()
+	// Durability of the rename itself: until the directory entry is synced,
+	// a power cut can resurrect the old snapshot — which is only safe if we
+	// know the sync happened everywhere we assume it did, so failures are
+	// reported, not swallowed.
+	if err := syncDir(m.persistPath); err != nil {
+		return fmt.Errorf("meta: syncing snapshot rename: %w", err)
 	}
+	return nil
+}
+
+// syncDir fsyncs the directory containing path, making a rename within it
+// durable.
+func syncDir(path string) error {
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	if err := dir.Sync(); err != nil {
+		dir.Close()
+		return err
+	}
+	return dir.Close()
+}
+
+// compactLocked rewrites the snapshot and empties the log once the log
+// outgrows the threshold. Both steps are individually atomic and the
+// snapshot records its covered sequence number, so a crash between them
+// only costs replaying records the snapshot already holds. Caller holds the
+// commit path.
+func (m *Manager) compactLocked() error {
+	if m.wal == nil || m.walCompact <= 0 || m.wal.size < m.walCompact {
+		return nil
+	}
+	if err := m.save(); err != nil {
+		return fmt.Errorf("meta: compaction snapshot: %w", err)
+	}
+	if err := m.wal.reset(); err != nil {
+		return err
+	}
+	m.obs.Counter("meta_compactions").Add(1)
 	return nil
 }

@@ -75,6 +75,13 @@ func fuzzSeeds() []Msg {
 		&DirtyDumpResp{Epochs: []uint64{99}, Units: []DirtyItem{{Val: 2, Gen: 1}, {Val: 7, Gen: 3}}, Stripes: []DirtyItem{{Val: 3, Gen: 1}}, Overflow: true, OverflowGen: 2},
 		&ClearDirty{File: ref, Dead: 2, Units: []DirtyItem{{Val: 2, Gen: 1}}, Mirrors: []DirtyItem{{Val: 1, Gen: 1}}, Overflow: true, OverflowGen: 2},
 		&ClearDirty{File: ref, Dead: 2, All: true},
+		&MetaReplicate{Epoch: 3, Seq: 17, Rec: []byte{0x01, 0x02, 0x03}},
+		&MetaReplicate{Epoch: 4, Seq: 20, Snap: true, Rec: []byte(`{"next_id":5}`)},
+		&MetaReplicateResp{Epoch: 3, Seq: 17},
+		&MetaStatus{},
+		&MetaStatusResp{Index: 1, Epoch: 3, Seq: 17, Primary: true, Files: 9, WALBytes: 4096},
+		&Error{Text: "standby", Code: CodeNotPrimary},
+		&Error{Text: "deposed", Code: CodeStaleEpoch},
 		&Stats{},
 		&StatsResp{
 			Index:    2,

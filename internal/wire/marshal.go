@@ -112,6 +112,10 @@ var registry = map[Kind]func() Msg{
 	KClearDirty:         func() Msg { return &ClearDirty{} },
 	KStats:              func() Msg { return &Stats{} },
 	KStatsResp:          func() Msg { return &StatsResp{} },
+	KMetaReplicate:      func() Msg { return &MetaReplicate{} },
+	KMetaReplicateResp:  func() Msg { return &MetaReplicateResp{} },
+	KMetaStatus:         func() Msg { return &MetaStatus{} },
+	KMetaStatusResp:     func() Msg { return &MetaStatusResp{} },
 }
 
 func (m *Error) Kind() Kind { return KError }
@@ -588,6 +592,54 @@ func (m *StatsResp) decode(d *Decoder) {
 		m.Hists[i].Max = d.I64()
 		m.Hists[i].Buckets = d.I64sDec()
 	}
+}
+
+// MetaReplicate encodes its bulk Rec field last so MarshalFrame can carry a
+// snapshot payload by reference instead of copying it into the head buffer.
+func (m *MetaReplicate) Kind() Kind { return KMetaReplicate }
+func (m *MetaReplicate) encode(e *Encoder) {
+	e.U64(m.Epoch)
+	e.U64(m.Seq)
+	e.Bool(m.Snap)
+	e.Bytes(m.Rec)
+}
+func (m *MetaReplicate) decode(d *Decoder) {
+	m.Epoch = d.U64()
+	m.Seq = d.U64()
+	m.Snap = d.Bool()
+	m.Rec = d.BytesCopy()
+}
+
+func (m *MetaReplicateResp) Kind() Kind { return KMetaReplicateResp }
+func (m *MetaReplicateResp) encode(e *Encoder) {
+	e.U64(m.Epoch)
+	e.U64(m.Seq)
+}
+func (m *MetaReplicateResp) decode(d *Decoder) {
+	m.Epoch = d.U64()
+	m.Seq = d.U64()
+}
+
+func (m *MetaStatus) Kind() Kind      { return KMetaStatus }
+func (m *MetaStatus) encode(*Encoder) {}
+func (m *MetaStatus) decode(*Decoder) {}
+
+func (m *MetaStatusResp) Kind() Kind { return KMetaStatusResp }
+func (m *MetaStatusResp) encode(e *Encoder) {
+	e.U16(m.Index)
+	e.U64(m.Epoch)
+	e.U64(m.Seq)
+	e.Bool(m.Primary)
+	e.I64(m.Files)
+	e.I64(m.WALBytes)
+}
+func (m *MetaStatusResp) decode(d *Decoder) {
+	m.Index = d.U16()
+	m.Epoch = d.U64()
+	m.Seq = d.U64()
+	m.Primary = d.Bool()
+	m.Files = d.I64()
+	m.WALBytes = d.I64()
 }
 
 func (d *Decoder) statKVs() []StatKV {

@@ -204,6 +204,14 @@ const (
 	// (appended so earlier kinds keep their values).
 	KStats
 	KStatsResp
+
+	// Metadata high availability: primary→standby operation replication and
+	// the manager role/epoch probe (appended so earlier kinds keep their
+	// values).
+	KMetaReplicate
+	KMetaReplicateResp
+	KMetaStatus
+	KMetaStatusResp
 )
 
 // KindTraceFlag is the high bit of the kind byte in a marshaled frame. Kinds
@@ -261,6 +269,10 @@ var kindNames = map[Kind]string{
 	KClearDirty:         "clear_dirty",
 	KStats:              "stats",
 	KStatsResp:          "stats_resp",
+	KMetaReplicate:      "meta_replicate",
+	KMetaReplicateResp:  "meta_replicate_resp",
+	KMetaStatus:         "meta_status",
+	KMetaStatusResp:     "meta_status_resp",
 }
 
 // String names a kind for logs and metric labels (e.g. the per-RPC-kind
@@ -312,6 +324,17 @@ const (
 	// fresh full-stripe write) reconciles it. Errors with this code unwrap
 	// to ErrStripeTorn.
 	CodeStripeTorn
+	// CodeNotPrimary marks a metadata mutation refused by a standby
+	// manager: the server is healthy but not the namespace's primary, so
+	// the client should fail over to the next manager in its list. Errors
+	// with this code unwrap to ErrNotPrimary.
+	CodeNotPrimary
+	// CodeStaleEpoch marks a request fenced for carrying a primary epoch
+	// older than the receiver's: the sender was deposed and must not be
+	// allowed to mutate state it no longer owns — the metadata analogue of
+	// CodeLeaseExpired fencing stale parity writes. Errors with this code
+	// unwrap to ErrStaleEpoch.
+	CodeStaleEpoch
 )
 
 // ErrUnavailable is the sentinel behind CodeUnavailable errors: matching it
@@ -329,6 +352,15 @@ var ErrLeaseExpired = errors.New("parity lock lease expired")
 // acquisitions until its parity is replayed.
 var ErrStripeTorn = errors.New("stripe awaiting intent replay")
 
+// ErrNotPrimary is the sentinel behind CodeNotPrimary errors: the manager
+// answering is a standby; metadata mutations belong on the primary.
+var ErrNotPrimary = errors.New("manager is not primary")
+
+// ErrStaleEpoch is the sentinel behind CodeStaleEpoch errors: the request
+// carried a primary epoch older than the receiver's, so its sender has been
+// deposed and its operation was fenced off.
+var ErrStaleEpoch = errors.New("stale manager epoch")
+
 // ErrorCodeOf maps a handler error to the wire code its Error response
 // should carry.
 func ErrorCodeOf(err error) uint8 {
@@ -339,6 +371,10 @@ func ErrorCodeOf(err error) uint8 {
 		return CodeLeaseExpired
 	case errors.Is(err, ErrStripeTorn):
 		return CodeStripeTorn
+	case errors.Is(err, ErrNotPrimary):
+		return CodeNotPrimary
+	case errors.Is(err, ErrStaleEpoch):
+		return CodeStaleEpoch
 	}
 	return CodeGeneric
 }
@@ -362,6 +398,10 @@ func (m *Error) Unwrap() error {
 		return ErrLeaseExpired
 	case CodeStripeTorn:
 		return ErrStripeTorn
+	case CodeNotPrimary:
+		return ErrNotPrimary
+	case CodeStaleEpoch:
+		return ErrStaleEpoch
 	}
 	return nil
 }
@@ -773,6 +813,51 @@ type StatsResp struct {
 	Counters []StatKV
 	Gauges   []StatKV
 	Hists    []HistDump
+}
+
+// MetaReplicate ships one committed metadata operation (or a full snapshot)
+// from the primary manager to a standby. Epoch is the sender's primary
+// epoch: a standby whose epoch is newer refuses the record with
+// CodeStaleEpoch — the fence that stops a deposed primary's stragglers —
+// and a standby whose epoch is older adopts the sender's.
+//
+// For an operation record, Seq is the record's log sequence number and Rec
+// its WAL payload; the standby applies it only if Seq is exactly one past
+// its own (a duplicate is acknowledged idempotently, a gap is refused so
+// the primary falls back to a snapshot). With Snap set, Rec instead carries
+// a full metadata snapshot through Seq, which the standby installs
+// wholesale — the catch-up path for a freshly (re)started standby.
+type MetaReplicate struct {
+	Epoch uint64
+	Seq   uint64
+	Snap  bool
+	Rec   []byte
+}
+
+// MetaReplicateResp acknowledges a MetaReplicate: the standby's epoch and
+// the log sequence number it has durably applied through. The primary uses
+// Seq to track per-standby replication lag.
+type MetaReplicateResp struct {
+	Epoch uint64
+	Seq   uint64
+}
+
+// MetaStatus asks a manager for its replication role and progress. Unlike
+// the mutation RPCs it is answered by primaries and standbys alike — it is
+// the probe promotion logic and `csar stats` use to map the manager group.
+type MetaStatus struct{}
+
+// MetaStatusResp reports a manager's view of itself: its configured index
+// in the manager group, the primary epoch it is at, whether it currently
+// holds the primary role, the log sequence number it has applied through,
+// the number of files in its namespace, and its WAL size in bytes.
+type MetaStatusResp struct {
+	Index    uint16
+	Epoch    uint64
+	Seq      uint64
+	Primary  bool
+	Files    int64
+	WALBytes int64
 }
 
 // --- encoding ---

@@ -72,6 +72,10 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&DirtyDump{File: ref, Dead: 3},
 		&DirtyDumpResp{Epochs: []uint64{99, 100}, Units: []DirtyItem{{Val: 3, Gen: 1}, {Val: 10, Gen: 4}}, Mirrors: []DirtyItem{{Val: 2, Gen: 2}}, Stripes: []DirtyItem{{Val: 1, Gen: 3}}, Overflow: true, OverflowGen: 5},
 		&ClearDirty{File: ref, Dead: 3, Units: []DirtyItem{{Val: 3, Gen: 1}}, Mirrors: []DirtyItem{{Val: 2, Gen: 2}}, Stripes: []DirtyItem{{Val: 1, Gen: 3}}, Overflow: true, OverflowGen: 5},
+		&MetaReplicate{Epoch: 5, Seq: 31, Snap: true, Rec: []byte(`{"next_id":3}`)},
+		&MetaReplicateResp{Epoch: 5, Seq: 31},
+		&MetaStatus{},
+		&MetaStatusResp{Index: 2, Epoch: 5, Seq: 31, Primary: true, Files: 4, WALBytes: 512},
 		&Stats{},
 		&StatsResp{
 			Index:    3,
@@ -216,6 +220,8 @@ func TestErrorCodeClassification(t *testing.T) {
 	}{
 		{CodeLeaseExpired, ErrLeaseExpired},
 		{CodeStripeTorn, ErrStripeTorn},
+		{CodeNotPrimary, ErrNotPrimary},
+		{CodeStaleEpoch, ErrStaleEpoch},
 	} {
 		e := &Error{Text: "x", Code: c.code}
 		if !errors.Is(e, c.sentinel) {

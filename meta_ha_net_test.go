@@ -1,0 +1,151 @@
+package csar_test
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"csar"
+	"csar/internal/meta"
+	"csar/internal/rpc"
+	"csar/internal/server"
+	"csar/internal/simdisk"
+)
+
+// startTCPServers brings up n loopback-TCP I/O daemons and returns their
+// addresses (the managers under test are started separately, unlike
+// startTCPCluster's built-in single manager).
+func startTCPServers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		addrs[i] = ln.Addr().String()
+		srv := server.New(i, simdisk.New(nil, simdisk.Params{PageSize: 4096}), server.DefaultOptions())
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go rpc.ServeConnTraced(conn, srv.HandleTraced, nil, nil) //nolint:errcheck
+			}
+		}()
+	}
+	return addrs
+}
+
+// startTCPManager serves mgr on a fresh loopback listener and returns its
+// address plus a stop function that closes the listener (modeling the
+// manager process becoming unreachable; the Manager itself is closed by the
+// caller).
+func startTCPManager(t *testing.T, mgr *meta.Manager) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go rpc.ServeConn(conn, mgr.Handle, nil, nil) //nolint:errcheck
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+// TestManagerFailoverOverTCP exercises the whole HA stack over real
+// sockets — the same wiring csar-mgr performs: two persistent managers
+// replicating through meta.TCPPeer, a client built by csar.DialList with
+// both addresses, the primary's listener torn down mid-stream, the standby
+// promoted, and the surviving namespace verified through a fresh client.
+func TestManagerFailoverOverTCP(t *testing.T) {
+	srvAddrs := startTCPServers(t, 4)
+
+	dir := t.TempDir()
+	mgrs := make([]*meta.Manager, 2)
+	addrs := make([]string, 2)
+	stops := make([]func(), 2)
+	for i := range mgrs {
+		mdir := filepath.Join(dir, "mgr"+string(rune('0'+i)))
+		if err := os.MkdirAll(mdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		m, err := meta.NewPersistent(len(srvAddrs), srvAddrs, filepath.Join(mdir, "meta.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		mgrs[i] = m
+		addrs[i], stops[i] = startTCPManager(t, m)
+	}
+	for i, m := range mgrs {
+		peers := make([]meta.Caller, 2)
+		for j := range peers {
+			if j != i {
+				peers[j] = meta.NewTCPPeer(addrs[j], 2*time.Second)
+			}
+		}
+		m.SetCluster(i, peers, i != 0)
+	}
+
+	cl, err := csar.DialList(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	want := []string{"tcp-a", "tcp-b", "tcp-c"}
+	for _, name := range want {
+		if _, err := cl.Create(name, csar.FileOptions{Scheme: csar.Raid1, StripeUnit: 4096}); err != nil {
+			t.Fatalf("Create(%q): %v", name, err)
+		}
+	}
+
+	// Primary becomes unreachable; the standby is promoted (as csar-mgr's
+	// -promote-after loop would) and the same client must converge on it.
+	stops[0]()
+	if won, err := mgrs[1].TryPromote(); err != nil || !won {
+		t.Fatalf("TryPromote: won=%v err=%v", won, err)
+	}
+	if _, err := cl.Create("tcp-d", csar.FileOptions{Scheme: csar.Raid1, StripeUnit: 4096}); err != nil {
+		t.Fatalf("Create after failover: %v", err)
+	}
+	want = append(want, "tcp-d")
+	if cl.Metrics().MetaFailovers == 0 {
+		t.Fatal("expected MetaFailovers > 0 after primary loss")
+	}
+
+	// A fresh client dialed with the full list (dead primary first) must
+	// see every acknowledged file.
+	cl2, err := csar.DialList(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	names, err := cl2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	sort.Strings(want)
+	if len(names) != len(want) {
+		t.Fatalf("List = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("List = %v, want %v", names, want)
+		}
+	}
+	stops[1]()
+}

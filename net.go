@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -135,41 +136,74 @@ func (r *redialCaller) Close() error {
 	return first
 }
 
-// Dial connects to a running CSAR deployment: it contacts the manager at
-// mgrAddr, asks it for the I/O server addresses, and wires up a connection
-// to every server. The returned client is ready for Create/Open, and has
-// DefaultPolicy's resilience applied — per-call deadlines, retries of
-// idempotent calls, and the per-server circuit breaker; SetResilience
-// overrides it (the zero Policy disables the layer).
+// Dial connects to a running CSAR deployment: it contacts the manager(s)
+// at mgrAddr — a single address, or a comma-separated list naming the
+// whole manager group in cluster index order — asks for the I/O server
+// addresses, and wires up a connection to every server. The returned
+// client is ready for Create/Open, and has DefaultPolicy's resilience
+// applied — per-call deadlines, retries of idempotent calls, and the
+// per-server circuit breaker; SetResilience overrides it (the zero Policy
+// disables the layer).
 //
 // An I/O server that is unreachable is not an error here: its connection is
 // established lazily and, until that succeeds, it is treated like any other
 // down server — the breaker opens and reads route through the degraded
-// reconstruction paths. Only an unreachable manager fails Dial.
+// reconstruction paths. With a manager group, a dead manager is likewise
+// tolerated: its connection redials lazily and metadata RPCs fail over to
+// the survivors. Dial fails only when no manager answers at all.
 //
 // Deployments are started with the csar-mgr and csar-iod commands; see
 // their documentation for the wiring.
 func Dial(mgrAddr string) (*Client, error) {
-	mconn, err := net.Dial("tcp", mgrAddr)
-	if err != nil {
-		return nil, fmt.Errorf("csar: dial manager: %w", err)
+	return DialList(splitAddrs(mgrAddr))
+}
+
+// DialList is Dial taking the manager group as an explicit address slice.
+func DialList(mgrAddrs []string) (*Client, error) {
+	if len(mgrAddrs) == 0 {
+		return nil, fmt.Errorf("csar: no manager address")
 	}
-	mgr := rpc.NewClient(mconn, nil, nil)
-	resp, err := mgr.Call(&wire.ServerList{})
-	if err != nil {
-		mgr.Close()
-		return nil, fmt.Errorf("csar: server list: %w", err)
+	mgrs := make([]client.Caller, len(mgrAddrs))
+	for i, a := range mgrAddrs {
+		mgrs[i] = newRedialCaller(a, 1)
 	}
-	addrs := resp.(*wire.ServerListResp).Addrs
+	// Any group member — primary or standby — serves ServerList; take the
+	// first that answers.
+	var addrs []string
+	var lastErr error
+	for _, m := range mgrs {
+		resp, err := m.(*redialCaller).CallTimeout(&wire.ServerList{}, 5*time.Second)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		addrs = resp.(*wire.ServerListResp).Addrs
+		lastErr = nil
+		break
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("csar: server list: no manager reachable: %w", lastErr)
+	}
 	if len(addrs) == 0 {
-		mgr.Close()
 		return nil, fmt.Errorf("csar: manager reports no I/O servers")
 	}
 	callers := make([]client.Caller, len(addrs))
 	for i, a := range addrs {
 		callers[i] = newRedialCaller(a, DefaultConnsPerServer)
 	}
-	inner := client.New(mgr, callers)
+	inner := client.NewMulti(mgrs, callers)
 	inner.SetPolicy(client.DefaultPolicy())
 	return &Client{inner: inner}, nil
+}
+
+// splitAddrs parses a comma-separated address list, trimming whitespace
+// and dropping empty entries.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
