@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz-seeds faults crash resync rs obs allocs bench-smoke meta-ha staticcheck ci
+.PHONY: build vet test race fuzz-seeds faults crash resync rs obs allocs bench-smoke meta-ha migrate staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -89,6 +89,19 @@ meta-ha:
 	$(GO) test -race -count=2 -run 'TestManagerFailoverMidCreateStream|TestManagerGroupInMemory' ./internal/cluster
 	$(GO) test -race -count=2 -run 'TestManagerFailoverOverTCP' .
 
+# The online scheme-migration suite: the manager's pin/commit/abort fences
+# with WAL, snapshot and standby-replication durability, the dual-write
+# cursor boundary, the full scheme-transition matrix, abort/rerun
+# convergence, the write-window stream regressions that ride the same PR,
+# and the acceptance scenario — Hybrid -> RS(4,2) under concurrent writers
+# surviving an I/O-server crash and a manager failover — run twice under
+# the race detector because the migration copy is genuinely concurrent
+# with foreground writers.
+migrate:
+	$(GO) test -race -count=2 -run 'TestSetScheme|TestCommitScheme|TestAbortScheme|TestMigration' ./internal/meta
+	$(GO) test -race -count=2 -run 'TestMigrate|TestRelayout|TestAbortMigration' ./internal/cluster
+	$(GO) test -race -count=2 -run 'TestStream|TestWindow' ./internal/client .
+
 # Static analysis beyond go vet, when the tool is installed (CI images
 # that lack it skip the target rather than fail it — nothing is
 # downloaded at build time).
@@ -99,4 +112,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-ci: vet staticcheck build race fuzz-seeds faults crash resync rs obs allocs bench-smoke meta-ha
+ci: vet staticcheck build race fuzz-seeds faults crash resync rs obs allocs bench-smoke meta-ha migrate

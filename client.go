@@ -93,6 +93,38 @@ func (c *Client) Resync(f *File, dead int, opts ResyncOptions) (ResyncReport, er
 	return recovery.Resync(c.inner, f.inner, dead, opts)
 }
 
+// MigrateOptions tunes an online scheme migration (rate limit, copy chunk
+// size, time base).
+type MigrateOptions = recovery.MigrateOptions
+
+// MigrateReport describes a completed migration: schemes, the file's new
+// ID, and the logical bytes re-encoded.
+type MigrateReport = recovery.MigrateReport
+
+// ErrMigrationAborted is returned when a migration pass could not finish.
+// The target stays pinned at the manager: re-running Migrate with the same
+// target resumes it, and AbortMigration discards it.
+var ErrMigrationAborted = recovery.ErrMigrationAborted
+
+// Migrate transitions a live file to a different redundancy scheme online
+// ("re-layout under writers"): the manager pins a shadow layout, the
+// file's bytes are re-encoded into it in rate-limited chunks while reads
+// and writes through this client continue, and a single replicated
+// metadata operation cuts the file over. parity is the RS(k, m)
+// parity-unit count (0 = manager default); non-RS targets take 0. After a
+// successful return f operates on the new layout; other clients must
+// reopen the file. Interrupted migrations resume on re-run and survive
+// manager failover.
+func (c *Client) Migrate(f *File, scheme Scheme, parity int, opts MigrateOptions) (MigrateReport, error) {
+	return recovery.Migrate(c.inner, f.inner, scheme, parity, opts)
+}
+
+// AbortMigration discards the migration target pinned for file name, if
+// any, along with the partial shadow stores.
+func (c *Client) AbortMigration(name string) error {
+	return recovery.AbortMigration(c.inner, name)
+}
+
 // DirtyServers returns the servers with outstanding dirty-region logs for
 // the file — those that missed degraded writes and need Resync (or Rebuild)
 // before re-admission. The answer comes from the surviving servers' logs,

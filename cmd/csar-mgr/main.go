@@ -59,6 +59,11 @@ func main() {
 		resyncEvery     = flag.Duration("resync-every", 0, "period of the recovery loop that resyncs returned-but-stale servers (0 = disabled)")
 		resyncRate      = flag.Float64("resync-rate", 0, "resync replay I/O rate limit in bytes/sec (0 = unlimited)")
 		resyncDry       = flag.Bool("resync-dry-run", false, "recovery loop only reports what it would resync, without writing or re-admitting")
+		migratePolicy   = flag.String("migrate-policy", "off", "scheme-migration policy for hybrid files whose mirrored overflow dominates their storage: off, recommend (log only), or auto (re-layout them online onto -migrate-to)")
+		migrateEvery    = flag.Duration("migrate-every", 0, "period of the migration-policy loop (0 = disabled)")
+		migrateTo       = flag.String("migrate-to", "raid1", "target scheme for -migrate-policy auto")
+		migrateFrac     = flag.Float64("migrate-overflow-frac", 0.5, "overflow fraction of a hybrid file's storage above which the policy acts")
+		migrateRate     = flag.Float64("migrate-rate", 0, "migration copy I/O rate limit in bytes/sec (0 = unlimited)")
 
 		def         = csar.DefaultPolicy()
 		callTimeout = flag.Duration("call-timeout", def.CallTimeout, "per-RPC deadline for the scrub client (0 = none)")
@@ -171,6 +176,25 @@ func main() {
 		go func() {
 			for range time.Tick(*resyncEvery) {
 				resyncPass(ln.Addr().String(), *resyncRate, *resyncDry, pol)
+			}
+		}()
+	}
+	if *migratePolicy != "off" {
+		if *migratePolicy != "recommend" && *migratePolicy != "auto" {
+			log.Fatalf("csar-mgr: -migrate-policy must be off, recommend or auto, not %q", *migratePolicy)
+		}
+		target, err := csar.ParseScheme(*migrateTo)
+		if err != nil {
+			log.Fatalf("csar-mgr: -migrate-to: %v", err)
+		}
+		if *migrateEvery <= 0 {
+			log.Fatalf("csar-mgr: -migrate-policy %s needs -migrate-every > 0", *migratePolicy)
+		}
+		fmt.Printf("csar-mgr: migration policy %s (overflow > %.0f%% -> %v) every %v\n",
+			*migratePolicy, *migrateFrac*100, target, *migrateEvery)
+		go func() {
+			for range time.Tick(*migrateEvery) {
+				migratePass(ln.Addr().String(), *migratePolicy == "auto", target, *migrateFrac, *migrateRate, pol)
 			}
 		}()
 	}
@@ -319,6 +343,62 @@ func scrubPass(addr string, journals map[string]*csar.ScrubJournal, rate float64
 // has come back — replaying only the damaged regions, or falling back to a
 // full rebuild when the log cannot be trusted — then re-admits it. Like
 // scrubPass, it closes its client on every path.
+// migratePass is one tick of the scheme-migration policy: a Hybrid file
+// whose storage is dominated by the mirrored overflow region is taking
+// mirroring's 2x space cost on most of its bytes — the workload is small
+// unaligned writes, which plain mirroring serves at half the storage
+// bookkeeping — so the policy recommends (or, in auto mode, performs) an
+// online re-layout onto the configured target scheme. Migration runs under
+// live writers; an aborted pass leaves its pinned shadow layout for the
+// next tick to resume. Like its siblings, the pass closes its client on
+// every path.
+func migratePass(addr string, auto bool, target csar.Scheme, frac, rate float64, pol csar.Policy) {
+	cl, err := csar.Dial(addr)
+	if err != nil {
+		log.Printf("csar-mgr: migrate: dial: %v", err)
+		return
+	}
+	defer cl.Close() //nolint:errcheck
+	cl.SetResilience(pol)
+	names, err := cl.List()
+	if err != nil {
+		log.Printf("csar-mgr: migrate: list: %v", err)
+		return
+	}
+	for _, name := range names {
+		f, err := cl.Open(name)
+		if err != nil {
+			log.Printf("csar-mgr: migrate %s: %v", name, err)
+			continue
+		}
+		if f.Scheme() != csar.Hybrid || f.Scheme() == target {
+			continue
+		}
+		total, by, err := f.StorageBytes()
+		if err != nil || total == 0 {
+			continue
+		}
+		overflow := float64(by[3]+by[4]) / float64(total)
+		if overflow < frac {
+			continue
+		}
+		if !auto {
+			log.Printf("csar-mgr: migrate %s: %.0f%% of %d storage bytes is overflow; would re-layout to %v",
+				name, overflow*100, total, target)
+			continue
+		}
+		rep, err := cl.Migrate(f, target, 0, csar.MigrateOptions{RateLimit: rate})
+		if err != nil {
+			// An aborted pass leaves the shadow layout pinned; the next
+			// tick resumes it.
+			log.Printf("csar-mgr: migrate %s: %v", name, err)
+			continue
+		}
+		log.Printf("csar-mgr: migrate %s: %v -> %v, %d bytes re-encoded (file id %d)",
+			name, rep.From, rep.To, rep.BytesCopied, rep.NewID)
+	}
+}
+
 func resyncPass(addr string, rate float64, dry bool, pol csar.Policy) {
 	cl, err := csar.Dial(addr)
 	if err != nil {

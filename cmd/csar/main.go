@@ -27,6 +27,10 @@
 //	resync <name> <server>     replay only the regions degraded writes
 //	                           damaged onto a returned server, then
 //	                           re-admit it (-resync-rate, -resync-dry-run)
+//	migrate <name>             re-layout a live file onto another scheme
+//	                           online: -to <scheme> (rs also takes -rs-m),
+//	                           -migrate-rate; -abort discards a migration
+//	                           a crashed coordinator left pinned
 //
 // Exit status: 0 on success; 1 when the operation failed (unreachable
 // manager or servers, I/O error, unrepairable or inconsistent redundancy),
@@ -66,6 +70,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		repairData = fs.Bool("repair-data", false, "let scrub overwrite primary data when evidence says it is the corrupt copy")
 		resyncRate = fs.Float64("resync-rate", 0, "resync replay I/O rate limit in bytes/sec (0 = unlimited)")
 		resyncDry  = fs.Bool("resync-dry-run", false, "report what resync would replay without writing")
+		migrateTo  = fs.String("to", "", "target scheme for migrate: "+strings.Join(csar.SchemeNames(), ", "))
+		migRate    = fs.Float64("migrate-rate", 0, "migration copy I/O rate limit in bytes/sec (0 = unlimited)")
+		migAbort   = fs.Bool("abort", false, "migrate: discard the file's pinned migration instead of running one")
 
 		callTimeout = fs.Duration("call-timeout", def.CallTimeout, "per-RPC deadline (0 = none)")
 		retries     = fs.Int("retries", def.Retries, "retry attempts for idempotent RPCs after the first try")
@@ -108,7 +115,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	if (*rsK != 0 || *rsM != 0) && sch != csar.ReedSolomon {
+	var target csar.Scheme
+	if *migrateTo != "" {
+		if target, err = csar.ParseScheme(*migrateTo); err != nil {
+			return fail(err)
+		}
+	}
+	if (*rsK != 0 || *rsM != 0) && sch != csar.ReedSolomon && target != csar.ReedSolomon {
 		return fail(fmt.Errorf("-rs-k/-rs-m only apply to -scheme rs, not %v", sch))
 	}
 	opts := csar.FileOptions{Servers: *servers, StripeUnit: *su, Scheme: sch, ParityUnits: *rsM}
@@ -309,6 +322,36 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "server %d after:  %v\n", idx, cl.BreakerStates()[idx])
 		fmt.Fprintf(stdout, "resynced server %d for %s: %d units, %d mirrors, %d stripes, %d overflow bytes in %d rounds (full rebuild: %v)\n",
 			idx, rest[0], rep.Units, rep.Mirrors, rep.Stripes, rep.OverflowBytes, rep.Rounds, rep.FullRebuild)
+	case "migrate":
+		if len(rest) < 1 {
+			return usage("migrate (-to <scheme> | -abort) <name>")
+		}
+		if *migAbort {
+			if err := cl.AbortMigration(rest[0]); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "discarded pinned migration of %s\n", rest[0])
+			break
+		}
+		if *migrateTo == "" {
+			return usage("migrate (-to <scheme> | -abort) <name>")
+		}
+		if *rsK != 0 {
+			return fail(fmt.Errorf("migrate keeps the file's server set; -rs-k does not apply"))
+		}
+		f, err := cl.Open(rest[0])
+		if err != nil {
+			return fail(err)
+		}
+		rep, err := cl.Migrate(f, target, *rsM, csar.MigrateOptions{RateLimit: *migRate})
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "migrated %s: %v -> %v, %d bytes re-encoded (file id %d)\n",
+			rest[0], rep.From, rep.To, rep.BytesCopied, rep.NewID)
+		if rep.CleanupErrs > 0 {
+			fmt.Fprintf(stderr, "csar: %d old-layout stores could not be removed (left as garbage)\n", rep.CleanupErrs)
+		}
 	default:
 		fmt.Fprintf(stderr, "csar: unknown command %q\n", cmd)
 		return 2

@@ -112,6 +112,12 @@ func TestRunExitCodes(t *testing.T) {
 		{"ls ok", append(fastFlags(live), "ls"), 0, ""},
 		{"df ok", append(fastFlags(live), "df"), 0, ""},
 		{"verify ok", append(fastFlags(live), "verify", "f1"), 0, ""},
+		{"migrate missing args", append(fastFlags(live), "migrate"), 2, "usage: csar migrate"},
+		{"migrate without -to", append(fastFlags(live), "migrate", "f1"), 2, "usage: csar migrate"},
+		{"migrate to rs", append(append(fastFlags(live), "-to", "rs", "-rs-m", "2"), "migrate", "f1"), 0, ""},
+		{"migrate same scheme", append(append(fastFlags(live), "-to", "rs"), "migrate", "f1"), 1, "csar: "},
+		{"verify after migrate", append(fastFlags(live), "verify", "f1"), 0, ""},
+		{"migrate abort idle", append(append(fastFlags(live), "-abort"), "migrate", "f1"), 0, ""},
 	}
 	for _, tt := range cases {
 		t.Run(tt.name, func(t *testing.T) {

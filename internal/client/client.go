@@ -85,6 +85,12 @@ type Client struct {
 	resyncActive     atomic.Int32
 	resyncGate       sync.RWMutex
 	degradedInFlight atomic.Int64
+
+	// Online re-layout coordination (relayout.go): per-file migration
+	// targets with their copy cursors, behind the copy gate every
+	// foreground read and write shares.
+	relayouts    map[uint64]*relayoutState
+	relayoutGate sync.RWMutex
 }
 
 // New creates a client talking to one manager and the I/O servers. The
@@ -99,15 +105,16 @@ func New(mgr Caller, servers []Caller) *Client {
 // dies or answers with a not-primary/stale-epoch fencing error.
 func NewMulti(mgrs []Caller, servers []Caller) *Client {
 	return &Client{
-		mgrs:    mgrs,
-		srv:     servers,
-		obs:     obs.NewRegistry(),
-		down:    make(map[int]bool),
-		health:  make([]serverHealth, len(servers)),
-		leases:  make(map[uint64]leaseEntry),
-		outages: make(map[outageKey]uint64),
-		resyncs: make(map[outageKey]*resyncState),
-		rng:     rand.New(rand.NewSource(1)),
+		mgrs:      mgrs,
+		srv:       servers,
+		obs:       obs.NewRegistry(),
+		down:      make(map[int]bool),
+		health:    make([]serverHealth, len(servers)),
+		leases:    make(map[uint64]leaseEntry),
+		outages:   make(map[outageKey]uint64),
+		resyncs:   make(map[outageKey]*resyncState),
+		relayouts: make(map[uint64]*relayoutState),
+		rng:       rand.New(rand.NewSource(1)),
 	}
 }
 
@@ -372,8 +379,16 @@ func (c *Client) Remove(name string) error {
 		return err
 	}
 	return c.eachServer(int(or.Ref.Servers), func(i int) error {
-		_, err := c.callSrv(i, &wire.RemoveFile{File: or.Ref})
-		return err
+		if _, err := c.callSrv(i, &wire.RemoveFile{File: or.Ref}); err != nil {
+			return err
+		}
+		if or.Mig.ID != 0 {
+			// A removal mid-migration also reclaims the pinned shadow
+			// layout's stores; the manager dropped its pin with the file.
+			_, err := c.callSrv(i, &wire.RemoveFile{File: or.Mig})
+			return err
+		}
+		return nil
 	})
 }
 

@@ -22,6 +22,11 @@ type File struct {
 	ref  wire.FileRef
 	geom raid.Geometry
 	size atomic.Int64
+
+	// gateExempt marks a handle that skips the relayout gate: the shadow
+	// layout of a migration (written under the gate's shared side) and the
+	// engine's handles inside RelayoutExclusive sections. See relayout.go.
+	gateExempt bool
 }
 
 // Ref returns the file's wire reference.
@@ -57,6 +62,20 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	tr := obs.NewTraceID()
 	opStart := time.Now()
 	defer func() { f.c.Observe("op_write", f.c.sinceStart(opStart)) }()
+	// Online scheme migration (relayout.go): the whole write runs under
+	// the shared side of the relayout gate so a migration's chunk copies
+	// never interleave with it. A write overlapping the already-copied
+	// region is mirrored into the shadow layout once the live write lands;
+	// one wholly ahead of the cursor goes to the live layout only (the
+	// copy will reach it).
+	var mig *File
+	if !f.gateExempt {
+		f.c.relayoutGate.RLock()
+		defer f.c.relayoutGate.RUnlock()
+		if dst, cur, ok := f.c.relayoutDst(f.ref.ID); ok && off < cur {
+			mig = dst
+		}
+	}
 	dead := -1
 	if d, down := f.c.anyDown(f.ref); down {
 		switch f.ref.Scheme {
@@ -104,6 +123,15 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	}
 	if err := f.execute(plan, off, p, execDead, tr); err != nil {
 		return 0, err
+	}
+	if mig != nil {
+		// Dual-write: the copied region of the shadow layout must track
+		// the live layout byte for byte, so a failure here fails the write
+		// — a silent skip would surface as divergence at cutover.
+		if _, err := mig.WriteAt(p, off); err != nil {
+			return 0, fmt.Errorf("client: migration dual-write: %w", err)
+		}
+		f.c.metrics.relayoutDualWrites.Add(1)
 	}
 	f.c.metrics.writes.Add(1)
 	f.c.metrics.writeBytes.Add(int64(len(p)))
@@ -595,6 +623,14 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	tr := obs.NewTraceID()
 	opStart := time.Now()
 	defer func() { f.c.Observe("op_read", f.c.sinceStart(opStart)) }()
+	// Reads come from the live (committed) layout throughout a migration.
+	// The gate's shared side makes the cutover atomic with respect to
+	// in-flight reads: AdoptRef swaps ref and geometry under the exclusive
+	// side.
+	if !f.gateExempt {
+		f.c.relayoutGate.RLock()
+		defer f.c.relayoutGate.RUnlock()
+	}
 	if idx, down := f.c.anyDown(f.ref); down {
 		f.c.metrics.degradedReads.Add(1)
 		n, err := f.readDegraded(p, off, idx)

@@ -44,6 +44,10 @@ type Metrics struct {
 	ResyncedUnits        int64 // dirty-log items replayed by online resync
 	ResyncForwards       int64 // degraded writes forwarded to a resyncing server
 	FullRebuildFallbacks int64 // resyncs that fell back to a full rebuild
+
+	Migrations        int64 // scheme migrations committed through this client
+	RelayoutBytes     int64 // logical bytes re-encoded into shadow layouts
+	RelayoutDualWrite int64 // foreground writes mirrored into a shadow layout
 }
 
 // metrics is the internal atomic representation.
@@ -64,6 +68,8 @@ type metrics struct {
 
 	dirtyUnits, resyncedUnits                  atomic.Int64
 	resyncForwards, fullRebuildFallbacks       atomic.Int64
+
+	migrations, relayoutBytes, relayoutDualWrites atomic.Int64
 }
 
 func (m *metrics) snapshot() Metrics {
@@ -104,6 +110,10 @@ func (m *metrics) snapshot() Metrics {
 		ResyncedUnits:        m.resyncedUnits.Load(),
 		ResyncForwards:       m.resyncForwards.Load(),
 		FullRebuildFallbacks: m.fullRebuildFallbacks.Load(),
+
+		Migrations:        m.migrations.Load(),
+		RelayoutBytes:     m.relayoutBytes.Load(),
+		RelayoutDualWrite: m.relayoutDualWrites.Load(),
 	}
 }
 
@@ -142,4 +152,15 @@ func (c *Client) NoteResync(items int64) {
 // untrustworthy and fell back to a full rebuild.
 func (c *Client) NoteFullRebuildFallback() {
 	c.metrics.fullRebuildFallbacks.Add(1)
+}
+
+// NoteRelayout records bytes a migration pass re-encoded into a shadow
+// layout (called by internal/recovery, which the client cannot import).
+func (c *Client) NoteRelayout(bytes int64) {
+	c.metrics.relayoutBytes.Add(bytes)
+}
+
+// NoteMigration records one committed scheme migration.
+func (c *Client) NoteMigration() {
+	c.metrics.migrations.Add(1)
 }

@@ -31,13 +31,16 @@ func mgrFailover(err error) bool {
 // mgrIdempotent reports whether a manager request may be re-issued after a
 // failure whose effect is unknown. Reads of the namespace qualify, as does
 // SetSize: the manager applies it with max semantics, so a duplicate is
-// absorbed. Create and Remove do not — a lost response may have mutated
-// the namespace, and blindly repeating a Create would fail on its own
-// first success.
+// absorbed. The scheme-migration trio qualifies by design — SetScheme
+// resumes a matching live pin, and CommitScheme/AbortScheme are fenced by
+// the shadow ID, so a duplicate is answered, not re-applied. Create and
+// Remove do not — a lost response may have mutated the namespace, and
+// blindly repeating a Create would fail on its own first success.
 func mgrIdempotent(m wire.Msg) bool {
 	switch m.(type) {
 	case *wire.Open, *wire.List, *wire.Ping, *wire.ServerList,
-		*wire.Stats, *wire.MetaStatus, *wire.SetSize:
+		*wire.Stats, *wire.MetaStatus, *wire.SetSize,
+		*wire.SetScheme, *wire.CommitScheme, *wire.AbortScheme:
 		return true
 	}
 	return false

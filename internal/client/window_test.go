@@ -1,0 +1,145 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWindowStress drives Go/Failed/Wait from many goroutines under the
+// race detector: the first error must win and stick, every Go issued after
+// the failure must drop its fn, and Wait must observe a fully drained
+// window no matter how the submissions interleave.
+func TestWindowStress(t *testing.T) {
+	boom := errors.New("boom")
+	for iter := 0; iter < 50; iter++ {
+		w := NewWindow(4)
+		var ran, dropped atomic.Int64
+
+		// Concurrent Failed pollers race the submitters and the failing op.
+		stop := make(chan struct{})
+		var pollers sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			pollers.Add(1)
+			go func() {
+				defer pollers.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						w.Failed()
+					}
+				}
+			}()
+		}
+
+		const ops = 64
+		errAt := iter % ops
+		var subs sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			subs.Add(1)
+			go func(g int) {
+				defer subs.Done()
+				for i := g; i < ops; i += 4 {
+					i := i
+					w.Go(func() error {
+						ran.Add(1)
+						if i == errAt {
+							return boom
+						}
+						return nil
+					})
+				}
+			}(g)
+		}
+		subs.Wait()
+
+		if err := w.Wait(); !errors.Is(err, boom) {
+			t.Fatalf("iter %d: Wait = %v, want boom", iter, err)
+		}
+		if !w.Failed() {
+			t.Fatalf("iter %d: Failed false after Wait returned the error", iter)
+		}
+		// The error is sticky: repeated Wait keeps returning it, and every
+		// Go after the failure drops its fn without running it.
+		if err := w.Wait(); !errors.Is(err, boom) {
+			t.Fatalf("iter %d: second Wait = %v, want boom", iter, err)
+		}
+		w.Go(func() error { dropped.Add(1); return nil })
+		if err := w.Wait(); !errors.Is(err, boom) {
+			t.Fatalf("iter %d: Wait after poisoned Go = %v, want boom", iter, err)
+		}
+		if dropped.Load() != 0 {
+			t.Fatalf("iter %d: fn ran on a failed window", iter)
+		}
+		if ran.Load() > ops {
+			t.Fatalf("iter %d: %d ops ran, submitted %d", iter, ran.Load(), ops)
+		}
+
+		close(stop)
+		pollers.Wait()
+	}
+}
+
+// TestWindowErrorStickyAcrossRecreate models the Stream.Flush poisoned-
+// window pattern: Wait consumes the failed window's error, the owner
+// recreates the window, and the fresh one must carry no residue of the old
+// error while the old one keeps reporting it.
+func TestWindowErrorStickyAcrossRecreate(t *testing.T) {
+	old := NewWindow(2)
+	old.Go(func() error { return fmt.Errorf("first failure") })
+	if err := old.Wait(); err == nil {
+		t.Fatal("failed op's error lost")
+	}
+
+	fresh := NewWindow(2)
+	var ran atomic.Int64
+	fresh.Go(func() error { ran.Add(1); return nil })
+	if err := fresh.Wait(); err != nil {
+		t.Fatalf("fresh window inherited error: %v", err)
+	}
+	if ran.Load() != 1 {
+		t.Fatal("fresh window dropped its fn")
+	}
+	if !old.Failed() {
+		t.Fatal("old window's sticky error cleared by recreate")
+	}
+}
+
+// TestWindowDepthBound checks Go blocks at the configured depth: with depth
+// d and d ops parked, the d+1th submission must not start until one frees.
+func TestWindowDepthBound(t *testing.T) {
+	const depth = 3
+	w := NewWindow(depth)
+	release := make(chan struct{})
+	var inFlight atomic.Int64
+	var peak atomic.Int64
+	for i := 0; i < 12; i++ {
+		w.Go(func() error {
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			<-release
+			inFlight.Add(-1)
+			return nil
+		})
+		if i == depth-1 {
+			// All slots full; free them so the remaining submissions can
+			// proceed (Go would otherwise block this goroutine forever).
+			close(release)
+		}
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > depth {
+		t.Fatalf("peak in-flight %d exceeds depth %d", p, depth)
+	}
+}

@@ -73,6 +73,12 @@ type fileMeta struct {
 	name string
 	ref  wire.FileRef
 	size int64
+	// mig is the pinned shadow layout of an in-flight scheme migration
+	// (zero ID = none): a fresh file ID carrying the target scheme on the
+	// same server set and stripe unit. Both layouts stay pinned — shipped
+	// to standbys and snapshotted — until the coordinator commits or
+	// aborts, so a manager failover mid-migration loses nothing.
+	mig wire.FileRef
 }
 
 // New creates a manager for a cluster of serverCount I/O servers.
@@ -203,6 +209,12 @@ func (m *Manager) dispatch(req wire.Msg) (wire.Msg, error) {
 		return m.setSize(r)
 	case *wire.Remove:
 		return m.remove(r.Name)
+	case *wire.SetScheme:
+		return m.setScheme(r)
+	case *wire.CommitScheme:
+		return m.commitScheme(r)
+	case *wire.AbortScheme:
+		return m.abortScheme(r)
 	case *wire.List:
 		return m.list()
 	case *wire.ServerList:
@@ -308,7 +320,7 @@ func (m *Manager) open(name string) (wire.Msg, error) {
 	if fm == nil {
 		return nil, fmt.Errorf("meta: no such file %q", name)
 	}
-	return &wire.OpenResp{Ref: fm.ref, Size: fm.size}, nil
+	return &wire.OpenResp{Ref: fm.ref, Size: fm.size, Mig: fm.mig}, nil
 }
 
 func (m *Manager) setSize(r *wire.SetSize) (wire.Msg, error) {
@@ -359,6 +371,163 @@ func (m *Manager) remove(name string) (wire.Msg, error) {
 	return &wire.OK{}, nil
 }
 
+// setScheme pins a shadow layout for an online scheme migration: a fresh
+// file ID on the same server set and stripe unit, carrying the target
+// scheme. The coordinator re-encodes the bytes old→new and then commits.
+// Re-issuing the same target while a matching pin is live resumes it (the
+// existing shadow ref comes back), so an interrupted coordinator — or a
+// client retrying across a manager failover — picks up where it left off.
+func (m *Manager) setScheme(r *wire.SetScheme) (wire.Msg, error) {
+	m.shipMu.Lock()
+	defer m.shipMu.Unlock()
+	m.mu.Lock()
+	if err := m.primaryCheckLocked(); err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	fm := m.byID[r.ID]
+	if fm == nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("meta: no such file id %d", r.ID)
+	}
+	parity := uint8(0)
+	if r.Scheme == wire.ReedSolomon {
+		parity = r.Parity
+		if parity == 0 {
+			parity = 2
+		}
+		if int(parity) > int(fm.ref.Servers)-2 {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("meta: rs with %d parity units needs at least %d servers, file has %d",
+				parity, int(parity)+2, fm.ref.Servers)
+		}
+	} else if r.Parity != 0 {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("meta: scheme %v does not take a parity-unit count", r.Scheme)
+	}
+	g := raid.Geometry{Servers: int(fm.ref.Servers), StripeUnit: int64(fm.ref.StripeUnit), ParityUnits: int(parity)}
+	if r.Scheme.UsesParity() {
+		if err := g.ValidateParity(); err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+	} else if err := g.Validate(); err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	if r.Scheme == wire.Raid1 && g.Servers < 2 {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("meta: raid1 needs at least 2 servers, file has %d", g.Servers)
+	}
+	if fm.mig.ID != 0 {
+		if fm.mig.Scheme == r.Scheme && fm.mig.Parity == parity {
+			// Idempotent resume: the same target is already pinned.
+			resp := &wire.SetSchemeResp{Old: fm.ref, New: fm.mig, Size: fm.size}
+			m.mu.Unlock()
+			return resp, nil
+		}
+		err := fmt.Errorf("meta: file id %d is already migrating to %v; abort it first", r.ID, fm.mig.Scheme)
+		m.mu.Unlock()
+		return nil, err
+	}
+	if fm.ref.Scheme == r.Scheme && fm.ref.Parity == parity {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("meta: file id %d already uses scheme %v", r.ID, r.Scheme)
+	}
+	mig := wire.FileRef{
+		ID:         m.nextID,
+		Servers:    fm.ref.Servers,
+		StripeUnit: fm.ref.StripeUnit,
+		Scheme:     r.Scheme,
+		Parity:     parity,
+	}
+	prevID := m.nextID
+	rec := walRec{op: opMigBegin, id: r.ID, ref: mig}
+	if err := m.commitAndShip(rec, func() {
+		fm.mig = wire.FileRef{}
+		m.nextID = prevID
+	}); err != nil {
+		return nil, fmt.Errorf("meta: committing scheme pin: %w", err)
+	}
+	m.obs.Counter("meta_migrations_begun").Add(1)
+	return &wire.SetSchemeResp{Old: fm.ref, New: mig, Size: fm.size}, nil
+}
+
+// commitScheme swaps a file's live ref for its pinned shadow layout. The
+// NewID fence refuses a commit whose pin has since been aborted or
+// superseded; a re-send of an already-applied commit answers OK.
+func (m *Manager) commitScheme(r *wire.CommitScheme) (wire.Msg, error) {
+	m.shipMu.Lock()
+	defer m.shipMu.Unlock()
+	m.mu.Lock()
+	if err := m.primaryCheckLocked(); err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	fm := m.byID[r.ID]
+	if fm == nil {
+		// The old ID is gone: a retry of a commit that already swapped the
+		// ref succeeds idempotently if the shadow is now live.
+		if cur := m.byID[r.NewID]; cur != nil && cur.mig.ID == 0 {
+			m.mu.Unlock()
+			return &wire.OK{}, nil
+		}
+		m.mu.Unlock()
+		return nil, fmt.Errorf("meta: no such file id %d", r.ID)
+	}
+	if fm.mig.ID == 0 || fm.mig.ID != r.NewID {
+		err := fmt.Errorf("meta: stale scheme commit for file id %d (fence %d, pinned %d)",
+			r.ID, r.NewID, fm.mig.ID)
+		m.mu.Unlock()
+		return nil, err
+	}
+	prevRef, prevMig := fm.ref, fm.mig
+	rec := walRec{op: opMigCommit, id: r.ID, newID: r.NewID}
+	if err := m.commitAndShip(rec, func() {
+		delete(m.byID, prevMig.ID)
+		fm.ref, fm.mig = prevRef, prevMig
+		m.byID[prevRef.ID] = fm
+	}); err != nil {
+		return nil, fmt.Errorf("meta: committing scheme cutover: %w", err)
+	}
+	m.obs.Counter("meta_migrations_committed").Add(1)
+	return &wire.OK{}, nil
+}
+
+// abortScheme drops a pinned shadow layout. Fenced by NewID like commit; an
+// already-cleared pin answers OK so abort is safely re-issuable.
+func (m *Manager) abortScheme(r *wire.AbortScheme) (wire.Msg, error) {
+	m.shipMu.Lock()
+	defer m.shipMu.Unlock()
+	m.mu.Lock()
+	if err := m.primaryCheckLocked(); err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	fm := m.byID[r.ID]
+	if fm == nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("meta: no such file id %d", r.ID)
+	}
+	if fm.mig.ID == 0 {
+		m.mu.Unlock()
+		return &wire.OK{}, nil
+	}
+	if fm.mig.ID != r.NewID {
+		err := fmt.Errorf("meta: stale scheme abort for file id %d (fence %d, pinned %d)",
+			r.ID, r.NewID, fm.mig.ID)
+		m.mu.Unlock()
+		return nil, err
+	}
+	prevMig := fm.mig
+	rec := walRec{op: opMigAbort, id: r.ID, newID: r.NewID}
+	if err := m.commitAndShip(rec, func() { fm.mig = prevMig }); err != nil {
+		return nil, fmt.Errorf("meta: committing scheme abort: %w", err)
+	}
+	m.obs.Counter("meta_migrations_aborted").Add(1)
+	return &wire.OK{}, nil
+}
+
 func (m *Manager) list() (wire.Msg, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -399,6 +568,23 @@ func (m *Manager) applyRecLocked(rec walRec) {
 			delete(m.byID, fm.ref.ID)
 		}
 	case opEpoch:
+	case opMigBegin:
+		if fm := m.byID[rec.id]; fm != nil {
+			fm.mig = rec.ref
+			if rec.ref.ID >= m.nextID {
+				m.nextID = rec.ref.ID + 1
+			}
+		}
+	case opMigCommit:
+		if fm := m.byID[rec.id]; fm != nil && fm.mig.ID == rec.newID && rec.newID != 0 {
+			delete(m.byID, fm.ref.ID)
+			fm.ref, fm.mig = fm.mig, wire.FileRef{}
+			m.byID[fm.ref.ID] = fm
+		}
+	case opMigAbort:
+		if fm := m.byID[rec.id]; fm != nil && fm.mig.ID == rec.newID {
+			fm.mig = wire.FileRef{}
+		}
 	}
 }
 

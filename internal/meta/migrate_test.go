@@ -1,0 +1,186 @@
+package meta
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"csar/internal/wire"
+)
+
+// Tests for the manager half of online scheme migration: pinning a shadow
+// layout (SetScheme), the fenced cutover (CommitScheme) and discard
+// (AbortScheme), idempotent resume semantics, and durability of a pin
+// across a manager restart and across replication to a standby.
+
+func TestSetSchemePinsShadowLayout(t *testing.T) {
+	m := New(8, nil)
+	cr := call(t, m, &wire.Create{Name: "f", Servers: 6, StripeUnit: 64, Scheme: wire.Hybrid}).(*wire.CreateResp)
+	call(t, m, &wire.SetSize{ID: cr.Ref.ID, Size: 4096})
+
+	sr := call(t, m, &wire.SetScheme{ID: cr.Ref.ID, Scheme: wire.ReedSolomon, Parity: 2}).(*wire.SetSchemeResp)
+	if sr.Old != cr.Ref {
+		t.Fatalf("old ref = %+v, want %+v", sr.Old, cr.Ref)
+	}
+	if sr.New.ID == cr.Ref.ID || sr.New.ID == 0 {
+		t.Fatalf("shadow ID %d not fresh (live %d)", sr.New.ID, cr.Ref.ID)
+	}
+	if sr.New.Scheme != wire.ReedSolomon || sr.New.Parity != 2 {
+		t.Fatalf("shadow scheme = %v/%d", sr.New.Scheme, sr.New.Parity)
+	}
+	if sr.New.Servers != cr.Ref.Servers || sr.New.StripeUnit != cr.Ref.StripeUnit {
+		t.Fatalf("shadow layout changed width: %+v", sr.New)
+	}
+	if sr.Size != 4096 {
+		t.Fatalf("size = %d", sr.Size)
+	}
+
+	// The pin is visible on Open, and the shadow ID is reserved: new
+	// creates must not collide with it.
+	or := call(t, m, &wire.Open{Name: "f"}).(*wire.OpenResp)
+	if or.Mig != sr.New {
+		t.Fatalf("open mig = %+v, want %+v", or.Mig, sr.New)
+	}
+	cr2 := call(t, m, &wire.Create{Name: "g", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0}).(*wire.CreateResp)
+	if cr2.Ref.ID == sr.New.ID {
+		t.Fatal("shadow ID reissued to a new file")
+	}
+
+	// Re-issuing the same pin resumes it; a different target is refused
+	// while one is pinned.
+	sr2 := call(t, m, &wire.SetScheme{ID: cr.Ref.ID, Scheme: wire.ReedSolomon, Parity: 2}).(*wire.SetSchemeResp)
+	if sr2.New != sr.New {
+		t.Fatalf("resume returned %+v, want %+v", sr2.New, sr.New)
+	}
+	if _, err := m.Handle(&wire.SetScheme{ID: cr.Ref.ID, Scheme: wire.Raid5}); err == nil ||
+		!strings.Contains(err.Error(), "already migrating") {
+		t.Fatalf("conflicting pin: %v", err)
+	}
+}
+
+func TestSetSchemeValidation(t *testing.T) {
+	m := New(8, nil)
+	cr := call(t, m, &wire.Create{Name: "f", Servers: 3, StripeUnit: 64, Scheme: wire.Raid5}).(*wire.CreateResp)
+	cases := []wire.SetScheme{
+		{ID: 999, Scheme: wire.Raid1},                          // no such file
+		{ID: cr.Ref.ID, Scheme: wire.Raid5},                    // already that scheme
+		{ID: cr.Ref.ID, Scheme: wire.Raid1, Parity: 1},         // parity on non-RS
+		{ID: cr.Ref.ID, Scheme: wire.ReedSolomon, Parity: 200}, // parity too wide
+	}
+	for _, c := range cases {
+		if _, err := m.Handle(&c); err == nil {
+			t.Fatalf("SetScheme %+v accepted", c)
+		}
+	}
+}
+
+func TestCommitSchemeSwapsAndFences(t *testing.T) {
+	m := New(8, nil)
+	cr := call(t, m, &wire.Create{Name: "f", Servers: 4, StripeUnit: 64, Scheme: wire.Raid1}).(*wire.CreateResp)
+	sr := call(t, m, &wire.SetScheme{ID: cr.Ref.ID, Scheme: wire.Raid5}).(*wire.SetSchemeResp)
+
+	// A commit carrying the wrong shadow ID is a stale coordinator: fenced.
+	if _, err := m.Handle(&wire.CommitScheme{ID: cr.Ref.ID, NewID: sr.New.ID + 7}); err == nil ||
+		!strings.Contains(err.Error(), "stale scheme commit") {
+		t.Fatalf("mismatched commit: %v", err)
+	}
+
+	call(t, m, &wire.CommitScheme{ID: cr.Ref.ID, NewID: sr.New.ID})
+	or := call(t, m, &wire.Open{Name: "f"}).(*wire.OpenResp)
+	if or.Ref != sr.New || or.Mig.ID != 0 {
+		t.Fatalf("after commit: ref=%+v mig=%+v", or.Ref, or.Mig)
+	}
+	// The old ID no longer resolves; the new one does.
+	if _, err := m.Handle(&wire.SetSize{ID: cr.Ref.ID, Size: 1}); err == nil {
+		t.Fatal("old file ID still live after cutover")
+	}
+	call(t, m, &wire.SetSize{ID: sr.New.ID, Size: 1})
+
+	// A retried commit after the swap is answered, not re-applied: the
+	// retry addresses the old ID, which now maps to nothing, while the new
+	// ID exists with no pin.
+	call(t, m, &wire.CommitScheme{ID: cr.Ref.ID, NewID: sr.New.ID})
+}
+
+func TestAbortSchemeDropsPin(t *testing.T) {
+	m := New(8, nil)
+	cr := call(t, m, &wire.Create{Name: "f", Servers: 4, StripeUnit: 64, Scheme: wire.Raid1}).(*wire.CreateResp)
+	sr := call(t, m, &wire.SetScheme{ID: cr.Ref.ID, Scheme: wire.Raid5}).(*wire.SetSchemeResp)
+
+	if _, err := m.Handle(&wire.AbortScheme{ID: cr.Ref.ID, NewID: sr.New.ID + 1}); err == nil ||
+		!strings.Contains(err.Error(), "stale scheme abort") {
+		t.Fatalf("mismatched abort: %v", err)
+	}
+	call(t, m, &wire.AbortScheme{ID: cr.Ref.ID, NewID: sr.New.ID})
+	if or := call(t, m, &wire.Open{Name: "f"}).(*wire.OpenResp); or.Mig.ID != 0 || or.Ref != cr.Ref {
+		t.Fatalf("after abort: %+v", or)
+	}
+	// Duplicate abort: idempotent no-op.
+	call(t, m, &wire.AbortScheme{ID: cr.Ref.ID, NewID: sr.New.ID})
+
+	// A fresh pin after the abort gets a fresh shadow ID.
+	sr2 := call(t, m, &wire.SetScheme{ID: cr.Ref.ID, Scheme: wire.Hybrid}).(*wire.SetSchemeResp)
+	if sr2.New.ID == sr.New.ID {
+		t.Fatal("aborted shadow ID reused")
+	}
+}
+
+func TestMigrationPinSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.json")
+	m1, err := NewPersistent(8, nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := call(t, m1, &wire.Create{Name: "f", Servers: 6, StripeUnit: 64, Scheme: wire.Hybrid}).(*wire.CreateResp)
+	sr := call(t, m1, &wire.SetScheme{ID: cr.Ref.ID, Scheme: wire.ReedSolomon, Parity: 2}).(*wire.SetSchemeResp)
+
+	// Restart mid-migration: the pin must come back whole, and resuming it
+	// must return the identical shadow layout.
+	m2, err := NewPersistent(8, nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or := call(t, m2, &wire.Open{Name: "f"}).(*wire.OpenResp)
+	if or.Mig != sr.New {
+		t.Fatalf("pin after restart = %+v, want %+v", or.Mig, sr.New)
+	}
+	sr2 := call(t, m2, &wire.SetScheme{ID: cr.Ref.ID, Scheme: wire.ReedSolomon, Parity: 2}).(*wire.SetSchemeResp)
+	if sr2.New != sr.New {
+		t.Fatalf("resume after restart = %+v, want %+v", sr2.New, sr.New)
+	}
+	// And no new file may be issued the pinned shadow's ID.
+	if cr2 := call(t, m2, &wire.Create{Name: "g", Servers: 2, StripeUnit: 64, Scheme: wire.Raid0}).(*wire.CreateResp); cr2.Ref.ID <= sr.New.ID {
+		t.Fatalf("ID %d issued at or below pinned shadow %d", cr2.Ref.ID, sr.New.ID)
+	}
+
+	// Commit, restart again: the swap is durable.
+	call(t, m2, &wire.CommitScheme{ID: cr.Ref.ID, NewID: sr.New.ID})
+	m3, err := NewPersistent(8, nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or3 := call(t, m3, &wire.Open{Name: "f"}).(*wire.OpenResp)
+	if or3.Ref != sr.New || or3.Mig.ID != 0 {
+		t.Fatalf("after commit+restart: %+v", or3)
+	}
+}
+
+func TestMigrationReplicatesToStandby(t *testing.T) {
+	mgrs, _ := group(t, 2)
+	cr := call(t, mgrs[0], &wire.Create{Name: "f", Servers: 4, StripeUnit: 64, Scheme: wire.Raid1}).(*wire.CreateResp)
+	sr := call(t, mgrs[0], &wire.SetScheme{ID: cr.Ref.ID, Scheme: wire.Raid5}).(*wire.SetSchemeResp)
+
+	// Promote the standby: the pin survived the primary's loss.
+	if err := mgrs[1].Promote(); err != nil {
+		t.Fatal(err)
+	}
+	or := call(t, mgrs[1], &wire.Open{Name: "f"}).(*wire.OpenResp)
+	if or.Mig != sr.New {
+		t.Fatalf("standby pin = %+v, want %+v", or.Mig, sr.New)
+	}
+	// And the promoted manager can finish the cutover.
+	call(t, mgrs[1], &wire.CommitScheme{ID: cr.Ref.ID, NewID: sr.New.ID})
+	if or2 := call(t, mgrs[1], &wire.Open{Name: "f"}).(*wire.OpenResp); or2.Ref != sr.New {
+		t.Fatalf("promoted cutover: %+v", or2)
+	}
+}

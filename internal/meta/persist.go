@@ -29,6 +29,12 @@ type snapshotFile struct {
 	Scheme     uint8  `json:"scheme"`
 	Parity     uint8  `json:"parity,omitempty"`
 	Size       int64  `json:"size"`
+	// In-flight scheme migration pin. The shadow layout shares the file's
+	// server set and stripe unit, so only its identity and target scheme
+	// are recorded.
+	MigID     uint64 `json:"mig_id,omitempty"`
+	MigScheme uint8  `json:"mig_scheme,omitempty"`
+	MigParity uint8  `json:"mig_parity,omitempty"`
 }
 
 // NewPersistent creates a manager whose metadata survives restarts: state
@@ -86,6 +92,9 @@ func (m *Manager) snapshotLocked() *snapshot {
 			Scheme:     uint8(fm.ref.Scheme),
 			Parity:     fm.ref.Parity,
 			Size:       fm.size,
+			MigID:      fm.mig.ID,
+			MigScheme:  uint8(fm.mig.Scheme),
+			MigParity:  fm.mig.Parity,
 		})
 	}
 	sort.Slice(snap.Files, func(i, j int) bool { return snap.Files[i].ID < snap.Files[j].ID })
@@ -124,6 +133,15 @@ func (m *Manager) installSnapshotLocked(snap *snapshot) {
 				Parity:     sf.Parity,
 			},
 			size: sf.Size,
+		}
+		if sf.MigID != 0 {
+			fm.mig = wire.FileRef{
+				ID:         sf.MigID,
+				Servers:    sf.Servers,
+				StripeUnit: sf.StripeUnit,
+				Scheme:     wire.Scheme(sf.MigScheme),
+				Parity:     sf.MigParity,
+			}
 		}
 		m.byName[fm.name] = fm
 		m.byID[fm.ref.ID] = fm

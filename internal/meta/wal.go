@@ -41,6 +41,14 @@ const (
 	// files but must be durable: a restarted manager may never again accept
 	// an epoch older than one it acknowledged.
 	opEpoch
+	// Online scheme migration: opMigBegin pins a shadow layout (a fresh
+	// file ID carrying the target scheme) next to the file's live ref,
+	// opMigCommit atomically swaps the ref for the shadow, opMigAbort drops
+	// the pin. Commit and abort carry the shadow ID as a fence so a stale
+	// coordinator cannot conclude someone else's migration.
+	opMigBegin
+	opMigCommit
+	opMigAbort
 )
 
 // walRec is one logged metadata operation. Only the fields of its op kind
@@ -50,10 +58,11 @@ type walRec struct {
 	epoch uint64
 	seq   uint64
 
-	name string       // opCreate, opRemove
-	ref  wire.FileRef // opCreate
-	id   uint64       // opSetSize
-	size int64        // opSetSize
+	name  string       // opCreate, opRemove
+	ref   wire.FileRef // opCreate; opMigBegin (the shadow layout)
+	id    uint64       // opSetSize; opMig* (the file's live ID)
+	size  int64        // opSetSize
+	newID uint64       // opMigCommit, opMigAbort (shadow-ID fence)
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -75,6 +84,12 @@ func encodeRec(rec walRec) []byte {
 	case opRemove:
 		e.Str(rec.name)
 	case opEpoch:
+	case opMigBegin:
+		e.U64(rec.id)
+		e.FileRef(rec.ref)
+	case opMigCommit, opMigAbort:
+		e.U64(rec.id)
+		e.U64(rec.newID)
 	}
 	return e.Buf
 }
@@ -98,6 +113,12 @@ func decodeRec(b []byte) (walRec, error) {
 	case opRemove:
 		rec.name = d.Str()
 	case opEpoch:
+	case opMigBegin:
+		rec.id = d.U64()
+		rec.ref = d.FileRef()
+	case opMigCommit, opMigAbort:
+		rec.id = d.U64()
+		rec.newID = d.U64()
 	default:
 		return rec, fmt.Errorf("meta: unknown wal op %d", rec.op)
 	}

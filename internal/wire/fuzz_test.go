@@ -51,7 +51,12 @@ func fuzzSeeds() []Msg {
 		&CreateResp{Ref: ref},
 		&Open{Name: "f"},
 		&OpenResp{Ref: ref, Size: 1 << 40},
+		&OpenResp{Ref: ref, Size: 1 << 20, Mig: rsRef}, // mid-migration open
 		&SetSize{ID: 3, Size: 999},
+		&SetScheme{ID: 3, Scheme: ReedSolomon, Parity: 2},
+		&SetSchemeResp{Old: ref, New: rsRef, Size: 1 << 20},
+		&CommitScheme{ID: 3, NewID: 4},
+		&AbortScheme{ID: 3, NewID: 4},
 		&Remove{Name: "f"},
 		&List{},
 		&ListResp{Names: []string{"a", "b"}},

@@ -116,6 +116,10 @@ var registry = map[Kind]func() Msg{
 	KMetaReplicateResp:  func() Msg { return &MetaReplicateResp{} },
 	KMetaStatus:         func() Msg { return &MetaStatus{} },
 	KMetaStatusResp:     func() Msg { return &MetaStatusResp{} },
+	KSetScheme:          func() Msg { return &SetScheme{} },
+	KSetSchemeResp:      func() Msg { return &SetSchemeResp{} },
+	KCommitScheme:       func() Msg { return &CommitScheme{} },
+	KAbortScheme:        func() Msg { return &AbortScheme{} },
 }
 
 func (m *Error) Kind() Kind { return KError }
@@ -495,10 +499,12 @@ func (m *OpenResp) Kind() Kind { return KOpenResp }
 func (m *OpenResp) encode(e *Encoder) {
 	e.FileRef(m.Ref)
 	e.I64(m.Size)
+	e.FileRef(m.Mig)
 }
 func (m *OpenResp) decode(d *Decoder) {
 	m.Ref = d.FileRef()
 	m.Size = d.I64()
+	m.Mig = d.FileRef()
 }
 
 func (m *SetSize) Kind() Kind { return KSetSize }
@@ -618,6 +624,50 @@ func (m *MetaReplicateResp) encode(e *Encoder) {
 func (m *MetaReplicateResp) decode(d *Decoder) {
 	m.Epoch = d.U64()
 	m.Seq = d.U64()
+}
+
+func (m *SetScheme) Kind() Kind { return KSetScheme }
+func (m *SetScheme) encode(e *Encoder) {
+	e.U64(m.ID)
+	e.U8(uint8(m.Scheme))
+	e.U8(m.Parity)
+}
+func (m *SetScheme) decode(d *Decoder) {
+	m.ID = d.U64()
+	m.Scheme = Scheme(d.U8())
+	m.Parity = d.U8()
+}
+
+func (m *SetSchemeResp) Kind() Kind { return KSetSchemeResp }
+func (m *SetSchemeResp) encode(e *Encoder) {
+	e.FileRef(m.Old)
+	e.FileRef(m.New)
+	e.I64(m.Size)
+}
+func (m *SetSchemeResp) decode(d *Decoder) {
+	m.Old = d.FileRef()
+	m.New = d.FileRef()
+	m.Size = d.I64()
+}
+
+func (m *CommitScheme) Kind() Kind { return KCommitScheme }
+func (m *CommitScheme) encode(e *Encoder) {
+	e.U64(m.ID)
+	e.U64(m.NewID)
+}
+func (m *CommitScheme) decode(d *Decoder) {
+	m.ID = d.U64()
+	m.NewID = d.U64()
+}
+
+func (m *AbortScheme) Kind() Kind { return KAbortScheme }
+func (m *AbortScheme) encode(e *Encoder) {
+	e.U64(m.ID)
+	e.U64(m.NewID)
+}
+func (m *AbortScheme) decode(d *Decoder) {
+	m.ID = d.U64()
+	m.NewID = d.U64()
 }
 
 func (m *MetaStatus) Kind() Kind      { return KMetaStatus }

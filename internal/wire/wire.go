@@ -212,6 +212,14 @@ const (
 	KMetaReplicateResp
 	KMetaStatus
 	KMetaStatusResp
+
+	// Online scheme migration (appended so earlier kinds keep their
+	// values): pinning, committing and aborting a file's layout change at
+	// the manager.
+	KSetScheme
+	KSetSchemeResp
+	KCommitScheme
+	KAbortScheme
 )
 
 // KindTraceFlag is the high bit of the kind byte in a marshaled frame. Kinds
@@ -273,6 +281,10 @@ var kindNames = map[Kind]string{
 	KMetaReplicateResp:  "meta_replicate_resp",
 	KMetaStatus:         "meta_status",
 	KMetaStatusResp:     "meta_status_resp",
+	KSetScheme:          "set_scheme",
+	KSetSchemeResp:      "set_scheme_resp",
+	KCommitScheme:       "commit_scheme",
+	KAbortScheme:        "abort_scheme",
 }
 
 // String names a kind for logs and metric labels (e.g. the per-RPC-kind
@@ -754,10 +766,15 @@ type CreateResp struct{ Ref FileRef }
 // Open looks a file up by name.
 type Open struct{ Name string }
 
-// OpenResp returns a file's reference and current logical size.
+// OpenResp returns a file's reference and current logical size. While an
+// online scheme migration is pinned, Mig carries the migration target's
+// reference (the shadow layout being populated); Mig.ID == 0 means no
+// migration is in progress. The field is appended to the message body, so
+// it rides existing frames without a protocol version bump.
 type OpenResp struct {
 	Ref  FileRef
 	Size int64
+	Mig  FileRef
 }
 
 // SetSize raises the manager's recorded logical file size after a write.
@@ -769,6 +786,48 @@ type SetSize struct {
 
 // Remove deletes a file's metadata at the manager.
 type Remove struct{ Name string }
+
+// SetScheme asks the manager to pin an online scheme migration for file ID:
+// allocate a shadow file ID laid out with the new scheme/parity over the
+// same servers and stripe unit, WAL-log the pin, and replicate it. Both
+// layouts stay pinned until CommitScheme or AbortScheme, so a manager
+// failover mid-migration resumes with the same pair rather than a torn
+// state. Re-issuing SetScheme with the same target while a matching pin is
+// live is idempotent and returns the existing shadow reference — the resume
+// path after a client crash or an aborted copy pass.
+type SetScheme struct {
+	ID     uint64
+	Scheme Scheme
+	// Parity is the per-stripe parity-unit count for a ReedSolomon target
+	// (zero applies the manager's default); other targets reject non-zero.
+	Parity uint8
+}
+
+// SetSchemeResp returns the migration pair: the file's current (old)
+// layout, the pinned shadow (new) layout, and the logical size at pin time.
+type SetSchemeResp struct {
+	Old  FileRef
+	New  FileRef
+	Size int64
+}
+
+// CommitScheme atomically cuts file ID over to its pinned migration target.
+// NewID fences the commit to the pin it belongs to: a commit carrying a
+// stale shadow ID (the pin was aborted and re-created in between) is
+// refused rather than cutting over to a half-copied layout. After commit
+// the name resolves to the new layout and the old ID's stores are dead.
+type CommitScheme struct {
+	ID    uint64
+	NewID uint64
+}
+
+// AbortScheme drops file ID's pinned migration target (fenced by NewID,
+// like CommitScheme). The shadow layout's stores are dead after the abort;
+// the file keeps its original layout.
+type AbortScheme struct {
+	ID    uint64
+	NewID uint64
+}
 
 // List enumerates file names.
 type List struct{}

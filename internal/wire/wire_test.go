@@ -59,8 +59,12 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&Create{Name: "f", Servers: 4, StripeUnit: 1024, Scheme: Raid5},
 		&CreateResp{Ref: ref},
 		&Open{Name: "f"},
-		&OpenResp{Ref: ref, Size: 12345},
+		&OpenResp{Ref: ref, Size: 12345, Mig: FileRef{ID: 43, Servers: 7, StripeUnit: 65536, Scheme: ReedSolomon, Parity: 2}},
 		&SetSize{ID: 42, Size: 777},
+		&SetScheme{ID: 42, Scheme: ReedSolomon, Parity: 2},
+		&SetSchemeResp{Old: ref, New: FileRef{ID: 43, Servers: 7, StripeUnit: 65536, Scheme: ReedSolomon, Parity: 2}, Size: 12345},
+		&CommitScheme{ID: 42, NewID: 43},
+		&AbortScheme{ID: 42, NewID: 43},
 		&Remove{Name: "f"},
 		&List{},
 		&ListResp{Names: []string{"a", "b"}},

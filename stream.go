@@ -18,6 +18,11 @@ type Stream struct {
 
 	depth int
 	win   *client.Window
+
+	// pending holds a pipelined-write error consumed by an internal Flush
+	// (mode switch, seek) before the caller saw it; the next Write, Flush or
+	// Close surfaces it.
+	pending error
 }
 
 // Stream returns a sequential cursor positioned at the start of the file.
@@ -49,7 +54,11 @@ func (s *Stream) Read(p []byte) (int, error) {
 // the result. Errors surface on a later Write, Flush, or Close rather than
 // the Write that caused them. depth <= 1 restores synchronous writes.
 func (s *Stream) SetWriteWindow(depth int) {
-	s.Flush() //nolint:errcheck // switching modes; the next op reports it
+	// The drain's error must not vanish with the window: stash it so the
+	// next Write, Flush or Close reports it even after win is replaced.
+	if err := s.Flush(); err != nil && s.pending == nil {
+		s.pending = err
+	}
 	if depth <= 1 {
 		s.depth, s.win = 0, nil
 		return
@@ -62,6 +71,9 @@ func (s *Stream) SetWriteWindow(depth int) {
 // set, the write is issued asynchronously and p is copied first (the
 // io.Writer contract lets the caller reuse p immediately).
 func (s *Stream) Write(p []byte) (int, error) {
+	if s.pending != nil {
+		return 0, s.Flush()
+	}
 	if s.win == nil {
 		n, err := s.f.WriteAt(p, s.pos)
 		s.pos += int64(n)
@@ -81,8 +93,13 @@ func (s *Stream) Write(p []byte) (int, error) {
 }
 
 // Flush drains any in-flight pipelined writes and returns their first
-// error. A no-op for synchronous streams.
+// error — including one stashed by an earlier internal drain (mode switch
+// or seek). A no-op for synchronous streams with nothing pending.
 func (s *Stream) Flush() error {
+	if err := s.pending; err != nil {
+		s.pending = nil
+		return err
+	}
 	if s.win == nil {
 		return nil
 	}
@@ -94,8 +111,16 @@ func (s *Stream) Flush() error {
 	return err
 }
 
-// Seek repositions the cursor per the io.Seeker contract.
+// Seek repositions the cursor per the io.Seeker contract. An active write
+// window is drained first: a backward seek plus rewrite would otherwise
+// race in-flight pipelined writes over the same range, violating the
+// disjoint-range invariant the window relies on. A drain failure surfaces
+// here and leaves the position unchanged.
 func (s *Stream) Seek(offset int64, whence int) (int64, error) {
+	if err := s.Flush(); err != nil {
+		return s.pos, err
+	}
+
 	var base int64
 	switch whence {
 	case io.SeekStart:

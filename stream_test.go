@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"csar"
+	"csar/internal/cluster"
+	"csar/internal/wire"
 )
 
 func streamFile(t *testing.T, scheme csar.Scheme) *csar.File {
@@ -140,5 +142,91 @@ func TestStreamWriteWindowRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(got, []byte(src)) {
 		t.Fatal("windowed stream round trip mismatch")
+	}
+}
+
+// streamFaultFile is streamFile plus the cluster handle, for tests that
+// inject request-level faults against the stream's writes.
+func streamFaultFile(t *testing.T, scheme csar.Scheme) (*csar.Cluster, *csar.File) {
+	t.Helper()
+	c := newTestCluster(t, 4)
+	cl := c.NewClient()
+	f, err := cl.Create("s", csar.FileOptions{Scheme: scheme, StripeUnit: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, f
+}
+
+// TestStreamSeekDrainsWriteWindow is the regression test for Seek leaving
+// pipelined writes in flight: a seek with a failed write still in the
+// window must drain it and surface the error instead of repositioning over
+// it — a backward seek plus rewrite would otherwise race the in-flight
+// write covering the same range.
+func TestStreamSeekDrainsWriteWindow(t *testing.T) {
+	c, f := streamFaultFile(t, csar.Raid0)
+	flt := c.Internal().Inject(cluster.FaultPoint{
+		Server: 0, Kind: wire.KWriteData, Action: cluster.FaultDrop,
+	})
+
+	s := f.Stream()
+	s.SetWriteWindow(4)
+	// A unit-sized write at 0 lands entirely on server 0; the injected drop
+	// fails it asynchronously inside the window.
+	if _, err := s.Write(make([]byte, 4096)); err != nil {
+		t.Fatalf("windowed write failed synchronously: %v", err)
+	}
+	if pos, err := s.Seek(0, io.SeekStart); err == nil {
+		t.Fatalf("Seek repositioned to %d over an in-flight failed write without draining the window", pos)
+	}
+	flt.Release()
+
+	// The failed write's error was consumed; the stream recovers and the
+	// rewrite of the same range goes through cleanly.
+	if _, err := s.Seek(0, io.SeekStart); err != nil {
+		t.Fatalf("seek after recovery: %v", err)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 4096)
+	if _, err := s.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("rewrite after drained seek lost data")
+	}
+}
+
+// TestStreamWindowDisableSurfacesError is the regression test for
+// SetWriteWindow(1) silently losing the final pipelined write's error: the
+// internal drain used to consume the window's sticky error and then nil the
+// window, so no later op could report it. The error must surface on the
+// next Write, Flush or Close.
+func TestStreamWindowDisableSurfacesError(t *testing.T) {
+	c, f := streamFaultFile(t, csar.Raid0)
+	flt := c.Internal().Inject(cluster.FaultPoint{
+		Server: 0, Kind: wire.KWriteData, Action: cluster.FaultDrop,
+	})
+
+	s := f.Stream()
+	s.SetWriteWindow(4)
+	if _, err := s.Write(make([]byte, 4096)); err != nil {
+		t.Fatalf("windowed write failed synchronously: %v", err)
+	}
+	// Disabling the window drains it; the drain's failure must be stashed,
+	// not dropped on the floor with the window.
+	s.SetWriteWindow(1)
+	flt.Release()
+	if _, err := s.Write([]byte("x")); err == nil {
+		t.Fatal("final pipelined write error silently lost by SetWriteWindow(1)")
+	}
+	// The stashed error was reported exactly once; the stream is clean.
+	if err := s.Close(); err != nil {
+		t.Fatalf("stream did not recover after surfacing the stashed error: %v", err)
 	}
 }
